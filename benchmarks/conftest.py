@@ -1,0 +1,23 @@
+"""Shared helpers for the table-regeneration benchmarks.
+
+Every benchmark writes its rendered table to ``benchmarks/_output/`` so the
+paper-vs-measured artifacts survive the run (EXPERIMENTS.md points there).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_table(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n")

@@ -1,0 +1,125 @@
+"""Extensions: the MAC unit on RSA, and the timing-leakage quantification.
+
+* RSA: Section IV-A claims the MAC unit "is in principle suitable to speed
+  up … even RSA"; the benchmark measures the claim via the counted
+  Montgomery exponentiation engine.
+* Leakage: Table II's high-speed/constant-round split, quantified with
+  TVLA-style statistics.  Outputs: ``_output/ext_rsa.txt``,
+  ``_output/ext_leakage.txt``.
+"""
+
+import random
+
+import pytest
+
+from conftest import save_table
+from repro.analysis.leakage import (
+    fixed_vs_random_t,
+    leakage_report,
+    random_traces,
+    scalar_weight_correlation,
+)
+from repro.avr.timing import Mode
+from repro.model import measure_point_mult
+from repro.model.inversion_model import (
+    estimate_inversion_cycles,
+    fermat_inversion_cycles,
+    inversion_cycle_spread,
+)
+from repro.model.paper_data import TABLE1_RUNTIMES
+from repro.protocols.rsa import (
+    MontgomeryModExp,
+    estimate_modexp_cycles,
+    generate_keypair,
+    rsa_private_op_estimate,
+)
+
+P160 = 65356 * (1 << 144) + 1
+
+
+class TestRsaExtension:
+    def test_counted_exponentiation(self, benchmark, output_dir):
+        key = generate_keypair(512, rng=random.Random(8))
+
+        def private_op():
+            engine = MontgomeryModExp(key.n)
+            engine.counter.reset()
+            engine.modexp(0xC0FFEE, key.d)
+            return engine.counter.mul
+
+        word_muls = benchmark(private_op)
+        lines = ["RSA on the ASIP (counted Montgomery exponentiation):",
+                 f"  RSA-512 private op: {word_muls:,} word muls"]
+        for mode in Mode:
+            est = estimate_modexp_cycles(word_muls, mode)
+            lines.append(f"    {mode.value:<5}: {est / 1e6:8.2f} MCycles")
+        ca = estimate_modexp_cycles(word_muls, Mode.CA)
+        ise = estimate_modexp_cycles(word_muls, Mode.ISE)
+        lines.append(f"  MAC speed-up on RSA: {ca / ise:.2f}x "
+                     "(ECC field mul: ~6x)")
+        ecc = measure_point_mult("montgomery", "ladder").cycles["CA"]
+        rsa1024 = rsa_private_op_estimate(1024, Mode.CA)
+        lines.append(f"  RSA-1024 private op vs 160-bit ECDH ladder (CA): "
+                     f"{rsa1024 / ecc:.0f}x more cycles")
+        save_table(output_dir, "ext_rsa.txt", "\n".join(lines))
+        assert 5.0 < ca / ise < 7.5
+
+    def test_rsa_1024_estimates(self, benchmark):
+        est = benchmark(rsa_private_op_estimate, 1024, Mode.ISE)
+        assert 40e6 < est < 100e6  # ~66 MCycles: ~3.3 s at 20 MHz
+
+
+class TestLeakageExtension:
+    def test_report_and_save(self, benchmark, output_dir):
+        report = benchmark.pedantic(lambda: leakage_report(n=8),
+                                    rounds=1, iterations=1)
+        lines = ["Timing-leakage quantification (8 random scalars each):",
+                 f"{'method':<30}{'category':<16}{'regular':>8}"
+                 f"{'spread':>9}"]
+        for name, entry in report.items():
+            lines.append(f"{name:<30}{entry['category']:<16}"
+                         f"{str(entry['regular']):>8}"
+                         f"{entry['spread'] * 100:>8.2f}%")
+        t_naf = fixed_vs_random_t("weierstrass", "naf", n=6)
+        t_ladder = fixed_vs_random_t("montgomery", "ladder", n=6)
+        lines.append("")
+        lines.append(f"TVLA fixed-vs-random |t|: NAF {abs(t_naf):.1f} "
+                     f"(leaks, threshold 4.5), ladder {abs(t_ladder):.1f}")
+        save_table(output_dir, "ext_leakage.txt", "\n".join(lines))
+        constant = [e for e in report.values()
+                    if e["category"] == "constant-round"]
+        assert all(e["regular"] for e in constant)
+
+    def test_naf_weight_correlation(self, benchmark):
+        traces = benchmark.pedantic(
+            lambda: random_traces("weierstrass", "naf", n=10),
+            rounds=1, iterations=1,
+        )
+        assert scalar_weight_correlation(traces) > 0.9
+
+
+class TestInversionModelExtension:
+    def test_model_vs_table1(self, benchmark, output_dir):
+        def run():
+            return {mode: estimate_inversion_cycles(P160, mode)
+                    for mode in Mode}
+
+        estimates = benchmark(run)
+        lines = ["Traced Kaliski inversion model vs Table I:",
+                 f"{'mode':<6}{'model':>10}{'paper':>10}{'ratio':>8}"]
+        for mode, est in estimates.items():
+            paper = TABLE1_RUNTIMES["inversion"][mode.value]
+            lines.append(f"{mode.value:<6}{est:>10,.0f}{paper:>10,}"
+                         f"{est / paper:>8.2f}")
+        fermat = fermat_inversion_cycles(Mode.CA, 3314)
+        lines.append("")
+        lines.append(f"A Fermat inversion would cost {fermat / 1e3:,.0f} "
+                     "kCycles — the paper's 189k implies binary EEA.")
+        lo, hi, _ = inversion_cycle_spread(P160, Mode.CA)
+        lines.append(f"Operand dependence (the paper's residual leak): "
+                     f"{lo:,.0f}..{hi:,.0f} cycles "
+                     f"({100 * (hi - lo) / lo:.1f}% spread)")
+        save_table(output_dir, "ext_inversion_model.txt", "\n".join(lines))
+        for mode, est in estimates.items():
+            paper = TABLE1_RUNTIMES["inversion"][mode.value]
+            assert 0.4 < est / paper < 1.1

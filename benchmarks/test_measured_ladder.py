@@ -1,0 +1,123 @@
+"""The flagship measurement: a full 160-bit scalar multiplication executed
+instruction-by-instruction on the simulated ASIP, in all three modes.
+
+This replaces the model estimate for the Montgomery rows of Tables II/III
+with a direct measurement — the closest this reproduction gets to the
+paper's own experiment.  Output: ``_output/measured_ladder.txt``.
+
+(~30 s of host time: the CA run alone is 6M simulated cycles.)
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.avr.timing import Mode
+from repro.curves.params import make_montgomery
+from repro.kernels import LadderKernel, OpfConstants
+from repro.model.paper_data import table3_row
+from repro.scalarmult import montgomery_ladder_x
+
+CONSTANTS = OpfConstants(u=65356, k=144)
+SCALAR = 0xB3A5C99D06A1527E4D5EF9232D8F1C07355A9E11  # fixed full-length
+
+
+@pytest.fixture(scope="module")
+def reference_x():
+    suite = make_montgomery(functional=True)
+    out = montgomery_ladder_x(suite.curve, SCALAR, suite.base, bits=160)
+    return suite.curve.x_affine(out).to_int(), suite.base.x.to_int()
+
+
+class TestMeasuredLadder:
+    @pytest.mark.parametrize("mode", list(Mode), ids=lambda m: m.value)
+    def test_full_160_bit(self, benchmark, mode, reference_x, output_dir):
+        expected_x, base_x = reference_x
+        ladder = LadderKernel(CONSTANTS, mode, scalar_bytes=20)
+
+        def run():
+            return ladder.run(SCALAR, base_x)
+
+        x_out, z_out, cycles = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+        p = CONSTANTS.p
+        got = x_out * pow(z_out % p, -1, p) % p
+        assert got == expected_x
+        paper = table3_row("montgomery", mode.value).point_mult_cycles
+        delta = 100 * (cycles / paper - 1)
+        benchmark.extra_info["measured_cycles"] = cycles
+        benchmark.extra_info["paper_cycles"] = paper
+        benchmark.extra_info["delta_pct"] = round(delta, 1)
+        assert abs(delta) < 25, (mode, cycles, paper)
+        save_table(
+            output_dir, f"measured_ladder_{mode.value.lower()}.txt",
+            "\n".join([
+                f"Full 160-bit Montgomery-ladder scalar multiplication, "
+                f"{mode.value} mode, MEASURED on the ISS:",
+                f"  cycles        : {cycles:,}",
+                f"  paper Table III: {paper:,}",
+                f"  delta         : {delta:+.1f}%",
+                f"  instructions  : {ladder.core.instructions_retired:,}",
+                f"  program size  : {ladder.code_bytes:,} bytes",
+            ]),
+        )
+
+    def test_coz_ladder_weierstrass_ca(self, benchmark, output_dir):
+        """The second measured row: the co-Z ladder over the Weierstraß
+        curve in CA mode vs Table II's 8,824 kCycles."""
+        from repro.curves.params import make_weierstrass
+        from repro.kernels import CozLadderKernel
+
+        suite = make_weierstrass(functional=True)
+        bx, by = suite.base.x.to_int(), suite.base.y.to_int()
+        ladder = CozLadderKernel(CONSTANTS, Mode.CA, curve_a=-3,
+                                 scalar_bytes=20)
+
+        def run():
+            return ladder.run(SCALAR | (1 << 159), bx, by)
+
+        state, cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+        ref = suite.curve.affine_scalar_mult(SCALAR | (1 << 159),
+                                             suite.base)
+        assert ladder.affine_consistency(
+            state, (ref.x.to_int(), ref.y.to_int())
+        )
+        paper = 8_824_000
+        delta = 100 * (cycles / paper - 1)
+        benchmark.extra_info["measured_cycles"] = cycles
+        benchmark.extra_info["delta_pct"] = round(delta, 1)
+        assert abs(delta) < 20
+        save_table(output_dir, "measured_coz_ladder.txt", "\n".join([
+            "Full 160-bit co-Z ladder (Weierstraß, CA), MEASURED:",
+            f"  cycles         : {cycles:,}",
+            f"  paper Table II : {paper:,}",
+            f"  delta          : {delta:+.1f}%",
+        ]))
+
+    def test_summary(self, benchmark, reference_x, output_dir):
+        """Cross-mode summary with paper comparison and speed-up factors."""
+        _, base_x = reference_x
+
+        def run_all():
+            out = {}
+            for mode in Mode:
+                ladder = LadderKernel(CONSTANTS, mode, scalar_bytes=20)
+                out[mode.value] = ladder.run(SCALAR, base_x)[2]
+            return out
+
+        cycles = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        lines = ["Measured 160-bit ladder, all modes:",
+                 f"{'mode':<6}{'measured':>12}{'paper':>12}{'delta':>9}"]
+        for mode in ("CA", "FAST", "ISE"):
+            paper = table3_row("montgomery", mode).point_mult_cycles
+            lines.append(
+                f"{mode:<6}{cycles[mode]:>12,}{paper:>12,}"
+                f"{100 * (cycles[mode] / paper - 1):>8.1f}%"
+            )
+        ca_ise = cycles["CA"] / cycles["ISE"]
+        lines.append("")
+        lines.append(f"CA -> ISE point-multiplication speed-up: "
+                     f"{ca_ise:.2f}x (paper: 4.27x)")
+        save_table(output_dir, "measured_ladder.txt", "\n".join(lines))
+        # Paper Section V-C: point mults improve ~3.9-4.5x; ours with the
+        # leaner adds and heavier muls lands slightly above.
+        assert 3.8 < ca_ise < 5.6

@@ -1,0 +1,88 @@
+"""Table III: cycles, area (GE), power, energy and SARP per curve x mode.
+
+Cycles come from the instrumented scalar multiplications; GE from the
+calibrated area model; power from the calibrated power model; SARP from the
+self-normalised measurement set.  Output: ``_output/table3.txt``.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.analysis import generate_table3
+from repro.avr.timing import Mode
+from repro.model import measure_point_mult
+from repro.model.opcost import CONSTANT_METHODS, HIGHSPEED_METHODS
+from repro.model.paper_data import TABLE3, table3_row
+from repro.model.sarp import paper_sarp_check
+
+MODES = ("CA", "FAST", "ISE")
+CURVES = ("weierstrass", "edwards", "montgomery", "glv")
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return generate_table3()
+
+
+class TestCycles:
+    @pytest.mark.parametrize("curve", CURVES)
+    def test_mode_scaling(self, benchmark, curve):
+        method = (CONSTANT_METHODS[curve] if curve == "montgomery"
+                  else HIGHSPEED_METHODS[curve])
+        m = benchmark(measure_point_mult, curve, method)
+        for mode in MODES:
+            paper = table3_row(curve, mode).point_mult_cycles
+            est = m.cycles[mode]
+            benchmark.extra_info[f"{mode}_delta_pct"] = round(
+                100 * (est / paper - 1), 1
+            )
+            assert abs(est / paper - 1) < 0.12, (curve, mode)
+
+
+class TestAreaAndSarp:
+    def test_area_model_residuals(self, benchmark):
+        from repro.model import calibration_report
+
+        report = benchmark(calibration_report)
+        for row in report:
+            assert abs(row["error_pct"]) < 5.0
+
+    def test_paper_sarp_recomputation(self, benchmark):
+        values = benchmark(paper_sarp_check)
+        for (curve, mode), (recomputed, printed) in values.items():
+            assert recomputed == pytest.approx(printed, abs=0.02)
+
+    def test_full_table(self, benchmark, output_dir):
+        table = benchmark.pedantic(generate_table3, rounds=1, iterations=1)
+        save_table(output_dir, "table3.txt", table.render())
+        assert len(table.rows) == 12
+
+
+class TestTable3Shape:
+    def test_sarp_winners(self, table3, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        sarps = {(r[0], r[1]): r[7] for r in table3.rows}
+        for mode in ("CA", "FAST"):
+            best = max(v for (c, m), v in sarps.items() if m == mode)
+            assert sarps[("glv", mode)] == best
+        ise = sorted(((v, c) for (c, m), v in sarps.items() if m == "ISE"),
+                     reverse=True)
+        assert {ise[0][1], ise[1][1]} == {"edwards", "montgomery"}
+
+    def test_energy_band(self, table3, benchmark):
+        """CA-mode energies sit in the paper's 455-969 uJ range."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        ca_energy = [r[9] for r in table3.rows if r[1] == "CA"]
+        assert 400 < min(ca_energy) < 560
+        assert 850 < max(ca_energy) < 1100
+
+    def test_glv_has_largest_rom(self, benchmark):
+        """Section V-C: the GLV program memory is ~43% above Edwards'."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rom = {(r.curve, r.mode): r.rom_bytes for r in TABLE3}
+        assert rom[("glv", "CA")] / rom[("edwards", "CA")] == pytest.approx(
+            1.43, abs=0.02
+        )
+        for mode in MODES:
+            roms = {c: rom[(c, mode)] for c in CURVES}
+            assert roms["glv"] == max(roms.values())

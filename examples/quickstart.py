@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: ECDH over the paper's Montgomery curve, with cycle estimates.
+
+Runs an x-coordinate-only Diffie-Hellman key exchange on the 160-bit OPF
+Montgomery curve (the paper's constant-time workhorse), then prices one
+scalar multiplication for each JAAVR mode — CA (a stock ATmega128), FAST,
+and ISE (with the (32 x 4)-bit MAC unit).
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro.avr.timing import Mode
+from repro.curves.params import make_montgomery
+from repro.model import costs_for, measure_point_mult, price
+from repro.protocols import XOnlyEcdh
+
+
+def main() -> None:
+    rng = random.Random(2012)
+
+    print("=== ECDH on the 160-bit OPF Montgomery curve ===")
+    suite = make_montgomery()
+    print(f"field : p = 65356 * 2^144 + 1  ({suite.field.p:#042x})")
+    print(f"curve : {suite.curve.b_int:#x} y^2 = x^3 + "
+          f"{suite.curve.a_int} x^2 + x   ((A+2)/4 = "
+          f"{suite.curve.a24_small})")
+
+    ecdh = XOnlyEcdh(suite.curve, suite.base)
+    alice = ecdh.generate_keypair(rng)
+    bob = ecdh.generate_keypair(rng)
+    secret_a = ecdh.shared_secret(alice, bob.public_x)
+    secret_b = ecdh.shared_secret(bob, alice.public_x)
+    assert secret_a == secret_b
+    print(f"\nAlice's public x : {alice.public_x:#042x}")
+    print(f"Bob's   public x : {bob.public_x:#042x}")
+    print(f"shared secret    : {secret_a:#042x}")
+    print("key agreement    : OK (both sides derived the same secret)")
+
+    print("\n=== Cost of one 160-bit scalar multiplication ===")
+    m = measure_point_mult("montgomery", "ladder")
+    c = m.counts
+    print(f"field ops: {c.mul} mul, {c.sqr} sqr, {c.mul_small} small-mul, "
+          f"{c.add} add, {c.sub} sub, {c.inv} inv")
+    print(f"{'mode':<6}{'cycles':>12}{'ms @ 7.37 MHz (MICAz)':>24}"
+          f"{'ms @ 20 MHz':>14}")
+    for mode in (Mode.CA, Mode.FAST, Mode.ISE):
+        cycles = price(c, costs_for(mode, "paper"))
+        print(f"{mode.value:<6}{cycles:>12,.0f}"
+              f"{cycles / 7.3728e6 * 1000:>24.1f}"
+              f"{cycles / 20e6 * 1000:>14.1f}")
+    print("\n(The ISE row is the paper's headline: ~1.3 MCycles for a "
+          "leakage-reduced\n scalar multiplication, 65 ms on a 20 MHz "
+          "IoT-class device.)")
+
+
+if __name__ == "__main__":
+    main()

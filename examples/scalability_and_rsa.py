@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The flexibility argument: one ASIP, many field sizes, and even RSA.
+
+The paper's Section V-D concedes that dedicated ECC cores beat the ASIP on
+raw runtime and area — its rebuttal is flexibility: the same hardware runs
+any field size, any curve family, and other cryptosystems entirely.  This
+example demonstrates all three on the simulator:
+
+1. the same kernel generators produce correct, measured field arithmetic
+   for 128- to 256-bit OPFs (the dedicated cores in Table IV are fixed at
+   one field each);
+2. the MAC unit's speed-up *grows* with the field size;
+3. the identical hardware accelerates RSA by the same ~6x (the paper's
+   "even RSA" remark), although 160-bit ECC remains ~25x cheaper than
+   RSA-1024 at comparable security — the reason the paper is about ECC.
+
+    python examples/scalability_and_rsa.py
+"""
+
+import random
+
+from repro.avr.timing import Mode
+from repro.kernels import (
+    KernelRunner,
+    OpfConstants,
+    generate_opf_mul_comba,
+    generate_opf_mul_mac,
+)
+from repro.model import measure_point_mult
+from repro.protocols.rsa import (
+    MontgomeryModExp,
+    Rsa,
+    estimate_modexp_cycles,
+    generate_keypair,
+)
+
+SIZES = [(40961, 112), (65356, 144), (40963, 176), (50001, 208),
+         (60001, 240)]
+
+
+def field_scaling() -> None:
+    print("=== One generator, five field sizes (measured on the ISS) ===\n")
+    print(f"{'field':>7}  {'mul CA':>8}  {'mul ISE':>8}  {'speed-up':>9}")
+    for u, k in SIZES:
+        constants = OpfConstants(u=u, k=k)
+        nb = constants.operand_bytes
+        ca = KernelRunner(generate_opf_mul_comba(constants),
+                          Mode.CA).run(3, 5, operand_bytes=nb)[1]
+        ise = KernelRunner(generate_opf_mul_mac(constants),
+                           Mode.ISE).run(3, 5, operand_bytes=nb)[1]
+        print(f"{constants.bits:>4}bit  {ca:>8,}  {ise:>8,}  "
+              f"{ca / ise:>8.2f}x")
+    print("\nA dedicated datapath would need a redesign per row; the ASIP "
+          "recompiles.")
+
+
+def rsa_on_the_asip() -> None:
+    print("\n=== 'Even RSA' (Section IV-A) ===\n")
+    rng = random.Random(99)
+    key = generate_keypair(512, rng=rng)
+    rsa = Rsa(key)
+    message = 0x49_6F_54  # "IoT"
+    ciphertext = rsa.encrypt(message)
+    engine = MontgomeryModExp(key.n)
+    engine.modexp(ciphertext, key.d)
+    word_muls = engine.counter.mul
+    print(f"RSA-512 private operation: {word_muls:,} (32x32) word "
+          "multiplications")
+    print(f"{'mode':<6}{'MCycles':>10}{'seconds @ 20 MHz':>18}")
+    for mode in Mode:
+        cycles = estimate_modexp_cycles(word_muls, mode)
+        print(f"{mode.value:<6}{cycles / 1e6:>10.2f}"
+              f"{cycles / 20e6:>18.2f}")
+    assert rsa.decrypt(ciphertext) == message
+
+    ecc = measure_point_mult("montgomery", "ladder").cycles["CA"]
+    rsa512_ca = estimate_modexp_cycles(word_muls, Mode.CA)
+    print(f"\n160-bit ECDH ladder vs RSA-512 private op (CA): "
+          f"{rsa512_ca / ecc:.1f}x — and RSA-1024,")
+    print("the actual security match for 160-bit ECC, is ~8x heavier "
+          "still.  Hence: ECC for the IoT.")
+
+
+def main() -> None:
+    field_scaling()
+    rsa_on_the_asip()
+
+
+if __name__ == "__main__":
+    main()

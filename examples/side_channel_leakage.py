@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Timing-leakage comparison: high-speed vs leakage-reduced methods.
+
+The paper's "constant round" implementations trade speed for a regular
+execution profile.  This script makes the difference observable: it runs
+many random scalars through each method and reports how the *cycle
+estimate* (equivalently, the field-operation trace) varies with the secret.
+
+* NAF double-and-add and the GLV method leak scalar weight through their
+  operation counts (the "irregular execution pattern" the paper warns
+  about for GLV).
+* The Montgomery ladder, the co-Z ladder and Edwards DAAA execute an
+  identical operation sequence for every same-length scalar.
+* The one residual leak the paper acknowledges: the Kaliski inversion in
+  the final projective-to-affine conversion has an operand-dependent
+  iteration count.
+
+    python examples/side_channel_leakage.py
+"""
+
+import random
+import statistics
+
+from repro.avr.timing import Mode
+from repro.curves.params import make_glv, make_montgomery, make_weierstrass
+from repro.model import costs_for, price
+from repro.model.opcost import run_method
+from repro.curves.params import make_suite
+
+
+def cycle_spread(curve_key: str, method: str, trials: int = 25):
+    rng = random.Random(0x5CA1E)
+    costs = costs_for(Mode.CA, "paper")
+    samples = []
+    for _ in range(trials):
+        suite = make_suite(curve_key)
+        k = rng.getrandbits(160) | (1 << 159)
+        if suite.order:
+            k %= suite.order
+            k |= 1 << 158
+        run_method(suite, method, k)
+        samples.append(price(suite.field.counter, costs))
+    return samples
+
+
+def report(name: str, samples) -> None:
+    spread = (max(samples) - min(samples)) / statistics.mean(samples)
+    marker = "LEAKS " if spread > 1e-9 else "regular"
+    print(f"  {name:<38} mean {statistics.mean(samples)/1000:>8,.0f} kCyc   "
+          f"spread {spread * 100:6.3f}%   [{marker}]")
+
+
+def main() -> None:
+    print("=== Scalar-dependence of the execution profile "
+          "(25 random 160-bit scalars each) ===\n")
+    print("High-speed methods:")
+    report("Weierstrass NAF double-and-add", cycle_spread("weierstrass", "naf"))
+    report("GLV endomorphism + JSF", cycle_spread("glv", "glv-jsf"))
+    print("\nLeakage-reduced methods:")
+    report("Montgomery x-only ladder", cycle_spread("montgomery", "ladder"))
+    report("Weierstrass co-Z ladder", cycle_spread("weierstrass",
+                                                   "coz-ladder"))
+    report("Edwards double-and-add-always", cycle_spread("edwards", "daaa"))
+
+    print("\n=== The residual leak: Kaliski inversion iterations ===\n")
+    suite = make_montgomery()
+    rng = random.Random(1)
+    for _ in range(8):
+        suite.field.from_int(rng.randrange(2, suite.field.p)).invert()
+    counts = suite.field.inversion_iteration_counts
+    print(f"  phase-1 iteration counts over 8 random operands: {counts}")
+    print("  -> the final projective-to-affine conversion is *not* "
+          "constant time;\n     the paper notes the same for its "
+          "'constant runtime' rows (Section V-B).")
+
+    print("\n=== Why it matters: the ladder's cost is the price of "
+          "regularity ===\n")
+    naf = statistics.mean(cycle_spread("weierstrass", "naf"))
+    ladder = statistics.mean(cycle_spread("weierstrass", "coz-ladder"))
+    print(f"  co-Z ladder / NAF cost ratio: {ladder / naf:.2f}x "
+          "(paper Table II: 8824/6983 = 1.26x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Reproduction of "An 8-bit AVR-Based Elliptic Curve Cryptographic RISC
+Processor for the Internet of Things" (Wenger & Großschädl).
+
+Layers, bottom-up:
+
+* :mod:`repro.avr` — JAAVR, an ATmega128-compatible instruction-set
+  simulator with CA/FAST timing modes and the (32 x 4)-bit MAC extension
+  (ISE mode), plus an assembler/disassembler.
+* :mod:`repro.mpa` — word-level multi-precision arithmetic (carry chains,
+  Comba, hybrid, SOS/CIOS/FIPS Montgomery, OPF-optimised FIPS).
+* :mod:`repro.field` — prime fields: generic, Optimal Prime Fields
+  (Montgomery domain, incomplete reduction) and secp160r1.
+* :mod:`repro.curves` — Weierstraß, twisted Edwards, Montgomery and GLV
+  curves; birational maps; exact j = 0 point counting; the frozen 160-bit
+  parameter suite.
+* :mod:`repro.scalarmult` — NAF/DAAA double-and-add, the x-only Montgomery
+  ladder, the co-Z ladder, and GLV-with-JSF.
+* :mod:`repro.kernels` — generated AVR assembly for the OPF field
+  operations, executed on the simulator (Table I).
+* :mod:`repro.model` — cycle/area/power/SARP models and the paper's data.
+* :mod:`repro.protocols` — ECDH, ECDSA, Schnorr.
+* :mod:`repro.analysis` — regeneration of every table with paper-vs-
+  measured deltas.
+
+Quickstart::
+
+    from repro.curves.params import make_montgomery
+    from repro.protocols import XOnlyEcdh
+
+    suite = make_montgomery()
+    ecdh = XOnlyEcdh(suite.curve, suite.base)
+    alice = ecdh.generate_keypair()
+    bob = ecdh.generate_keypair()
+    assert (ecdh.shared_secret(alice, bob.public_x)
+            == ecdh.shared_secret(bob, alice.public_x))
+"""
+
+__version__ = "1.0.0"
+
+from .avr import AvrCore, Mode, assemble
+from .curves.params import (
+    CurveSuite,
+    make_edwards,
+    make_glv,
+    make_montgomery,
+    make_secp160r1,
+    make_suite,
+    make_weierstrass,
+)
+from .field import GenericPrimeField, OptimalPrimeField, Secp160r1Field
+
+__all__ = [
+    "AvrCore",
+    "CurveSuite",
+    "GenericPrimeField",
+    "Mode",
+    "OptimalPrimeField",
+    "Secp160r1Field",
+    "__version__",
+    "assemble",
+    "make_edwards",
+    "make_glv",
+    "make_montgomery",
+    "make_secp160r1",
+    "make_suite",
+    "make_weierstrass",
+]

@@ -1,0 +1,86 @@
+"""Command-line interface: regenerate any of the paper's tables.
+
+    python -m repro table1            # field-operation runtimes
+    python -m repro table2 table3     # several at once
+    python -m repro all               # everything
+    python -m repro leakage           # the timing-leakage extension report
+    python -m repro table2 --source measured   # price with our kernels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .analysis import (
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_table4,
+    generate_table5,
+    leakage_report,
+)
+
+_TABLES = {
+    "table1": lambda source: generate_table1(),
+    "table2": lambda source: generate_table2(source=source),
+    "table3": lambda source: generate_table3(source=source),
+    "table4": lambda source: generate_table4(),
+    "table5": lambda source: generate_table5(),
+}
+
+
+def _render_leakage() -> str:
+    report = leakage_report(n=8)
+    lines = ["Timing-leakage report (8 random scalars per method)", ""]
+    lines.append(f"{'method':<30}{'category':<16}{'regular':>8}"
+                 f"{'spread %':>10}")
+    lines.append("-" * 64)
+    for name, entry in report.items():
+        lines.append(f"{name:<30}{entry['category']:<16}"
+                     f"{str(entry['regular']):>8}"
+                     f"{entry['spread'] * 100:>10.3f}")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables (paper vs measured).",
+    )
+    parser.add_argument(
+        "targets", nargs="+",
+        choices=sorted(_TABLES) + ["all", "leakage"],
+        help="which table(s) to regenerate",
+    )
+    parser.add_argument(
+        "--source", choices=["paper", "measured"], default="paper",
+        help="per-operation cycle costs: the paper's Table I or our "
+             "kernels measured on the simulator",
+    )
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = sorted(_TABLES) + [t for t in targets
+                                     if t not in _TABLES and t != "all"]
+    seen = set()
+    outputs = []
+    for target in targets:
+        if target in seen:
+            continue
+        seen.add(target)
+        if target == "leakage":
+            outputs.append(_render_leakage())
+        else:
+            outputs.append(_TABLES[target](args.source).render())
+    try:
+        print("\n\n".join(outputs))
+    except BrokenPipeError:  # piping into `head` etc. is fine
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Table regeneration (paper-vs-measured) shared by benches and examples."""
+
+from .leakage import (
+    TraceSample,
+    collect_traces,
+    fixed_vs_random_t,
+    is_regular,
+    leakage_report,
+    random_traces,
+    relative_spread,
+    scalar_weight_correlation,
+    welch_t,
+)
+from .tables import (
+    TableResult,
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_table4,
+    generate_table5,
+    measure_kernel_cycles,
+)
+
+__all__ = [
+    "TraceSample",
+    "collect_traces",
+    "fixed_vs_random_t",
+    "is_regular",
+    "leakage_report",
+    "random_traces",
+    "relative_spread",
+    "scalar_weight_correlation",
+    "welch_t",
+    "TableResult",
+    "generate_table1",
+    "generate_table2",
+    "generate_table3",
+    "generate_table4",
+    "generate_table5",
+    "measure_kernel_cycles",
+]

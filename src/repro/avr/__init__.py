@@ -1,0 +1,49 @@
+"""The JAAVR substrate: an ATmega128-compatible instruction-set simulator.
+
+* :class:`~repro.avr.core.AvrCore` — fetch/decode/execute with per-mode
+  cycle accounting (CA / FAST / ISE, :class:`~repro.avr.timing.Mode`).
+* :mod:`~repro.avr.assembler` / :mod:`~repro.avr.disasm` — two-pass
+  assembler and disassembler over the shared encoding table.
+* :class:`~repro.avr.mac.MacUnit` — the paper's (32 x 4)-bit MAC extension
+  with both trigger mechanisms (SWAP re-interpretation and R24 loads).
+* :class:`~repro.avr.profiler.Profiler` — instruction-mix reporting.
+"""
+
+from .assembler import Assembler, AssemblyError, Program, assemble
+from .core import AvrCore, ExecutionError
+from .disasm import disassemble, disassemble_one
+from .mac import (
+    MACCR_IO_ADDR,
+    MACCR_LOAD_ENABLE,
+    MACCR_RESET_COUNTER,
+    MACCR_SWAP_ENABLE,
+    MacHazardError,
+    MacUnit,
+)
+from .memory import DataSpace, ProgramMemory, SRAM_BASE
+from .profiler import Profiler
+from .sreg import StatusRegister
+from .timing import Mode
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "AvrCore",
+    "DataSpace",
+    "ExecutionError",
+    "MACCR_IO_ADDR",
+    "MACCR_LOAD_ENABLE",
+    "MACCR_RESET_COUNTER",
+    "MACCR_SWAP_ENABLE",
+    "MacHazardError",
+    "MacUnit",
+    "Mode",
+    "Profiler",
+    "Program",
+    "ProgramMemory",
+    "SRAM_BASE",
+    "StatusRegister",
+    "assemble",
+    "disassemble",
+    "disassemble_one",
+]

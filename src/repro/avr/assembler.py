@@ -1,0 +1,411 @@
+"""A two-pass AVR assembler.
+
+Supports the syntax used by the paper's listings (Algorithms 1 and 2) and by
+the kernel code generators: labels, the usual mnemonics and aliases
+(``LSL``/``ROL``/``TST``/``CLR``/``SER``, the ``BRxx`` condition aliases,
+``SEC``/``CLC`` …), all LD/ST addressing-mode spellings (``X+``, ``-Y``,
+``Z+5`` …), the directives ``.org``, ``.equ``, ``.db``, ``.dw``, and
+constant expressions with ``lo8()``/``hi8()``.
+
+Pass 1 sizes every statement and collects symbols; pass 2 encodes.  The
+result is a :class:`Program` of 16-bit flash words whose byte size is the
+"ROM bytes" figure the area model reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .encoding import to_twos_complement
+from .isa import BY_NAME, InstructionSpec
+from .memory import ProgramMemory
+
+
+class AssemblyError(ValueError):
+    """A syntax or range error, annotated with the source line."""
+
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        super().__init__(
+            f"line {line_no}: {message}" + (f"  [{line.strip()}]" if line else "")
+        )
+
+
+@dataclass
+class Program:
+    """Assembled output: flash words plus the symbol table."""
+
+    words: List[int]
+    symbols: Dict[str, int]
+    listing: List[str] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 * len(self.words)
+
+    def load_into(self, memory: ProgramMemory, origin: int = 0) -> None:
+        memory.load(self.words, origin)
+
+
+# Aliases expanding to a (name, operand-transform) of a real instruction.
+_FLAG_ALIASES = {
+    "SEC": ("BSET", 0), "CLC": ("BCLR", 0),
+    "SEZ": ("BSET", 1), "CLZ": ("BCLR", 1),
+    "SEN": ("BSET", 2), "CLN": ("BCLR", 2),
+    "SEV": ("BSET", 3), "CLV": ("BCLR", 3),
+    "SES": ("BSET", 4), "CLS": ("BCLR", 4),
+    "SEH": ("BSET", 5), "CLH": ("BCLR", 5),
+    "SET": ("BSET", 6), "CLT": ("BCLR", 6),
+    "SEI": ("BSET", 7), "CLI": ("BCLR", 7),
+}
+
+_BRANCH_ALIASES = {
+    "BRCS": ("BRBS", 0), "BRLO": ("BRBS", 0),
+    "BRCC": ("BRBC", 0), "BRSH": ("BRBC", 0),
+    "BREQ": ("BRBS", 1), "BRNE": ("BRBC", 1),
+    "BRMI": ("BRBS", 2), "BRPL": ("BRBC", 2),
+    "BRVS": ("BRBS", 3), "BRVC": ("BRBC", 3),
+    "BRLT": ("BRBS", 4), "BRGE": ("BRBC", 4),
+    "BRHS": ("BRBS", 5), "BRHC": ("BRBC", 5),
+    "BRTS": ("BRBS", 6), "BRTC": ("BRBC", 6),
+    "BRIE": ("BRBS", 7), "BRID": ("BRBC", 7),
+}
+
+_LD_MODES = {
+    "X": ("LD_X", None), "X+": ("LD_XP", None), "-X": ("LD_MX", None),
+    "Y": ("LDD_Y", 0), "Y+": ("LD_YP", None), "-Y": ("LD_MY", None),
+    "Z": ("LDD_Z", 0), "Z+": ("LD_ZP", None), "-Z": ("LD_MZ", None),
+}
+
+_ST_MODES = {
+    "X": ("ST_X", None), "X+": ("ST_XP", None), "-X": ("ST_MX", None),
+    "Y": ("STD_Y", 0), "Y+": ("ST_YP", None), "-Y": ("ST_MY", None),
+    "Z": ("STD_Z", 0), "Z+": ("ST_ZP", None), "-Z": ("ST_MZ", None),
+}
+
+_REG_RE = re.compile(r"^[rR]([0-9]|[12][0-9]|3[01])$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+@dataclass
+class _Statement:
+    line_no: int
+    source: str
+    address: int
+    mnemonic: str
+    operands: List[str]
+    words: int
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self):
+        self.symbols: Dict[str, int] = {}
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(self, expr: str, line_no: int, line: str) -> int:
+        expr = expr.strip()
+        env = dict(self.symbols)
+        env["lo8"] = lambda v: v & 0xFF
+        env["hi8"] = lambda v: (v >> 8) & 0xFF
+        try:
+            value = eval(  # noqa: S307 - restricted, internal tool
+                expr, {"__builtins__": {}}, env
+            )
+        except Exception as exc:
+            raise AssemblyError(f"bad expression {expr!r}: {exc}",
+                                line_no, line) from None
+        if not isinstance(value, int):
+            raise AssemblyError(f"expression {expr!r} is not an integer",
+                                line_no, line)
+        return value
+
+    def _parse_reg(self, token: str, line_no: int, line: str) -> int:
+        m = _REG_RE.match(token.strip())
+        if not m:
+            # Allow symbolic register names defined via .equ (value = index).
+            t = token.strip()
+            if t in self.symbols:
+                return self.symbols[t]
+            raise AssemblyError(f"expected a register, got {token!r}",
+                                line_no, line)
+        return int(m.group(1))
+
+    # -- statement splitting -----------------------------------------------------
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in (";", "//"):
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        return line.rstrip()
+
+    @staticmethod
+    def _split_operands(rest: str) -> List[str]:
+        rest = rest.strip()
+        if not rest:
+            return []
+        return [tok.strip() for tok in rest.split(",")]
+
+    # -- pass 1 -------------------------------------------------------------------
+
+    def _statement_length(self, mnemonic: str, operands: List[str],
+                          line_no: int, line: str) -> int:
+        m = mnemonic.upper()
+        if m in ("LDS", "STS", "JMP", "CALL"):
+            return 2
+        if m == ".DW":
+            return len(operands)
+        if m == ".DB":
+            return (len(operands) + 1) // 2
+        return 1
+
+    # -- instruction resolution ------------------------------------------------------
+
+    def _resolve(self, mnemonic: str, operands: List[str], address: int,
+                 line_no: int, line: str) -> Tuple[InstructionSpec, Dict[str, int]]:
+        m = mnemonic.upper()
+
+        def ev(expr: str) -> int:
+            return self._eval(expr, line_no, line)
+
+        def reg(tok: str) -> int:
+            return self._parse_reg(tok, line_no, line)
+
+        def rel(target_expr: str, bits: int) -> int:
+            target = ev(target_expr)
+            return to_twos_complement(target - (address + 1), bits)
+
+        def need(n: int) -> None:
+            if len(operands) != n:
+                raise AssemblyError(
+                    f"{m} expects {n} operand(s), got {len(operands)}",
+                    line_no, line,
+                )
+
+        # Aliases ------------------------------------------------------------
+        if m in _FLAG_ALIASES:
+            need(0)
+            base, s = _FLAG_ALIASES[m]
+            return BY_NAME[base], {"s": s}
+        if m in _BRANCH_ALIASES:
+            need(1)
+            base, s = _BRANCH_ALIASES[m]
+            return BY_NAME[base], {"s": s, "k": rel(operands[0], 7)}
+        if m == "LSL":
+            need(1)
+            d = reg(operands[0])
+            return BY_NAME["ADD"], {"d": d, "r": d}
+        if m == "ROL":
+            need(1)
+            d = reg(operands[0])
+            return BY_NAME["ADC"], {"d": d, "r": d}
+        if m == "TST":
+            need(1)
+            d = reg(operands[0])
+            return BY_NAME["AND"], {"d": d, "r": d}
+        if m == "CLR":
+            need(1)
+            d = reg(operands[0])
+            return BY_NAME["EOR"], {"d": d, "r": d}
+        if m == "SER":
+            need(1)
+            return BY_NAME["LDI"], {"d": reg(operands[0]), "K": 0xFF}
+        if m == "SBR":
+            need(2)
+            return BY_NAME["ORI"], {"d": reg(operands[0]), "K": ev(operands[1])}
+        if m == "CBR":
+            need(2)
+            return BY_NAME["ANDI"], {
+                "d": reg(operands[0]), "K": (~ev(operands[1])) & 0xFF,
+            }
+
+        # Loads / stores with addressing modes ---------------------------------
+        if m in ("LD", "LDD"):
+            need(2)
+            d = reg(operands[0])
+            return self._mem_mode(operands[1], _LD_MODES, "LDD",
+                                  d, line_no, line)
+        if m in ("ST", "STD"):
+            need(2)
+            d = reg(operands[1])
+            return self._mem_mode(operands[0], _ST_MODES, "STD",
+                                  d, line_no, line)
+        if m == "LPM":
+            if not operands:
+                return BY_NAME["LPM_R0"], {}
+            need(2)
+            mode = operands[1].replace(" ", "").upper()
+            if mode == "Z":
+                return BY_NAME["LPM_Z"], {"d": reg(operands[0])}
+            if mode == "Z+":
+                return BY_NAME["LPM_ZP"], {"d": reg(operands[0])}
+            raise AssemblyError(f"bad LPM mode {operands[1]!r}", line_no, line)
+        if m == "LDS":
+            need(2)
+            return BY_NAME["LDS"], {"d": reg(operands[0]), "k": ev(operands[1])}
+        if m == "STS":
+            need(2)
+            return BY_NAME["STS"], {"k": ev(operands[0]), "d": reg(operands[1])}
+
+        # Relative flow control ---------------------------------------------------
+        if m in ("RJMP", "RCALL"):
+            need(1)
+            return BY_NAME[m], {"k": rel(operands[0], 12)}
+        if m in ("BRBS", "BRBC"):
+            need(2)
+            return BY_NAME[m], {"s": ev(operands[0]), "k": rel(operands[1], 7)}
+        if m in ("JMP", "CALL"):
+            need(1)
+            return BY_NAME[m], {"k": ev(operands[0])}
+
+        # Everything else: look up the spec and parse by operand kinds -----------
+        spec = BY_NAME.get(m)
+        if spec is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no, line)
+        need(len(spec.operands))
+        values: Dict[str, int] = {}
+        for op_spec, token in zip(spec.operands, operands):
+            if op_spec.kind in ("reg5", "reg4", "reg3", "regpair", "regw"):
+                values[op_spec.name] = reg(token)
+            else:
+                values[op_spec.name] = ev(token)
+        return spec, values
+
+    def _mem_mode(self, mode_token: str, modes: Dict, disp_kind: str,
+                  d: int, line_no: int, line: str,
+                  ) -> Tuple[InstructionSpec, Dict[str, int]]:
+        token = mode_token.replace(" ", "").upper()
+        if token in modes:
+            name, q = modes[token]
+            ops = {"d": d}
+            if q is not None:
+                ops["q"] = q
+            return BY_NAME[name], ops
+        # Displacement form: Y+expr or Z+expr.
+        m = re.match(r"^([YZ])\+(.+)$", token)
+        if m:
+            base = m.group(1)
+            q = self._eval(m.group(2), line_no, line)
+            name = f"{disp_kind}_{base}"
+            return BY_NAME[name], {"d": d, "q": q}
+        raise AssemblyError(f"bad addressing mode {mode_token!r}",
+                            line_no, line)
+
+    # -- main entry point ------------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        lines = source.splitlines()
+        statements: List[_Statement] = []
+        address = 0
+
+        # Pass 1: collect labels and sizes.
+        for line_no, raw in enumerate(lines, start=1):
+            line = self._strip_comment(raw)
+            work = line.strip()
+            while True:
+                m = _LABEL_RE.match(work)
+                if not m:
+                    break
+                label = m.group(1)
+                if label in self.symbols:
+                    raise AssemblyError(f"duplicate symbol {label!r}",
+                                        line_no, raw)
+                self.symbols[label] = address
+                work = work[m.end():].strip()
+            if not work:
+                continue
+            parts = work.split(None, 1)
+            mnemonic = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            upper = mnemonic.upper()
+            if upper == ".EQU":
+                m2 = re.match(r"^([\w.$]+)\s*=\s*(.+)$", rest.strip())
+                if not m2:
+                    raise AssemblyError(".equ expects NAME = EXPR",
+                                        line_no, raw)
+                name = m2.group(1)
+                if not _NAME_RE.match(name):
+                    raise AssemblyError(f"bad symbol name {name!r}",
+                                        line_no, raw)
+                self.symbols[name] = self._eval(m2.group(2), line_no, raw)
+                continue
+            if upper == ".ORG":
+                target = self._eval(rest, line_no, raw)
+                if target < address:
+                    raise AssemblyError(".org cannot move backwards",
+                                        line_no, raw)
+                address = target
+                statements.append(_Statement(line_no, raw, address,
+                                             ".ORG", [rest], 0))
+                continue
+            operands = self._split_operands(rest)
+            words = self._statement_length(mnemonic, operands, line_no, raw)
+            statements.append(_Statement(line_no, raw, address,
+                                         mnemonic, operands, words))
+            address += words
+
+        # Pass 2: encode.
+        total_words = address
+        image = [0] * total_words
+        listing: List[str] = []
+        for stmt in statements:
+            upper = stmt.mnemonic.upper()
+            if upper == ".ORG":
+                continue
+            if upper == ".DW":
+                for i, tok in enumerate(stmt.operands):
+                    value = self._eval(tok, stmt.line_no, stmt.source)
+                    if not 0 <= value <= 0xFFFF:
+                        raise AssemblyError(f".dw value {value:#x} out of range",
+                                            stmt.line_no, stmt.source)
+                    image[stmt.address + i] = value
+                continue
+            if upper == ".DB":
+                data = []
+                for tok in stmt.operands:
+                    value = self._eval(tok, stmt.line_no, stmt.source)
+                    if not 0 <= value <= 0xFF:
+                        raise AssemblyError(f".db value {value:#x} out of range",
+                                            stmt.line_no, stmt.source)
+                    data.append(value)
+                if len(data) % 2:
+                    data.append(0)
+                for i in range(0, len(data), 2):
+                    image[stmt.address + i // 2] = data[i] | (data[i + 1] << 8)
+                continue
+            try:
+                spec, values = self._resolve(stmt.mnemonic, stmt.operands,
+                                             stmt.address, stmt.line_no,
+                                             stmt.source)
+                words = spec.encode(values)
+            except AssemblyError:
+                raise
+            except (KeyError, ValueError) as exc:
+                raise AssemblyError(str(exc), stmt.line_no, stmt.source)
+            if len(words) != stmt.words:
+                raise AssemblyError(
+                    f"phase error: sized {stmt.words} words, encoded "
+                    f"{len(words)}", stmt.line_no, stmt.source,
+                )
+            for i, w in enumerate(words):
+                image[stmt.address + i] = w
+            listing.append(
+                f"{stmt.address:04x}: "
+                + " ".join(f"{w:04x}" for w in words).ljust(10)
+                + f"  {stmt.source.strip()}"
+            )
+        return Program(words=image, symbols=dict(self.symbols),
+                       listing=listing)
+
+
+def assemble(source: str) -> Program:
+    """One-shot convenience wrapper around :class:`Assembler`."""
+    return Assembler().assemble(source)

@@ -1,0 +1,186 @@
+"""The JAAVR core: fetch-decode-execute with cycle accounting.
+
+``AvrCore`` models the paper's ATmega128-compatible softcore in its three
+modes (:class:`~repro.avr.timing.Mode`): CA (ATmega128 cycle timing), FAST
+(improved load/store/multiply CPI) and ISE (FAST plus the (32 x 4)-bit MAC
+unit of :mod:`repro.avr.mac`).
+
+Decoded instructions are cached per flash address, so repeated kernel
+executions pay the Python decode cost only once.  A program halts by
+executing ``BREAK`` (the convention all kernels in :mod:`repro.kernels`
+follow) or when :meth:`run` hits its step budget (an error).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .instructions import EXECUTORS
+from .isa import BY_NAME, InstructionSpec, decode_word
+from .mac import MACCR_IO_ADDR, MacHazardError, MacUnit, conflicts_with_mac
+from .memory import IO_SREG, DataSpace, ProgramMemory
+from .sreg import StatusRegister
+from .timing import Mode, dynamic_cycles
+
+_LOAD_NAMES = {
+    "LDS", "LD_X", "LD_XP", "LD_MX", "LD_YP", "LD_MY", "LD_ZP", "LD_MZ",
+    "LDD_Y", "LDD_Z", "POP",
+}
+
+
+class ExecutionError(RuntimeError):
+    """Raised for illegal opcodes or exceeded step budgets."""
+
+
+class AvrCore:
+    """An ATmega128-compatible core with selectable timing mode."""
+
+    def __init__(self, program: Optional[ProgramMemory] = None,
+                 mode: Mode = Mode.CA, sram_size: int = 4096,
+                 hazard_policy: str = "error"):
+        if hazard_policy not in ("error", "stall", "ignore"):
+            raise ValueError(f"unknown hazard policy {hazard_policy!r}")
+        self.program = program or ProgramMemory()
+        self.mode = mode
+        self.hazard_policy = hazard_policy
+        self.data = DataSpace(sram_size=sram_size)
+        self.sreg = StatusRegister()
+        self.pc = 0
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.halted = False
+        self.mac = MacUnit()
+        # Dynamic-timing scratch fields set by the executors.
+        self.last_branch_taken = False
+        self.last_skip_words = 0
+        # Map SREG into the I/O space.
+        self.data.io_read_hooks[IO_SREG] = lambda: self.sreg.value
+        self.data.io_write_hooks[IO_SREG] = self._sreg_write
+        if mode is Mode.ISE:
+            self.data.io_read_hooks[MACCR_IO_ADDR] = self.mac.control_read
+            self.data.io_write_hooks[MACCR_IO_ADDR] = self.mac.control_write
+        # Stack pointer: top of SRAM.
+        self.data.sp = self.data.size - 1
+        # Decode cache: word address -> (spec, ops, words).
+        self._decode_cache: Dict[int, Tuple[InstructionSpec, dict, int]] = {}
+        #: Optional profiler (attach with :meth:`attach_profiler`).
+        self.profiler = None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _sreg_write(self, value: int) -> None:
+        self.sreg.value = value & 0xFF
+
+    def attach_profiler(self, profiler) -> None:
+        self.profiler = profiler
+
+    def reset(self, pc: int = 0) -> None:
+        """Reset PC, cycle counter and MAC state (data space is preserved)."""
+        self.pc = pc
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.halted = False
+        self.mac.counter = 0
+        self.mac.pending.clear()
+        self.mac.mac_ops = 0
+
+    # -- MAC notifications (called from instruction semantics) -------------------
+
+    def notify_swap(self, reg: int, new_value: int) -> None:
+        if self.mode is Mode.ISE:
+            self.mac.on_swap(self.data, reg, new_value)
+
+    def notify_load(self, reg: int) -> None:
+        if self.mode is Mode.ISE:
+            self.mac.on_load(self.data, reg)
+
+    # -- execution --------------------------------------------------------------
+
+    def decode_at(self, word_address: int) -> Tuple[InstructionSpec, dict, int]:
+        cached = self._decode_cache.get(word_address)
+        if cached is not None:
+            return cached
+        word = self.program.fetch(word_address)
+        spec = decode_word(word)
+        if spec is None:
+            raise ExecutionError(
+                f"illegal opcode {word:#06x} at {word_address:#06x}"
+            )
+        second = (self.program.fetch(word_address + 1)
+                  if spec.words == 2 else None)
+        ops = spec.decode_operands(word, second)
+        entry = (spec, ops, spec.words)
+        self._decode_cache[word_address] = entry
+        return entry
+
+    def step(self) -> int:
+        """Execute one instruction; returns the cycles it consumed."""
+        if self.halted:
+            raise ExecutionError("core is halted")
+        spec, ops, words = self.decode_at(self.pc)
+
+        # MAC hazard handling: nibble MACs scheduled by a previous load are
+        # still in flight during this instruction's cycles.
+        pre_pending = len(self.mac.pending)
+        stall_cycles = 0
+        if pre_pending and conflicts_with_mac(spec.name, ops):
+            is_trigger_load = spec.name in _LOAD_NAMES and ops.get("d") == 24
+            if is_trigger_load and pre_pending > 1:
+                # A new trigger load needs both following cycles for its own
+                # MACs; more than one leftover nibble oversubscribes the unit
+                # (Algorithm 2 issues a trigger at most every other cycle).
+                if self.hazard_policy == "error":
+                    raise MacHazardError(
+                        f"MAC issue-rate exceeded at pc={self.pc:#06x}: "
+                        f"{pre_pending} nibble MACs still pending"
+                    )
+                if self.hazard_policy == "stall":
+                    while len(self.mac.pending) > 1:
+                        self.mac.drain_one(self.data)
+                        stall_cycles += 1
+                    pre_pending = 1
+            if not is_trigger_load:
+                if self.hazard_policy == "error":
+                    raise MacHazardError(
+                        f"{spec.name} touches MAC-owned registers at "
+                        f"pc={self.pc:#06x} while {pre_pending} MAC(s) pending"
+                    )
+                if self.hazard_policy == "stall":
+                    while self.mac.pending:
+                        self.mac.drain_one(self.data)
+                        stall_cycles += 1
+                    pre_pending = 0
+
+        self.last_branch_taken = False
+        self.last_skip_words = 0
+        next_pc = EXECUTORS[spec.semantics](self, ops)
+        cycles = dynamic_cycles(spec, self.mode, self.last_branch_taken,
+                                self.last_skip_words) + stall_cycles
+
+        # Drain previously scheduled MACs — one per elapsed cycle.
+        for _ in range(min(cycles, pre_pending)):
+            self.mac.drain_one(self.data)
+
+        self.pc = next_pc if next_pc is not None else self.pc + words
+        self.cycles += cycles
+        self.instructions_retired += 1
+        if self.profiler is not None:
+            self.profiler.record(spec, cycles)
+        return cycles
+
+    def run(self, max_steps: int = 50_000_000) -> int:
+        """Run until ``BREAK``; returns total cycles since the last reset."""
+        steps = 0
+        while not self.halted:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise ExecutionError(
+                    f"step budget of {max_steps} exceeded at pc={self.pc:#06x}"
+                )
+        return self.cycles
+
+    def call(self, word_address: int, max_steps: int = 50_000_000) -> int:
+        """Run the subroutine at *word_address* until it halts (BREAK)."""
+        self.reset(pc=word_address)
+        return self.run(max_steps)

@@ -1,0 +1,93 @@
+"""AVR disassembler (for listings, debugging, and round-trip tests)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .encoding import sign_extend
+from .isa import InstructionSpec, decode_word
+
+_BRANCH_NAMES = {
+    ("BRBS", 0): "BRCS", ("BRBC", 0): "BRCC",
+    ("BRBS", 1): "BREQ", ("BRBC", 1): "BRNE",
+    ("BRBS", 2): "BRMI", ("BRBC", 2): "BRPL",
+    ("BRBS", 3): "BRVS", ("BRBC", 3): "BRVC",
+    ("BRBS", 4): "BRLT", ("BRBC", 4): "BRGE",
+    ("BRBS", 5): "BRHS", ("BRBC", 5): "BRHC",
+    ("BRBS", 6): "BRTS", ("BRBC", 6): "BRTC",
+    ("BRBS", 7): "BRIE", ("BRBC", 7): "BRID",
+}
+
+_MEM_SUFFIX = {
+    "LD_X": "X", "LD_XP": "X+", "LD_MX": "-X",
+    "LD_YP": "Y+", "LD_MY": "-Y", "LD_ZP": "Z+", "LD_MZ": "-Z",
+    "ST_X": "X", "ST_XP": "X+", "ST_MX": "-X",
+    "ST_YP": "Y+", "ST_MY": "-Y", "ST_ZP": "Z+", "ST_MZ": "-Z",
+}
+
+
+def disassemble_one(word: int, second: Optional[int] = None,
+                    address: int = 0) -> Tuple[str, int]:
+    """Disassemble one instruction; returns (text, words consumed)."""
+    spec = decode_word(word)
+    if spec is None:
+        return f".dw {word:#06x}", 1
+    ops = spec.decode_operands(word, second if spec.words == 2 else None)
+    text = _format(spec, ops, address)
+    return text, spec.words
+
+
+def _format(spec: InstructionSpec, ops: dict, address: int) -> str:
+    name = spec.name
+    if name in ("BRBS", "BRBC"):
+        alias = _BRANCH_NAMES[(name, ops["s"])]
+        target = address + 1 + sign_extend(ops["k"], 7)
+        return f"{alias} {target:#06x}"
+    if name in ("RJMP", "RCALL"):
+        target = address + 1 + sign_extend(ops["k"], 12)
+        return f"{spec.mnemonic} {target:#06x}"
+    if name in ("JMP", "CALL"):
+        return f"{spec.mnemonic} {ops['k']:#06x}"
+    if name in _MEM_SUFFIX:
+        suffix = _MEM_SUFFIX[name]
+        if name.startswith("LD"):
+            return f"LD r{ops['d']}, {suffix}"
+        return f"ST {suffix}, r{ops['d']}"
+    if name in ("LDD_Y", "LDD_Z"):
+        base = "Y" if name.endswith("Y") else "Z"
+        return f"LDD r{ops['d']}, {base}+{ops['q']}"
+    if name in ("STD_Y", "STD_Z"):
+        base = "Y" if name.endswith("Y") else "Z"
+        return f"STD {base}+{ops['q']}, r{ops['d']}"
+    if name == "LPM_R0":
+        return "LPM"
+    if name == "LPM_Z":
+        return f"LPM r{ops['d']}, Z"
+    if name == "LPM_ZP":
+        return f"LPM r{ops['d']}, Z+"
+    if name == "LDS":
+        return f"LDS r{ops['d']}, {ops['k']:#06x}"
+    if name == "STS":
+        return f"STS {ops['k']:#06x}, r{ops['d']}"
+    if not spec.operands:
+        return spec.mnemonic
+    parts = []
+    for op in spec.operands:
+        value = ops[op.name]
+        if op.kind in ("reg5", "reg4", "reg3", "regpair", "regw"):
+            parts.append(f"r{value}")
+        else:
+            parts.append(str(value))
+    return f"{spec.mnemonic} " + ", ".join(parts)
+
+
+def disassemble(words: List[int], origin: int = 0) -> List[str]:
+    """Disassemble a word array into annotated lines."""
+    out = []
+    i = 0
+    while i < len(words):
+        second = words[i + 1] if i + 1 < len(words) else None
+        text, consumed = disassemble_one(words[i], second, origin + i)
+        out.append(f"{origin + i:04x}:  {text}")
+        i += consumed
+    return out

@@ -1,0 +1,110 @@
+"""Generic bit-pattern instruction encoding and decoding.
+
+Instruction encodings are written as 16-character pattern strings (MSB
+first), e.g. ``ADD`` is ``"000011rdddddrrrr"``: '0'/'1' are fixed bits and
+each letter names an operand field.  Split fields (like the r/d operands of
+the register-register ALU group) fall out naturally: a letter's occurrences
+from left to right are the field's bits from most- to least-significant.
+
+The same table drives both the assembler (encode) and the simulator/
+disassembler (decode), so an encode→decode round trip is identity by
+construction — a property the test suite checks exhaustively per opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class BitPattern:
+    """A compiled 16-bit pattern: fixed mask/value plus per-letter bit maps."""
+
+    pattern: str
+    fixed_mask: int
+    fixed_value: int
+    #: letter -> list of word bit positions, MSB of the field first.
+    fields: Dict[str, Tuple[int, ...]]
+
+    @classmethod
+    def compile(cls, pattern: str) -> "BitPattern":
+        bits = pattern.replace(" ", "").replace("_", "")
+        if len(bits) != 16:
+            raise ValueError(f"pattern must have 16 bits, got {len(bits)}: {pattern!r}")
+        fixed_mask = 0
+        fixed_value = 0
+        fields: Dict[str, List[int]] = {}
+        for i, ch in enumerate(bits):
+            pos = 15 - i  # leftmost char is bit 15
+            if ch == "0":
+                fixed_mask |= 1 << pos
+            elif ch == "1":
+                fixed_mask |= 1 << pos
+                fixed_value |= 1 << pos
+            elif ch.isalpha():
+                fields.setdefault(ch, []).append(pos)
+            else:
+                raise ValueError(f"bad pattern character {ch!r} in {pattern!r}")
+        return cls(
+            pattern=bits,
+            fixed_mask=fixed_mask,
+            fixed_value=fixed_value,
+            fields={k: tuple(v) for k, v in fields.items()},
+        )
+
+    def field_width(self, letter: str) -> int:
+        return len(self.fields[letter])
+
+    def encode(self, field_values: Dict[str, int]) -> int:
+        """Build the instruction word from per-letter field values."""
+        word = self.fixed_value
+        for letter, positions in self.fields.items():
+            try:
+                value = field_values[letter]
+            except KeyError:
+                raise KeyError(
+                    f"missing field {letter!r} for pattern {self.pattern}"
+                ) from None
+            width = len(positions)
+            if not 0 <= value < (1 << width):
+                raise ValueError(
+                    f"field {letter!r} value {value} does not fit in "
+                    f"{width} bits (pattern {self.pattern})"
+                )
+            for i, pos in enumerate(positions):
+                bit = (value >> (width - 1 - i)) & 1
+                word |= bit << pos
+        return word
+
+    def matches(self, word: int) -> bool:
+        return (word & self.fixed_mask) == self.fixed_value
+
+    def decode(self, word: int) -> Dict[str, int]:
+        """Extract per-letter field values (assumes :meth:`matches`)."""
+        out: Dict[str, int] = {}
+        for letter, positions in self.fields.items():
+            value = 0
+            for pos in positions:
+                value = (value << 1) | ((word >> pos) & 1)
+            out[letter] = value
+        return out
+
+    @property
+    def specificity(self) -> int:
+        """Number of fixed bits; decoders try more-specific patterns first."""
+        return bin(self.fixed_mask).count("1")
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret *value* as a signed two's-complement number of *bits* bits."""
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def to_twos_complement(value: int, bits: int) -> int:
+    """Encode a signed value into *bits* bits (raises if out of range)."""
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} out of signed {bits}-bit range")
+    return value & ((1 << bits) - 1)

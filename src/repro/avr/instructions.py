@@ -1,0 +1,762 @@
+"""Instruction semantics.
+
+Every executor is a function ``sem_<key>(core, ops) -> Optional[int]``.
+It mutates the core's architectural state and returns the next program
+counter (``None`` means fall through to the following instruction).  Dynamic
+timing facts (branch taken, words skipped) are recorded on the core for the
+timing model.
+
+The functions implement the AVR instruction-set manual's register/flag
+semantics byte-exactly; the test suite cross-checks them against
+hand-computed vectors and against algebraic properties (e.g. multi-byte
+ADD/ADC chains equal big-int addition).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from . import sreg as F
+from .isa import instruction_words
+from .memory import REG_X, REG_Y, REG_Z
+
+Executor = Callable[["AvrCore", Dict[str, int]], Optional[int]]
+
+EXECUTORS: Dict[str, Executor] = {}
+
+
+def _executor(key: str) -> Callable[[Executor], Executor]:
+    def register(fn: Executor) -> Executor:
+        EXECUTORS[key] = fn
+        return fn
+    return register
+
+
+# ---------------------------------------------------------------------------
+# ALU: addition / subtraction
+# ---------------------------------------------------------------------------
+
+
+@_executor("add")
+def sem_add(core, ops):
+    rd, rr = core.data.reg(ops["d"]), core.data.reg(ops["r"])
+    result = (rd + rr) & 0xFF
+    F.flags_add(core.sreg, rd, rr, result)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("adc")
+def sem_adc(core, ops):
+    rd, rr = core.data.reg(ops["d"]), core.data.reg(ops["r"])
+    carry = core.sreg[F.C]
+    result = (rd + rr + carry) & 0xFF
+    F.flags_add(core.sreg, rd, rr, result, carry)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("sub")
+def sem_sub(core, ops):
+    rd, rr = core.data.reg(ops["d"]), core.data.reg(ops["r"])
+    result = (rd - rr) & 0xFF
+    F.flags_sub(core.sreg, rd, rr, result)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("sbc")
+def sem_sbc(core, ops):
+    rd, rr = core.data.reg(ops["d"]), core.data.reg(ops["r"])
+    carry = core.sreg[F.C]
+    result = (rd - rr - carry) & 0xFF
+    F.flags_sub(core.sreg, rd, rr, result, carry, keep_z=True)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("subi")
+def sem_subi(core, ops):
+    rd = core.data.reg(ops["d"])
+    result = (rd - ops["K"]) & 0xFF
+    F.flags_sub(core.sreg, rd, ops["K"], result)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("sbci")
+def sem_sbci(core, ops):
+    rd = core.data.reg(ops["d"])
+    carry = core.sreg[F.C]
+    result = (rd - ops["K"] - carry) & 0xFF
+    F.flags_sub(core.sreg, rd, ops["K"], result, carry, keep_z=True)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("adiw")
+def sem_adiw(core, ops):
+    pair = core.data.reg_pair(ops["d"])
+    result = (pair + ops["K"]) & 0xFFFF
+    s = core.sreg
+    s[F.C] = 1 if pair + ops["K"] > 0xFFFF else 0
+    s[F.Z] = 1 if result == 0 else 0
+    s[F.N] = result >> 15 & 1
+    s[F.V] = 1 if (~pair & result & 0x8000) else 0
+    s.set_sign()
+    core.data.set_reg_pair(ops["d"], result)
+    return None
+
+
+@_executor("sbiw")
+def sem_sbiw(core, ops):
+    pair = core.data.reg_pair(ops["d"])
+    result = (pair - ops["K"]) & 0xFFFF
+    s = core.sreg
+    s[F.C] = 1 if ops["K"] > pair else 0
+    s[F.Z] = 1 if result == 0 else 0
+    s[F.N] = result >> 15 & 1
+    s[F.V] = 1 if (pair & ~result & 0x8000) else 0
+    s.set_sign()
+    core.data.set_reg_pair(ops["d"], result)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# ALU: logic
+# ---------------------------------------------------------------------------
+
+
+def _logic(core, d: int, result: int) -> None:
+    F.flags_logic(core.sreg, result)
+    core.data.set_reg(d, result & 0xFF)
+
+
+@_executor("and")
+def sem_and(core, ops):
+    _logic(core, ops["d"], core.data.reg(ops["d"]) & core.data.reg(ops["r"]))
+    return None
+
+
+@_executor("andi")
+def sem_andi(core, ops):
+    _logic(core, ops["d"], core.data.reg(ops["d"]) & ops["K"])
+    return None
+
+
+@_executor("or")
+def sem_or(core, ops):
+    _logic(core, ops["d"], core.data.reg(ops["d"]) | core.data.reg(ops["r"]))
+    return None
+
+
+@_executor("ori")
+def sem_ori(core, ops):
+    _logic(core, ops["d"], core.data.reg(ops["d"]) | ops["K"])
+    return None
+
+
+@_executor("eor")
+def sem_eor(core, ops):
+    _logic(core, ops["d"], core.data.reg(ops["d"]) ^ core.data.reg(ops["r"]))
+    return None
+
+
+@_executor("com")
+def sem_com(core, ops):
+    result = (~core.data.reg(ops["d"])) & 0xFF
+    F.flags_logic(core.sreg, result)
+    core.sreg[F.C] = 1  # COM always sets carry
+    core.sreg.set_sign()
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("neg")
+def sem_neg(core, ops):
+    rd = core.data.reg(ops["d"])
+    result = (-rd) & 0xFF
+    s = core.sreg
+    s[F.H] = ((result >> 3) | (rd >> 3)) & 1  # H = R3 | Rd3 per the manual
+    s[F.C] = 0 if result == 0 else 1
+    s[F.Z] = 1 if result == 0 else 0
+    s[F.N] = result >> 7 & 1
+    s[F.V] = 1 if result == 0x80 else 0
+    s.set_sign()
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("inc")
+def sem_inc(core, ops):
+    result = (core.data.reg(ops["d"]) + 1) & 0xFF
+    s = core.sreg
+    s[F.Z] = 1 if result == 0 else 0
+    s[F.N] = result >> 7 & 1
+    s[F.V] = 1 if result == 0x80 else 0
+    s.set_sign()
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("dec")
+def sem_dec(core, ops):
+    result = (core.data.reg(ops["d"]) - 1) & 0xFF
+    s = core.sreg
+    s[F.Z] = 1 if result == 0 else 0
+    s[F.N] = result >> 7 & 1
+    s[F.V] = 1 if result == 0x7F else 0
+    s.set_sign()
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# ALU: shifts, swap, bit transfer
+# ---------------------------------------------------------------------------
+
+
+@_executor("lsr")
+def sem_lsr(core, ops):
+    rd = core.data.reg(ops["d"])
+    result = rd >> 1
+    F.flags_shift_right(core.sreg, result, rd & 1)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("ror")
+def sem_ror(core, ops):
+    rd = core.data.reg(ops["d"])
+    result = (rd >> 1) | (core.sreg[F.C] << 7)
+    F.flags_shift_right(core.sreg, result, rd & 1)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("asr")
+def sem_asr(core, ops):
+    rd = core.data.reg(ops["d"])
+    result = (rd >> 1) | (rd & 0x80)
+    F.flags_shift_right(core.sreg, result, rd & 1)
+    core.data.set_reg(ops["d"], result)
+    return None
+
+
+@_executor("swap")
+def sem_swap(core, ops):
+    rd = core.data.reg(ops["d"])
+    result = ((rd << 4) | (rd >> 4)) & 0xFF
+    core.data.set_reg(ops["d"], result)
+    # No flags.  In ISE mode the MAC unit snoops this instruction (the
+    # paper's Algorithm 1): the nibble fed to the multiplier is the register's
+    # low nibble *before* the exchange, so a SWAP pair processes low-then-high.
+    core.notify_swap(ops["d"], rd)
+    return None
+
+
+@_executor("bld")
+def sem_bld(core, ops):
+    rd = core.data.reg(ops["d"])
+    if core.sreg[F.T]:
+        rd |= 1 << ops["b"]
+    else:
+        rd &= ~(1 << ops["b"]) & 0xFF
+    core.data.set_reg(ops["d"], rd)
+    return None
+
+
+@_executor("bst")
+def sem_bst(core, ops):
+    core.sreg[F.T] = (core.data.reg(ops["d"]) >> ops["b"]) & 1
+    return None
+
+
+@_executor("bset")
+def sem_bset(core, ops):
+    core.sreg[ops["s"]] = 1
+    return None
+
+
+@_executor("bclr")
+def sem_bclr(core, ops):
+    core.sreg[ops["s"]] = 0
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Compares and skips
+# ---------------------------------------------------------------------------
+
+
+@_executor("cp")
+def sem_cp(core, ops):
+    rd, rr = core.data.reg(ops["d"]), core.data.reg(ops["r"])
+    F.flags_sub(core.sreg, rd, rr, (rd - rr) & 0xFF)
+    return None
+
+
+@_executor("cpc")
+def sem_cpc(core, ops):
+    rd, rr = core.data.reg(ops["d"]), core.data.reg(ops["r"])
+    carry = core.sreg[F.C]
+    F.flags_sub(core.sreg, rd, rr, (rd - rr - carry) & 0xFF, carry,
+                keep_z=True)
+    return None
+
+
+@_executor("cpi")
+def sem_cpi(core, ops):
+    rd = core.data.reg(ops["d"])
+    F.flags_sub(core.sreg, rd, ops["K"], (rd - ops["K"]) & 0xFF)
+    return None
+
+
+def _skip_next(core) -> int:
+    """Return the PC after skipping the next instruction; records timing."""
+    next_pc = core.pc + 1  # skips are all 1-word instructions
+    words = instruction_words(core.program.fetch(next_pc))
+    core.last_skip_words = words
+    return next_pc + words
+
+
+@_executor("cpse")
+def sem_cpse(core, ops):
+    if core.data.reg(ops["d"]) == core.data.reg(ops["r"]):
+        return _skip_next(core)
+    return None
+
+
+@_executor("sbrc")
+def sem_sbrc(core, ops):
+    if not (core.data.reg(ops["d"]) >> ops["b"]) & 1:
+        return _skip_next(core)
+    return None
+
+
+@_executor("sbrs")
+def sem_sbrs(core, ops):
+    if (core.data.reg(ops["d"]) >> ops["b"]) & 1:
+        return _skip_next(core)
+    return None
+
+
+@_executor("sbic")
+def sem_sbic(core, ops):
+    if not (core.data.io_read(ops["A"]) >> ops["b"]) & 1:
+        return _skip_next(core)
+    return None
+
+
+@_executor("sbis")
+def sem_sbis(core, ops):
+    if (core.data.io_read(ops["A"]) >> ops["b"]) & 1:
+        return _skip_next(core)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Multiplier group
+# ---------------------------------------------------------------------------
+
+
+def _mul_common(core, product: int) -> None:
+    core.data.set_reg(0, product & 0xFF)
+    core.data.set_reg(1, (product >> 8) & 0xFF)
+    core.sreg[F.C] = (product >> 15) & 1
+    core.sreg[F.Z] = 1 if (product & 0xFFFF) == 0 else 0
+
+
+def _signed8(v: int) -> int:
+    return v - 256 if v & 0x80 else v
+
+
+@_executor("mul")
+def sem_mul(core, ops):
+    product = core.data.reg(ops["d"]) * core.data.reg(ops["r"])
+    _mul_common(core, product)
+    return None
+
+
+@_executor("muls")
+def sem_muls(core, ops):
+    product = _signed8(core.data.reg(ops["d"])) * _signed8(core.data.reg(ops["r"]))
+    _mul_common(core, product & 0xFFFF)
+    return None
+
+
+@_executor("mulsu")
+def sem_mulsu(core, ops):
+    product = _signed8(core.data.reg(ops["d"])) * core.data.reg(ops["r"])
+    _mul_common(core, product & 0xFFFF)
+    return None
+
+
+@_executor("fmul")
+def sem_fmul(core, ops):
+    product = core.data.reg(ops["d"]) * core.data.reg(ops["r"])
+    core.sreg[F.C] = (product >> 15) & 1
+    product = (product << 1) & 0xFFFF
+    core.data.set_reg(0, product & 0xFF)
+    core.data.set_reg(1, (product >> 8) & 0xFF)
+    core.sreg[F.Z] = 1 if product == 0 else 0
+    return None
+
+
+@_executor("fmuls")
+def sem_fmuls(core, ops):
+    product = _signed8(core.data.reg(ops["d"])) * _signed8(core.data.reg(ops["r"]))
+    core.sreg[F.C] = (product >> 15) & 1
+    product = (product << 1) & 0xFFFF
+    core.data.set_reg(0, product & 0xFF)
+    core.data.set_reg(1, (product >> 8) & 0xFF)
+    core.sreg[F.Z] = 1 if product == 0 else 0
+    return None
+
+
+@_executor("fmulsu")
+def sem_fmulsu(core, ops):
+    product = _signed8(core.data.reg(ops["d"])) * core.data.reg(ops["r"])
+    core.sreg[F.C] = (product >> 15) & 1
+    product = (product << 1) & 0xFFFF
+    core.data.set_reg(0, product & 0xFF)
+    core.data.set_reg(1, (product >> 8) & 0xFF)
+    core.sreg[F.Z] = 1 if product == 0 else 0
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Data transfer
+# ---------------------------------------------------------------------------
+
+
+@_executor("mov")
+def sem_mov(core, ops):
+    core.data.set_reg(ops["d"], core.data.reg(ops["r"]))
+    return None
+
+
+@_executor("movw")
+def sem_movw(core, ops):
+    core.data.set_reg(ops["d"], core.data.reg(ops["r"]))
+    core.data.set_reg(ops["d"] + 1, core.data.reg(ops["r"] + 1))
+    return None
+
+
+@_executor("ldi")
+def sem_ldi(core, ops):
+    core.data.set_reg(ops["d"], ops["K"])
+    return None
+
+
+def _load(core, d: int, address: int) -> None:
+    core.data.set_reg(d, core.data.read(address))
+    core.notify_load(d)
+
+
+@_executor("lds")
+def sem_lds(core, ops):
+    _load(core, ops["d"], ops["k"])
+    return None
+
+
+def _ld_indirect(core, ops, pointer: int, pre_dec: bool = False,
+                 post_inc: bool = False) -> None:
+    addr = core.data.reg_pair(pointer)
+    if pre_dec:
+        addr = (addr - 1) & 0xFFFF
+        core.data.set_reg_pair(pointer, addr)
+    _load(core, ops["d"], addr)
+    if post_inc:
+        core.data.set_reg_pair(pointer, (addr + 1) & 0xFFFF)
+
+
+@_executor("ld_x")
+def sem_ld_x(core, ops):
+    _ld_indirect(core, ops, REG_X)
+    return None
+
+
+@_executor("ld_xp")
+def sem_ld_xp(core, ops):
+    _ld_indirect(core, ops, REG_X, post_inc=True)
+    return None
+
+
+@_executor("ld_mx")
+def sem_ld_mx(core, ops):
+    _ld_indirect(core, ops, REG_X, pre_dec=True)
+    return None
+
+
+@_executor("ld_yp")
+def sem_ld_yp(core, ops):
+    _ld_indirect(core, ops, REG_Y, post_inc=True)
+    return None
+
+
+@_executor("ld_my")
+def sem_ld_my(core, ops):
+    _ld_indirect(core, ops, REG_Y, pre_dec=True)
+    return None
+
+
+@_executor("ld_zp")
+def sem_ld_zp(core, ops):
+    _ld_indirect(core, ops, REG_Z, post_inc=True)
+    return None
+
+
+@_executor("ld_mz")
+def sem_ld_mz(core, ops):
+    _ld_indirect(core, ops, REG_Z, pre_dec=True)
+    return None
+
+
+@_executor("ldd_y")
+def sem_ldd_y(core, ops):
+    _load(core, ops["d"], (core.data.reg_pair(REG_Y) + ops["q"]) & 0xFFFF)
+    return None
+
+
+@_executor("ldd_z")
+def sem_ldd_z(core, ops):
+    _load(core, ops["d"], (core.data.reg_pair(REG_Z) + ops["q"]) & 0xFFFF)
+    return None
+
+
+def _store(core, address: int, d: int) -> None:
+    core.data.write(address, core.data.reg(d))
+
+
+@_executor("sts")
+def sem_sts(core, ops):
+    _store(core, ops["k"], ops["d"])
+    return None
+
+
+def _st_indirect(core, ops, pointer: int, pre_dec: bool = False,
+                 post_inc: bool = False) -> None:
+    addr = core.data.reg_pair(pointer)
+    if pre_dec:
+        addr = (addr - 1) & 0xFFFF
+        core.data.set_reg_pair(pointer, addr)
+    _store(core, addr, ops["d"])
+    if post_inc:
+        core.data.set_reg_pair(pointer, (addr + 1) & 0xFFFF)
+
+
+@_executor("st_x")
+def sem_st_x(core, ops):
+    _st_indirect(core, ops, REG_X)
+    return None
+
+
+@_executor("st_xp")
+def sem_st_xp(core, ops):
+    _st_indirect(core, ops, REG_X, post_inc=True)
+    return None
+
+
+@_executor("st_mx")
+def sem_st_mx(core, ops):
+    _st_indirect(core, ops, REG_X, pre_dec=True)
+    return None
+
+
+@_executor("st_yp")
+def sem_st_yp(core, ops):
+    _st_indirect(core, ops, REG_Y, post_inc=True)
+    return None
+
+
+@_executor("st_my")
+def sem_st_my(core, ops):
+    _st_indirect(core, ops, REG_Y, pre_dec=True)
+    return None
+
+
+@_executor("st_zp")
+def sem_st_zp(core, ops):
+    _st_indirect(core, ops, REG_Z, post_inc=True)
+    return None
+
+
+@_executor("st_mz")
+def sem_st_mz(core, ops):
+    _st_indirect(core, ops, REG_Z, pre_dec=True)
+    return None
+
+
+@_executor("std_y")
+def sem_std_y(core, ops):
+    _store(core, (core.data.reg_pair(REG_Y) + ops["q"]) & 0xFFFF, ops["d"])
+    return None
+
+
+@_executor("std_z")
+def sem_std_z(core, ops):
+    _store(core, (core.data.reg_pair(REG_Z) + ops["q"]) & 0xFFFF, ops["d"])
+    return None
+
+
+@_executor("push")
+def sem_push(core, ops):
+    sp = core.data.sp
+    core.data.write(sp, core.data.reg(ops["d"]))
+    core.data.sp = (sp - 1) & 0xFFFF
+    return None
+
+
+@_executor("pop")
+def sem_pop(core, ops):
+    sp = (core.data.sp + 1) & 0xFFFF
+    core.data.sp = sp
+    core.data.set_reg(ops["d"], core.data.read(sp))
+    return None
+
+
+@_executor("in")
+def sem_in(core, ops):
+    core.data.set_reg(ops["d"], core.data.io_read(ops["A"]))
+    return None
+
+
+@_executor("out")
+def sem_out(core, ops):
+    core.data.io_write(ops["A"], core.data.reg(ops["d"]))
+    return None
+
+
+@_executor("sbi")
+def sem_sbi(core, ops):
+    core.data.io_write(ops["A"], core.data.io_read(ops["A"]) | (1 << ops["b"]))
+    return None
+
+
+@_executor("cbi")
+def sem_cbi(core, ops):
+    core.data.io_write(ops["A"],
+                       core.data.io_read(ops["A"]) & ~(1 << ops["b"]) & 0xFF)
+    return None
+
+
+@_executor("lpm_r0")
+def sem_lpm_r0(core, ops):
+    core.data.set_reg(0, core.program.read_byte(core.data.reg_pair(REG_Z)))
+    return None
+
+
+@_executor("lpm_z")
+def sem_lpm_z(core, ops):
+    core.data.set_reg(ops["d"],
+                      core.program.read_byte(core.data.reg_pair(REG_Z)))
+    return None
+
+
+@_executor("lpm_zp")
+def sem_lpm_zp(core, ops):
+    z = core.data.reg_pair(REG_Z)
+    core.data.set_reg(ops["d"], core.program.read_byte(z))
+    core.data.set_reg_pair(REG_Z, (z + 1) & 0xFFFF)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Flow control
+# ---------------------------------------------------------------------------
+
+
+@_executor("rjmp")
+def sem_rjmp(core, ops):
+    from .encoding import sign_extend
+
+    return core.pc + 1 + sign_extend(ops["k"], 12)
+
+
+@_executor("jmp")
+def sem_jmp(core, ops):
+    return ops["k"]
+
+
+@_executor("ijmp")
+def sem_ijmp(core, ops):
+    return core.data.reg_pair(REG_Z)
+
+
+def _push_return(core, return_pc: int) -> None:
+    """Push a 16-bit return address (big-endian high byte deeper)."""
+    sp = core.data.sp
+    core.data.write(sp, return_pc & 0xFF)
+    core.data.write((sp - 1) & 0xFFFF, (return_pc >> 8) & 0xFF)
+    core.data.sp = (sp - 2) & 0xFFFF
+
+
+def _pop_return(core) -> int:
+    sp = core.data.sp
+    high = core.data.read((sp + 1) & 0xFFFF)
+    low = core.data.read((sp + 2) & 0xFFFF)
+    core.data.sp = (sp + 2) & 0xFFFF
+    return (high << 8) | low
+
+
+@_executor("rcall")
+def sem_rcall(core, ops):
+    from .encoding import sign_extend
+
+    _push_return(core, core.pc + 1)
+    return core.pc + 1 + sign_extend(ops["k"], 12)
+
+
+@_executor("call")
+def sem_call(core, ops):
+    _push_return(core, core.pc + 2)
+    return ops["k"]
+
+
+@_executor("icall")
+def sem_icall(core, ops):
+    _push_return(core, core.pc + 1)
+    return core.data.reg_pair(REG_Z)
+
+
+@_executor("ret")
+def sem_ret(core, ops):
+    return _pop_return(core)
+
+
+@_executor("reti")
+def sem_reti(core, ops):
+    core.sreg[F.I] = 1
+    return _pop_return(core)
+
+
+@_executor("brbs")
+def sem_brbs(core, ops):
+    from .encoding import sign_extend
+
+    if core.sreg[ops["s"]]:
+        core.last_branch_taken = True
+        return core.pc + 1 + sign_extend(ops["k"], 7)
+    return None
+
+
+@_executor("brbc")
+def sem_brbc(core, ops):
+    from .encoding import sign_extend
+
+    if not core.sreg[ops["s"]]:
+        core.last_branch_taken = True
+        return core.pc + 1 + sign_extend(ops["k"], 7)
+    return None
+
+
+@_executor("nop")
+def sem_nop(core, ops):
+    return None
+
+
+@_executor("break")
+def sem_break(core, ops):
+    core.halted = True
+    return core.pc  # stay put; the run loop stops on `halted`

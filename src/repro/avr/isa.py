@@ -1,0 +1,322 @@
+"""The AVR instruction-set table: encodings, operands, and metadata.
+
+Each :class:`InstructionSpec` couples a canonical name, the display
+mnemonic + operand syntax, the 16-bit encoding pattern, the operand
+descriptors (with their register/immediate transforms), the word count, and
+the key of its semantics function in :mod:`repro.avr.instructions`.
+
+The table covers the ATmega128 instruction set as exercised by C compilers
+and the paper's assembly kernels: the full ALU group, the multiplier group,
+all load/store addressing modes, flow control, bit manipulation and MCU
+control.  (Omitted: EEPROM/SPM store-to-flash and interrupt hardware, which
+none of the paper's code paths touch.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .encoding import BitPattern
+
+# Operand kinds and their (logical value -> field value) transforms.
+REG5 = "reg5"        # R0..R31
+REG4 = "reg4"        # R16..R31
+REG3 = "reg3"        # R16..R23
+REGPAIR = "regpair"  # even register, encoded /2 (MOVW)
+REGW = "regw"        # R24/R26/R28/R30, encoded (r-24)/2 (ADIW/SBIW)
+UIMM = "uimm"        # unsigned immediate, stored as-is
+IOADDR = "io"        # I/O address 0..63 (or 0..31 for SBI group)
+BITNUM = "bit"       # bit index 0..7
+FLAGNUM = "flag"     # SREG flag index 0..7
+DISP = "disp"        # LDD/STD displacement 0..63
+REL = "rel"          # signed word displacement (branch/rjmp)
+ABS = "abs"          # 16-bit absolute (second word: LDS/STS/JMP/CALL)
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    name: str     # semantic name used by the executor ('d', 'r', 'K', ...)
+    letter: str   # pattern letter; '' when carried by the second word
+    kind: str
+
+    def to_field(self, value: int) -> int:
+        if self.kind == REG5:
+            if not 0 <= value <= 31:
+                raise ValueError(f"register R{value} out of range 0..31")
+            return value
+        if self.kind == REG4:
+            if not 16 <= value <= 31:
+                raise ValueError(f"register R{value} not in R16..R31")
+            return value - 16
+        if self.kind == REG3:
+            if not 16 <= value <= 23:
+                raise ValueError(f"register R{value} not in R16..R23")
+            return value - 16
+        if self.kind == REGPAIR:
+            if value % 2 or not 0 <= value <= 30:
+                raise ValueError(f"R{value} is not a valid even register pair")
+            return value // 2
+        if self.kind == REGW:
+            if value not in (24, 26, 28, 30):
+                raise ValueError(f"R{value} is not valid for ADIW/SBIW")
+            return (value - 24) // 2
+        return value  # UIMM/IOADDR/BITNUM/FLAGNUM/DISP/REL(pre-encoded)/ABS
+
+    def from_field(self, field: int) -> int:
+        if self.kind == REG4:
+            return field + 16
+        if self.kind == REG3:
+            return field + 16
+        if self.kind == REGPAIR:
+            return field * 2
+        if self.kind == REGW:
+            return field * 2 + 24
+        return field
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    name: str                      # canonical unique name, e.g. 'LD_XP'
+    mnemonic: str                  # display mnemonic, e.g. 'LD'
+    syntax: str                    # operand template, e.g. 'Rd, X+'
+    pattern_str: str
+    operands: Tuple[OperandSpec, ...]
+    semantics: str                 # key into the executor table
+    words: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "pattern", BitPattern.compile(self.pattern_str))
+
+    def encode(self, values: Dict[str, int]) -> List[int]:
+        """Encode logical operand values into 1 or 2 instruction words."""
+        fields: Dict[str, int] = {}
+        second: Optional[int] = None
+        for op in self.operands:
+            value = values[op.name]
+            if op.kind == ABS and op.letter == "":
+                if not 0 <= value <= 0xFFFF:
+                    raise ValueError(f"absolute operand {value:#x} exceeds 16 bits")
+                second = value
+                continue
+            fields[op.letter] = op.to_field(value)
+        # Letters in the pattern but not bound (e.g. high bits of a 22-bit
+        # address we keep at zero) default to 0.
+        for letter in self.pattern.fields:
+            fields.setdefault(letter, 0)
+        words = [self.pattern.encode(fields)]
+        if self.words == 2:
+            words.append(second if second is not None else 0)
+        return words
+
+    def decode_operands(self, word: int, second: Optional[int] = None,
+                        ) -> Dict[str, int]:
+        fields = self.pattern.decode(word)
+        out: Dict[str, int] = {}
+        for op in self.operands:
+            if op.kind == ABS and op.letter == "":
+                if second is None:
+                    raise ValueError(f"{self.name} needs its second word")
+                out[op.name] = second
+            else:
+                out[op.name] = op.from_field(fields[op.letter])
+        return out
+
+
+def _op(name: str, letter: str, kind: str) -> OperandSpec:
+    return OperandSpec(name, letter, kind)
+
+
+def _spec(name, mnemonic, syntax, pattern, operands, semantics, words=1):
+    return InstructionSpec(name, mnemonic, syntax, pattern,
+                           tuple(operands), semantics, words)
+
+
+def _build_table() -> List[InstructionSpec]:
+    t: List[InstructionSpec] = []
+
+    # -- two-register ALU group ------------------------------------------
+    for name, pat, sem in [
+        ("ADD", "000011rdddddrrrr", "add"),
+        ("ADC", "000111rdddddrrrr", "adc"),
+        ("SUB", "000110rdddddrrrr", "sub"),
+        ("SBC", "000010rdddddrrrr", "sbc"),
+        ("AND", "001000rdddddrrrr", "and"),
+        ("EOR", "001001rdddddrrrr", "eor"),
+        ("OR", "001010rdddddrrrr", "or"),
+        ("MOV", "001011rdddddrrrr", "mov"),
+        ("CP", "000101rdddddrrrr", "cp"),
+        ("CPC", "000001rdddddrrrr", "cpc"),
+        ("CPSE", "000100rdddddrrrr", "cpse"),
+        ("MUL", "100111rdddddrrrr", "mul"),
+    ]:
+        t.append(_spec(name, name, "Rd, Rr", pat,
+                       [_op("d", "d", REG5), _op("r", "r", REG5)], sem))
+
+    t.append(_spec("MULS", "MULS", "Rd, Rr", "00000010ddddrrrr",
+                   [_op("d", "d", REG4), _op("r", "r", REG4)], "muls"))
+    for name, pat, sem in [
+        ("MULSU", "000000110ddd0rrr", "mulsu"),
+        ("FMUL", "000000110ddd1rrr", "fmul"),
+        ("FMULS", "000000111ddd0rrr", "fmuls"),
+        ("FMULSU", "000000111ddd1rrr", "fmulsu"),
+    ]:
+        t.append(_spec(name, name, "Rd, Rr", pat,
+                       [_op("d", "d", REG3), _op("r", "r", REG3)], sem))
+    t.append(_spec("MOVW", "MOVW", "Rd, Rr", "00000001ddddrrrr",
+                   [_op("d", "d", REGPAIR), _op("r", "r", REGPAIR)], "movw"))
+
+    # -- register-immediate group ------------------------------------------
+    for name, pat, sem in [
+        ("CPI", "0011KKKKddddKKKK", "cpi"),
+        ("SBCI", "0100KKKKddddKKKK", "sbci"),
+        ("SUBI", "0101KKKKddddKKKK", "subi"),
+        ("ORI", "0110KKKKddddKKKK", "ori"),
+        ("ANDI", "0111KKKKddddKKKK", "andi"),
+        ("LDI", "1110KKKKddddKKKK", "ldi"),
+    ]:
+        t.append(_spec(name, name, "Rd, K", pat,
+                       [_op("d", "d", REG4), _op("K", "K", UIMM)], sem))
+    t.append(_spec("ADIW", "ADIW", "Rd, K", "10010110KKddKKKK",
+                   [_op("d", "d", REGW), _op("K", "K", UIMM)], "adiw"))
+    t.append(_spec("SBIW", "SBIW", "Rd, K", "10010111KKddKKKK",
+                   [_op("d", "d", REGW), _op("K", "K", UIMM)], "sbiw"))
+
+    # -- one-register group ----------------------------------------------------
+    for name, suffix, sem in [
+        ("COM", "0000", "com"),
+        ("NEG", "0001", "neg"),
+        ("SWAP", "0010", "swap"),
+        ("INC", "0011", "inc"),
+        ("ASR", "0101", "asr"),
+        ("LSR", "0110", "lsr"),
+        ("ROR", "0111", "ror"),
+        ("DEC", "1010", "dec"),
+    ]:
+        t.append(_spec(name, name, "Rd", "1001010ddddd" + suffix,
+                       [_op("d", "d", REG5)], sem))
+
+    # -- SREG flag group ---------------------------------------------------------
+    t.append(_spec("BSET", "BSET", "s", "100101000sss1000",
+                   [_op("s", "s", FLAGNUM)], "bset"))
+    t.append(_spec("BCLR", "BCLR", "s", "100101001sss1000",
+                   [_op("s", "s", FLAGNUM)], "bclr"))
+
+    # -- flow control --------------------------------------------------------------
+    t.append(_spec("JMP", "JMP", "k", "1001010kkkkk110k",
+                   [_op("k", "", ABS)], "jmp", words=2))
+    t.append(_spec("CALL", "CALL", "k", "1001010kkkkk111k",
+                   [_op("k", "", ABS)], "call", words=2))
+    t.append(_spec("IJMP", "IJMP", "", "1001010000001001", [], "ijmp"))
+    t.append(_spec("ICALL", "ICALL", "", "1001010100001001", [], "icall"))
+    t.append(_spec("RET", "RET", "", "1001010100001000", [], "ret"))
+    t.append(_spec("RETI", "RETI", "", "1001010100011000", [], "reti"))
+    t.append(_spec("RJMP", "RJMP", "k", "1100kkkkkkkkkkkk",
+                   [_op("k", "k", REL)], "rjmp"))
+    t.append(_spec("RCALL", "RCALL", "k", "1101kkkkkkkkkkkk",
+                   [_op("k", "k", REL)], "rcall"))
+    t.append(_spec("BRBS", "BRBS", "s, k", "111100kkkkkkksss",
+                   [_op("s", "s", FLAGNUM), _op("k", "k", REL)], "brbs"))
+    t.append(_spec("BRBC", "BRBC", "s, k", "111101kkkkkkksss",
+                   [_op("s", "s", FLAGNUM), _op("k", "k", REL)], "brbc"))
+
+    # -- MCU control ------------------------------------------------------------------
+    t.append(_spec("NOP", "NOP", "", "0000000000000000", [], "nop"))
+    t.append(_spec("SLEEP", "SLEEP", "", "1001010110001000", [], "nop"))
+    t.append(_spec("BREAK", "BREAK", "", "1001010110011000", [], "break"))
+    t.append(_spec("WDR", "WDR", "", "1001010110101000", [], "nop"))
+
+    # -- loads ----------------------------------------------------------------------
+    t.append(_spec("LDS", "LDS", "Rd, k", "1001000ddddd0000",
+                   [_op("d", "d", REG5), _op("k", "", ABS)], "lds", words=2))
+    for name, pat, sem in [
+        ("LD_X", "1001000ddddd1100", "ld_x"),
+        ("LD_XP", "1001000ddddd1101", "ld_xp"),
+        ("LD_MX", "1001000ddddd1110", "ld_mx"),
+        ("LD_YP", "1001000ddddd1001", "ld_yp"),
+        ("LD_MY", "1001000ddddd1010", "ld_my"),
+        ("LD_ZP", "1001000ddddd0001", "ld_zp"),
+        ("LD_MZ", "1001000ddddd0010", "ld_mz"),
+    ]:
+        t.append(_spec(name, "LD", "Rd, *", pat, [_op("d", "d", REG5)], sem))
+    t.append(_spec("LDD_Y", "LDD", "Rd, Y+q", "10q0qq0ddddd1qqq",
+                   [_op("d", "d", REG5), _op("q", "q", DISP)], "ldd_y"))
+    t.append(_spec("LDD_Z", "LDD", "Rd, Z+q", "10q0qq0ddddd0qqq",
+                   [_op("d", "d", REG5), _op("q", "q", DISP)], "ldd_z"))
+    t.append(_spec("POP", "POP", "Rd", "1001000ddddd1111",
+                   [_op("d", "d", REG5)], "pop"))
+    t.append(_spec("LPM_R0", "LPM", "", "1001010111001000", [], "lpm_r0"))
+    t.append(_spec("LPM_Z", "LPM", "Rd, Z", "1001000ddddd0100",
+                   [_op("d", "d", REG5)], "lpm_z"))
+    t.append(_spec("LPM_ZP", "LPM", "Rd, Z+", "1001000ddddd0101",
+                   [_op("d", "d", REG5)], "lpm_zp"))
+
+    # -- stores -----------------------------------------------------------------------
+    t.append(_spec("STS", "STS", "k, Rd", "1001001ddddd0000",
+                   [_op("k", "", ABS), _op("d", "d", REG5)], "sts", words=2))
+    for name, pat, sem in [
+        ("ST_X", "1001001ddddd1100", "st_x"),
+        ("ST_XP", "1001001ddddd1101", "st_xp"),
+        ("ST_MX", "1001001ddddd1110", "st_mx"),
+        ("ST_YP", "1001001ddddd1001", "st_yp"),
+        ("ST_MY", "1001001ddddd1010", "st_my"),
+        ("ST_ZP", "1001001ddddd0001", "st_zp"),
+        ("ST_MZ", "1001001ddddd0010", "st_mz"),
+    ]:
+        t.append(_spec(name, "ST", "*, Rr", pat, [_op("d", "d", REG5)], sem))
+    t.append(_spec("STD_Y", "STD", "Y+q, Rr", "10q0qq1ddddd1qqq",
+                   [_op("q", "q", DISP), _op("d", "d", REG5)], "std_y"))
+    t.append(_spec("STD_Z", "STD", "Z+q, Rr", "10q0qq1ddddd0qqq",
+                   [_op("q", "q", DISP), _op("d", "d", REG5)], "std_z"))
+    t.append(_spec("PUSH", "PUSH", "Rr", "1001001ddddd1111",
+                   [_op("d", "d", REG5)], "push"))
+
+    # -- I/O and bit manipulation --------------------------------------------------------
+    t.append(_spec("IN", "IN", "Rd, A", "10110AAdddddAAAA",
+                   [_op("d", "d", REG5), _op("A", "A", IOADDR)], "in"))
+    t.append(_spec("OUT", "OUT", "A, Rr", "10111AAdddddAAAA",
+                   [_op("A", "A", IOADDR), _op("d", "d", REG5)], "out"))
+    t.append(_spec("SBI", "SBI", "A, b", "10011010AAAAAbbb",
+                   [_op("A", "A", IOADDR), _op("b", "b", BITNUM)], "sbi"))
+    t.append(_spec("CBI", "CBI", "A, b", "10011000AAAAAbbb",
+                   [_op("A", "A", IOADDR), _op("b", "b", BITNUM)], "cbi"))
+    t.append(_spec("SBIC", "SBIC", "A, b", "10011001AAAAAbbb",
+                   [_op("A", "A", IOADDR), _op("b", "b", BITNUM)], "sbic"))
+    t.append(_spec("SBIS", "SBIS", "A, b", "10011011AAAAAbbb",
+                   [_op("A", "A", IOADDR), _op("b", "b", BITNUM)], "sbis"))
+    t.append(_spec("BLD", "BLD", "Rd, b", "1111100ddddd0bbb",
+                   [_op("d", "d", REG5), _op("b", "b", BITNUM)], "bld"))
+    t.append(_spec("BST", "BST", "Rd, b", "1111101ddddd0bbb",
+                   [_op("d", "d", REG5), _op("b", "b", BITNUM)], "bst"))
+    t.append(_spec("SBRC", "SBRC", "Rr, b", "1111110ddddd0bbb",
+                   [_op("d", "d", REG5), _op("b", "b", BITNUM)], "sbrc"))
+    t.append(_spec("SBRS", "SBRS", "Rr, b", "1111111ddddd0bbb",
+                   [_op("d", "d", REG5), _op("b", "b", BITNUM)], "sbrs"))
+
+    return t
+
+
+#: The full instruction table.
+TABLE: List[InstructionSpec] = _build_table()
+
+#: name -> spec
+BY_NAME: Dict[str, InstructionSpec] = {s.name: s for s in TABLE}
+
+#: Decode order: most fixed bits first so specific encodings win.
+DECODE_ORDER: List[InstructionSpec] = sorted(
+    TABLE, key=lambda s: s.pattern.specificity, reverse=True
+)
+
+
+def decode_word(word: int) -> Optional[InstructionSpec]:
+    """The spec whose pattern matches *word*, or None for an illegal opcode."""
+    for spec in DECODE_ORDER:
+        if spec.pattern.matches(word):
+            return spec
+    return None
+
+
+def instruction_words(word: int) -> int:
+    """Length in words of the instruction starting with *word* (1 or 2)."""
+    spec = decode_word(word)
+    return spec.words if spec is not None else 1

@@ -1,0 +1,165 @@
+"""AVR data space and program memory.
+
+The data space follows the classic AVR map: the 32 general-purpose registers
+at addresses 0x00-0x1F, the 64 I/O registers at 0x20-0x5F (I/O address n maps
+to data address n + 0x20), and internal SRAM from 0x60 upward.  The stack
+pointer lives in I/O registers SPL/SPH (0x3D/0x3E) and SREG in 0x3F, exactly
+as on the ATmega128 (compatibility mode).
+
+Program memory is an array of 16-bit words (flash).  The assembler fills it;
+the core fetches from it; its used size in bytes is what the area model
+reports as "ROM bytes" for Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+REGISTER_BASE = 0x00
+NUM_REGISTERS = 32
+IO_BASE = 0x20
+NUM_IO = 64
+SRAM_BASE = 0x60
+
+# I/O addresses (not data addresses) of the CPU registers.
+IO_SPL = 0x3D
+IO_SPH = 0x3E
+IO_SREG = 0x3F
+
+# Pointer register pairs.
+REG_X = 26
+REG_Y = 28
+REG_Z = 30
+
+
+class DataSpace:
+    """Unified register / I/O / SRAM address space."""
+
+    def __init__(self, sram_size: int = 4096):
+        if sram_size <= 0:
+            raise ValueError("SRAM size must be positive")
+        self.sram_size = sram_size
+        self.size = SRAM_BASE + sram_size
+        self._mem = bytearray(self.size)
+        #: Optional I/O write hooks: io_addr -> callable(value).  The MAC
+        #: unit's control register registers itself here.
+        self.io_write_hooks: Dict[int, Callable[[int], None]] = {}
+        self.io_read_hooks: Dict[int, Callable[[], int]] = {}
+
+    # -- raw byte access -----------------------------------------------------
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise IndexError(f"data-space read out of range: {address:#06x}")
+        if IO_BASE <= address < SRAM_BASE:
+            hook = self.io_read_hooks.get(address - IO_BASE)
+            if hook is not None:
+                return hook() & 0xFF
+        return self._mem[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size:
+            raise IndexError(f"data-space write out of range: {address:#06x}")
+        self._mem[address] = value & 0xFF
+        if IO_BASE <= address < SRAM_BASE:
+            hook = self.io_write_hooks.get(address - IO_BASE)
+            if hook is not None:
+                hook(value & 0xFF)
+
+    # -- general-purpose registers ------------------------------------------
+
+    def reg(self, index: int) -> int:
+        if not 0 <= index < NUM_REGISTERS:
+            raise IndexError(f"register index out of range: {index}")
+        return self._mem[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        if not 0 <= index < NUM_REGISTERS:
+            raise IndexError(f"register index out of range: {index}")
+        self._mem[index] = value & 0xFF
+
+    def reg_pair(self, low_index: int) -> int:
+        """16-bit little-endian register pair (e.g. X = R27:R26)."""
+        return self._mem[low_index] | (self._mem[low_index + 1] << 8)
+
+    def set_reg_pair(self, low_index: int, value: int) -> None:
+        self._mem[low_index] = value & 0xFF
+        self._mem[low_index + 1] = (value >> 8) & 0xFF
+
+    def reg_window(self, start: int, count: int) -> int:
+        """Little-endian integer view of ``count`` consecutive registers."""
+        return int.from_bytes(self._mem[start:start + count], "little")
+
+    def set_reg_window(self, start: int, count: int, value: int) -> None:
+        self._mem[start:start + count] = value.to_bytes(
+            count, "little", signed=False
+        )
+
+    # -- I/O space -------------------------------------------------------------
+
+    def io_read(self, io_addr: int) -> int:
+        if not 0 <= io_addr < NUM_IO:
+            raise IndexError(f"I/O address out of range: {io_addr:#04x}")
+        return self.read(IO_BASE + io_addr)
+
+    def io_write(self, io_addr: int, value: int) -> None:
+        if not 0 <= io_addr < NUM_IO:
+            raise IndexError(f"I/O address out of range: {io_addr:#04x}")
+        self.write(IO_BASE + io_addr, value)
+
+    # -- stack pointer ----------------------------------------------------------
+
+    @property
+    def sp(self) -> int:
+        return self.io_read(IO_SPL) | (self.io_read(IO_SPH) << 8)
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.io_write(IO_SPL, value & 0xFF)
+        self.io_write(IO_SPH, (value >> 8) & 0xFF)
+
+    # -- bulk helpers -----------------------------------------------------------
+
+    def load_bytes(self, address: int, data: bytes) -> None:
+        """Copy raw bytes into the data space (test/kernel setup)."""
+        if address < 0 or address + len(data) > self.size:
+            raise IndexError("bulk load exceeds the data space")
+        self._mem[address:address + len(data)] = data
+
+    def dump_bytes(self, address: int, length: int) -> bytes:
+        if address < 0 or address + length > self.size:
+            raise IndexError("bulk dump exceeds the data space")
+        return bytes(self._mem[address:address + length])
+
+
+class ProgramMemory:
+    """Flash: an array of 16-bit instruction words."""
+
+    def __init__(self, num_words: int = 65536):
+        self.num_words = num_words
+        self.words: List[int] = [0] * num_words
+        self.used_words = 0
+
+    def load(self, words: Sequence[int], origin: int = 0) -> None:
+        if origin < 0 or origin + len(words) > self.num_words:
+            raise IndexError("program does not fit in flash")
+        for i, w in enumerate(words):
+            if not 0 <= w <= 0xFFFF:
+                raise ValueError(f"flash word {i} out of range: {w:#x}")
+            self.words[origin + i] = w
+        self.used_words = max(self.used_words, origin + len(words))
+
+    def fetch(self, word_address: int) -> int:
+        if not 0 <= word_address < self.num_words:
+            raise IndexError(f"flash fetch out of range: {word_address:#06x}")
+        return self.words[word_address]
+
+    def read_byte(self, byte_address: int) -> int:
+        """LPM-style byte access (little-endian within each word)."""
+        word = self.fetch(byte_address >> 1)
+        return (word >> 8) & 0xFF if byte_address & 1 else word & 0xFF
+
+    @property
+    def used_bytes(self) -> int:
+        """Code size in bytes — the Table III 'ROM' figure for a kernel."""
+        return self.used_words * 2

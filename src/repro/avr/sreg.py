@@ -1,0 +1,99 @@
+"""The AVR status register (SREG) and flag-computation helpers.
+
+SREG layout (bit 7 → 0): I T H S V N Z C.  The arithmetic helpers implement
+the exact flag equations from the AVR instruction-set manual; they are shared
+by the instruction semantics in :mod:`repro.avr.instructions` and unit-tested
+against hand-computed cases.
+"""
+
+from __future__ import annotations
+
+C, Z, N, V, S, H, T, I = range(8)
+
+FLAG_NAMES = "CZNVSHTI"
+
+
+class StatusRegister:
+    """An 8-bit status register with named flag accessors."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value & 0xFF
+
+    def __getitem__(self, bit: int) -> int:
+        return (self.value >> bit) & 1
+
+    def __setitem__(self, bit: int, flag: int) -> None:
+        if flag:
+            self.value |= 1 << bit
+        else:
+            self.value &= ~(1 << bit) & 0xFF
+
+    def set_sign(self) -> None:
+        """S = N xor V (recomputed after N/V updates)."""
+        self[S] = self[N] ^ self[V]
+
+    def describe(self) -> str:
+        """e.g. 'ItHSvNzC' — uppercase means the flag is set."""
+        out = []
+        for bit in range(7, -1, -1):
+            name = FLAG_NAMES[bit]
+            out.append(name.upper() if self[bit] else name.lower())
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"StatusRegister({self.describe()})"
+
+
+def flags_add(sreg: StatusRegister, rd: int, rr: int, result: int,
+              carry_in: int = 0) -> None:
+    """Flag update for ADD/ADC (result is the 8-bit truncated sum)."""
+    full = rd + rr + carry_in
+    r = result & 0xFF
+    sreg[H] = ((rd & 0xF) + (rr & 0xF) + carry_in) >> 4 & 1
+    sreg[C] = full >> 8 & 1
+    sreg[Z] = 1 if r == 0 else 0
+    sreg[N] = r >> 7 & 1
+    sreg[V] = 1 if ((rd ^ r) & (rr ^ r) & 0x80) else 0
+    sreg.set_sign()
+
+
+def flags_sub(sreg: StatusRegister, rd: int, rr: int, result: int,
+              carry_in: int = 0, keep_z: bool = False) -> None:
+    """Flag update for SUB/SBC/CP/CPC (result = rd - rr - carry_in, 8-bit).
+
+    With ``keep_z`` (SBC/CPC semantics) the Z flag is only ever *cleared*,
+    never set — this is what makes multi-byte compares work on AVR.
+    """
+    r = result & 0xFF
+    sreg[H] = 1 if ((rr & 0xF) + carry_in > (rd & 0xF)) else 0
+    sreg[C] = 1 if (rr + carry_in > rd) else 0
+    if keep_z:
+        if r != 0:
+            sreg[Z] = 0
+    else:
+        sreg[Z] = 1 if r == 0 else 0
+    sreg[N] = r >> 7 & 1
+    sreg[V] = 1 if ((rd ^ rr) & (rd ^ r) & 0x80) else 0
+    sreg.set_sign()
+
+
+def flags_logic(sreg: StatusRegister, result: int) -> None:
+    """Flag update for AND/OR/EOR/COM-style logic results (V cleared)."""
+    r = result & 0xFF
+    sreg[Z] = 1 if r == 0 else 0
+    sreg[N] = r >> 7 & 1
+    sreg[V] = 0
+    sreg.set_sign()
+
+
+def flags_shift_right(sreg: StatusRegister, result: int,
+                      carry_out: int) -> None:
+    """Flag update for LSR/ROR/ASR: C from the shifted-out bit, V = N^C."""
+    r = result & 0xFF
+    sreg[C] = carry_out & 1
+    sreg[Z] = 1 if r == 0 else 0
+    sreg[N] = r >> 7 & 1
+    sreg[V] = sreg[N] ^ sreg[C]
+    sreg.set_sign()

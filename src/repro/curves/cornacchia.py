@@ -1,0 +1,94 @@
+"""Point counting for j = 0 curves via Cornacchia's algorithm.
+
+For a prime ``p ≡ 1 mod 3`` write ``p = a^2 + 3b^2`` (always possible, and
+computable with Cornacchia's algorithm).  The six twists ``y^2 = x^3 + c``
+then have traces of Frobenius in ``{±2a, ±(a + 3b), ±(a - 3b)}``, i.e. the
+group order of any such curve is ``p + 1 - t`` for one of six known values.
+Which trace belongs to which ``c`` depends on the sextic residue class of
+``c``; instead of evaluating characters we simply test the candidates against
+random points — enough points pin the order down uniquely.
+
+This is what lets the parameter generator produce a *GLV curve of exactly
+known (and prime) order* without a general-purpose SEA implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from math import isqrt
+from typing import List, Optional, Tuple
+
+from ..field.inversion import tonelli_shanks_sqrt
+from .weierstrass import WeierstrassCurve
+
+
+def cornacchia_3(p: int) -> Tuple[int, int]:
+    """Solve ``p = a^2 + 3*b^2`` for a prime ``p ≡ 1 mod 3``.
+
+    Classic Cornacchia descent: start from a root of ``x^2 ≡ -3 (mod p)``
+    and run the Euclidean algorithm until the remainder drops below
+    ``sqrt(p)``; that remainder is ``a``.
+    """
+    if p % 3 != 1:
+        raise ValueError("p = a^2 + 3b^2 requires p ≡ 1 mod 3")
+    root = tonelli_shanks_sqrt((-3) % p, p)
+    for r0 in (root, p - root):
+        a, b = p, r0
+        limit = isqrt(p)
+        while b > limit:
+            a, b = b, a % b
+        remainder = p - b * b
+        if remainder % 3 == 0:
+            c = remainder // 3
+            sc = isqrt(c)
+            if sc * sc == c:
+                if b * b + 3 * sc * sc != p:
+                    raise AssertionError("Cornacchia postcondition failed")
+                return b, sc
+    raise ArithmeticError(f"Cornacchia failed for p = {p}")
+
+
+def j0_order_candidates(p: int) -> List[int]:
+    """The six possible group orders of ``y^2 = x^3 + c`` over F_p."""
+    a, b = cornacchia_3(p)
+    traces = {2 * a, -2 * a,
+              a + 3 * b, -(a + 3 * b),
+              a - 3 * b, -(a - 3 * b)}
+    orders = sorted(p + 1 - t for t in traces)
+    # Hasse bound sanity check.
+    bound = 2 * isqrt(p)
+    for n in orders:
+        if not p + 1 - bound - 1 <= n <= p + 1 + bound + 1:
+            raise AssertionError(f"candidate order {n} violates the Hasse bound")
+    return orders
+
+
+def determine_j0_order(curve: WeierstrassCurve, trials: int = 16,
+                       rng: Optional[random.Random] = None) -> int:
+    """The exact group order of a j = 0 curve ``y^2 = x^3 + b``.
+
+    Tests the six Cornacchia candidates against random points; a candidate
+    survives only if it annihilates every sampled point.  With enough
+    independent points exactly one candidate survives (two candidates can
+    share a common multiple of a point's order only with negligible
+    probability once the point orders are large).
+    """
+    if curve.a_int != 0:
+        raise ValueError("order determination requires a j = 0 curve (a = 0)")
+    rng = rng or random.Random(0xC0FFEE)
+    candidates = j0_order_candidates(curve.field.p)
+    for _ in range(trials):
+        point = curve.random_point(rng)
+        survivors = [n for n in candidates
+                     if curve.affine_scalar_mult(n, point) is None]
+        if not survivors:
+            raise AssertionError(
+                "no candidate order annihilates a sampled point; "
+                "Cornacchia trace set must be wrong"
+            )
+        candidates = survivors
+        if len(candidates) == 1:
+            return candidates[0]
+    raise ArithmeticError(
+        f"order ambiguous after {trials} trials: {candidates}"
+    )

@@ -1,0 +1,90 @@
+"""Brute-force group enumeration for toy curves.
+
+Only usable for small fields (the constructor refuses anything above 2^16);
+the test suite uses it to validate group laws, orders and the Cornacchia
+candidates against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .edwards import TwistedEdwardsCurve
+from .montgomery import MontgomeryCurve
+from .point import AffinePoint
+from .weierstrass import WeierstrassCurve
+
+_MAX_TOY_FIELD = 1 << 16
+
+
+def _check_toy(p: int) -> None:
+    if p > _MAX_TOY_FIELD:
+        raise ValueError(f"refusing to enumerate a field of size {p}")
+
+
+def enumerate_weierstrass(curve: WeierstrassCurve) -> List[Optional[AffinePoint]]:
+    """All points of a Weierstraß (or Montgomery-form-able) toy curve,
+    including the point at infinity (represented as ``None``)."""
+    _check_toy(curve.field.p)
+    f = curve.field
+    points: List[Optional[AffinePoint]] = [None]
+    squares = {}
+    for y in range(f.p):
+        squares.setdefault(y * y % f.p, []).append(y)
+    for x in range(f.p):
+        fx = f.from_int(x)
+        rhs = (fx.square() * fx + curve.a * fx + curve.b).to_int()
+        for y in squares.get(rhs, []):
+            points.append(AffinePoint(fx, f.from_int(y)))
+    return points
+
+
+def enumerate_montgomery(curve: MontgomeryCurve) -> List[Optional[AffinePoint]]:
+    """All points of a Montgomery toy curve (including infinity)."""
+    _check_toy(curve.field.p)
+    f = curve.field
+    points: List[Optional[AffinePoint]] = [None]
+    b_inv = pow(curve.b_int, -1, f.p)
+    squares = {}
+    for y in range(f.p):
+        squares.setdefault(y * y % f.p, []).append(y)
+    for x in range(f.p):
+        rhs = (x * x * x + curve.a_int * x * x + x) * b_inv % f.p
+        for y in squares.get(rhs, []):
+            points.append(AffinePoint(f.from_int(x), f.from_int(y)))
+    return points
+
+
+def enumerate_edwards(curve: TwistedEdwardsCurve) -> List[AffinePoint]:
+    """All affine points of a twisted Edwards toy curve.
+
+    For complete curves (a square, d non-square) this is the whole group;
+    the identity (0, 1) is included as an ordinary affine point.
+    """
+    _check_toy(curve.field.p)
+    f = curve.field
+    points: List[AffinePoint] = []
+    for x in range(f.p):
+        for y in range(f.p):
+            lhs = (curve.a_int * x * x + y * y) % f.p
+            rhs = (1 + curve.d_int * x * x * y * y) % f.p
+            if lhs == rhs:
+                points.append(AffinePoint(f.from_int(x), f.from_int(y)))
+    return points
+
+
+def group_order_weierstrass(curve: WeierstrassCurve) -> int:
+    """|E(F_p)| of a toy Weierstraß curve by exhaustive count."""
+    return len(enumerate_weierstrass(curve))
+
+
+def point_order(curve: WeierstrassCurve, point: AffinePoint,
+                group_order: int) -> int:
+    """Order of a point given the group order (checks divisors in order)."""
+    divisors = sorted(
+        d for d in range(1, group_order + 1) if group_order % d == 0
+    )
+    for d in divisors:
+        if curve.affine_scalar_mult(d, point) is None:
+            return d
+    raise AssertionError("point order must divide the group order")

@@ -1,0 +1,127 @@
+"""Birational maps between the curve families.
+
+Every Montgomery curve is birationally equivalent to a twisted Edwards curve
+and isomorphic (over F_p) to a short Weierstraß curve.  The reproduction uses
+these maps in two ways:
+
+* to *generate* a consistent Montgomery/Edwards pair of curves (so the two
+  families can be cross-checked against each other in tests), and
+* to validate the x-only ladder against full-point arithmetic.
+
+Exceptional points of the rational maps (v = 0 or u = -1 on the Montgomery
+side, y = 1 or x = 0 on the Edwards side) are rejected with ``ValueError``;
+callers that may hit them (the identity and the 2-torsion) must special-case.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .edwards import TwistedEdwardsCurve
+from .montgomery import MontgomeryCurve
+from .point import AffinePoint
+from .weierstrass import WeierstrassCurve
+
+
+def montgomery_to_edwards_params(curve: MontgomeryCurve) -> Tuple[int, int]:
+    """(a, d) of the twisted Edwards curve equivalent to a Montgomery curve.
+
+    a = (A + 2)/B and d = (A - 2)/B.
+    """
+    p = curve.field.p
+    b_inv = pow(curve.b_int, -1, p)
+    a = (curve.a_int + 2) * b_inv % p
+    d = (curve.a_int - 2) * b_inv % p
+    return a, d
+
+
+def edwards_to_montgomery_params(curve: TwistedEdwardsCurve) -> Tuple[int, int]:
+    """(A, B) of the Montgomery curve equivalent to a twisted Edwards curve.
+
+    A = 2(a + d)/(a - d) and B = 4/(a - d).
+    """
+    p = curve.field.p
+    diff_inv = pow((curve.a_int - curve.d_int) % p, -1, p)
+    big_a = 2 * (curve.a_int + curve.d_int) * diff_inv % p
+    big_b = 4 * diff_inv % p
+    return big_a, big_b
+
+
+def montgomery_to_weierstrass_params(curve: MontgomeryCurve) -> Tuple[int, int]:
+    """(a, b) of the short Weierstraß form of a Montgomery curve.
+
+    a = (3 - A^2) / (3 B^2),  b = (2 A^3 - 9 A) / (27 B^3).
+    """
+    p = curve.field.p
+    big_a, big_b = curve.a_int, curve.b_int
+    inv3b2 = pow(3 * big_b * big_b % p, -1, p)
+    inv27b3 = pow(27 * pow(big_b, 3, p) % p, -1, p)
+    a = (3 - big_a * big_a) * inv3b2 % p
+    b = (2 * pow(big_a, 3, p) - 9 * big_a) * inv27b3 % p
+    return a, b
+
+
+def montgomery_point_to_edwards(mont: MontgomeryCurve,
+                                edw: TwistedEdwardsCurve,
+                                point: AffinePoint) -> AffinePoint:
+    """(u, v) -> (x, y) = (u/v, (u - 1)/(u + 1))."""
+    f = mont.field
+    if point.y.is_zero():
+        raise ValueError("2-torsion point (v = 0) is exceptional for the map")
+    if (point.x + f.one).is_zero():
+        raise ValueError("point with u = -1 is exceptional for the map")
+    x = point.x / point.y
+    y = (point.x - f.one) / (point.x + f.one)
+    out = AffinePoint(x, y)
+    if not edw.is_on_curve(out):
+        raise AssertionError("Montgomery→Edwards map produced an off-curve point")
+    return out
+
+
+def edwards_point_to_montgomery(edw: TwistedEdwardsCurve,
+                                mont: MontgomeryCurve,
+                                point: AffinePoint) -> AffinePoint:
+    """(x, y) -> (u, v) = ((1 + y)/(1 - y), (1 + y)/((1 - y) x))."""
+    f = edw.field
+    if point.x.is_zero():
+        raise ValueError("point with x = 0 is exceptional for the map")
+    if (f.one - point.y).is_zero():
+        raise ValueError("point with y = 1 is exceptional for the map")
+    ratio = (f.one + point.y) / (f.one - point.y)
+    u = ratio
+    v = ratio / point.x
+    out = AffinePoint(u, v)
+    if not mont.is_on_curve(out):
+        raise AssertionError("Edwards→Montgomery map produced an off-curve point")
+    return out
+
+
+def montgomery_point_to_weierstrass(mont: MontgomeryCurve,
+                                    weier: WeierstrassCurve,
+                                    point: AffinePoint) -> AffinePoint:
+    """(u, v) -> (t, s) = (u/B + A/(3B), v/B)."""
+    f = mont.field
+    b_inv = mont.b.invert()
+    three_inv = f.from_int(pow(3, -1, f.p))
+    t = point.x * b_inv + mont.a * three_inv * b_inv
+    s = point.y * b_inv
+    out = AffinePoint(t, s)
+    if not weier.is_on_curve(out):
+        raise AssertionError(
+            "Montgomery→Weierstraß map produced an off-curve point"
+        )
+    return out
+
+
+def edwards_curve_of(mont: MontgomeryCurve) -> TwistedEdwardsCurve:
+    """The birationally equivalent twisted Edwards curve object."""
+    a, d = montgomery_to_edwards_params(mont)
+    return TwistedEdwardsCurve(mont.field, a, d,
+                               name=f"edwards-of-{mont.name}")
+
+
+def weierstrass_curve_of(mont: MontgomeryCurve) -> WeierstrassCurve:
+    """The isomorphic short Weierstraß curve object."""
+    a, b = montgomery_to_weierstrass_params(mont)
+    return WeierstrassCurve(mont.field, a, b,
+                            name=f"weierstrass-of-{mont.name}")

@@ -1,0 +1,205 @@
+"""Generation of the 160-bit OPF curve-parameter suite.
+
+The paper does not publish its OPF curve constants, so this module derives a
+functionally equivalent suite (the frozen result lives in
+:mod:`repro.curves.params`):
+
+* ``OPF-W``   — a Weierstraß curve with a = -3 over the paper's example prime
+  ``p = 65356 * 2^144 + 1``.
+* ``OPF-M``   — a Montgomery curve over the same prime with a short
+  ``(A + 2)/4`` constant, and ``B = -(A + 2)`` so that …
+* ``OPF-E``   — … its birationally equivalent twisted Edwards curve has
+  ``a = -1`` (enabling the 7M additions) and a non-square ``d`` (making the
+  unified addition law complete).  Montgomery and Edwards results can then be
+  cross-checked point by point.
+* ``OPF-GLV`` — a j = 0 curve over ``p = 65361 * 2^144 + 1`` (the paper's
+  prime has p ≡ 2 mod 3, so the GLV family needs its own OPF prime with
+  p ≡ 1 mod 3) whose *exact, prime* group order is computed with
+  Cornacchia's algorithm — giving a verified λ with φ(P) = λ·P.
+
+Everything here is reproducible and self-checking; the test suite re-derives
+small cases and re-verifies every frozen constant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..field.prime_field import GenericPrimeField
+from .cornacchia import determine_j0_order
+from .glv import cube_roots_of_unity
+from .point import AffinePoint
+from .weierstrass import WeierstrassCurve
+
+
+def is_probable_prime(n: int, rounds: int = 48,
+                      rng: Optional[random.Random] = None) -> bool:
+    """Miller-Rabin primality test (deterministic enough at 48 rounds)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for sp in small_primes:
+        if n % sp == 0:
+            return n == sp
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = rng or random.Random(0x5EED)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_opf_primes(k: int = 144, u_bits: int = 16,
+                    residue_mod_3: Optional[int] = None) -> list:
+    """All u values (of exactly *u_bits* bits) with ``u * 2^k + 1`` prime.
+
+    Optionally filter by the residue of the prime modulo 3 (the GLV family
+    requires p ≡ 1 mod 3).
+    """
+    lo, hi = 1 << (u_bits - 1), 1 << u_bits
+    out = []
+    for u in range(lo, hi):
+        p = u * (1 << k) + 1
+        if residue_mod_3 is not None and p % 3 != residue_mod_3:
+            continue
+        if is_probable_prime(p):
+            out.append(u)
+    return out
+
+
+@dataclass(frozen=True)
+class GeneratedMontgomeryPair:
+    """A Montgomery curve plus its a = -1 twisted Edwards partner."""
+
+    mont_a: int
+    mont_b: int
+    edwards_a: int
+    edwards_d: int
+
+
+def generate_montgomery_edwards_pair(p: int,
+                                     max_a: int = 1 << 17,
+                                     ) -> GeneratedMontgomeryPair:
+    """Smallest Montgomery A giving a complete a = -1 Edwards partner.
+
+    Constraints:
+      * A ≡ 2 (mod 4) so (A + 2)/4 is an integer, and (A + 2)/4 < 2^16 so
+        the paper's small-constant multiplication applies;
+      * B = -(A + 2), which maps a = (A + 2)/B to -1 on the Edwards side;
+      * d = (A - 2)/B must be a non-square so the Edwards addition law is
+        complete (requires p ≡ 1 mod 4 so that a = -1 is a square).
+    """
+    if p % 4 != 1:
+        raise ValueError("need p ≡ 1 mod 4 so that -1 is a square")
+
+    def is_square(v: int) -> bool:
+        v %= p
+        return v == 0 or pow(v, (p - 1) // 2, p) == 1
+
+    a = 6
+    while a < max_a:
+        if (a * a - 4) % p != 0:
+            big_b = (-(a + 2)) % p
+            d = (a - 2) * pow(big_b, -1, p) % p
+            if d not in (0, 1) and not is_square(d):
+                return GeneratedMontgomeryPair(
+                    mont_a=a, mont_b=big_b,
+                    edwards_a=p - 1, edwards_d=d,
+                )
+        a += 4
+    raise ArithmeticError("no suitable Montgomery A found in range")
+
+
+@dataclass(frozen=True)
+class GeneratedGLV:
+    """A j = 0 curve with verified prime order and matching (β, λ)."""
+
+    b: int
+    order: int
+    beta: int
+    lam: int
+    gx: int
+    gy: int
+
+
+def generate_glv_curve(p: int, max_b: int = 200,
+                       rng: Optional[random.Random] = None) -> GeneratedGLV:
+    """Search ``y^2 = x^3 + b`` for a curve of prime order over F_p.
+
+    The order comes from the Cornacchia trace candidates (exact, no SEA
+    needed); λ is the root of ``x^2 + x + 1 mod n`` that matches the cube
+    root of unity β on an actual point.
+    """
+    if p % 3 != 1:
+        raise ValueError("GLV j = 0 curves require p ≡ 1 mod 3")
+    rng = rng or random.Random(0x61A5)
+    field = GenericPrimeField(p, name=f"paramgen-F_{p:#x}")
+    betas = cube_roots_of_unity(p)
+    for b in range(1, max_b):
+        curve = WeierstrassCurve(field, 0, b)
+        try:
+            order = determine_j0_order(curve, rng=random.Random(b))
+        except ArithmeticError:
+            continue
+        if not is_probable_prime(order):
+            continue
+        # λ solves λ^2 + λ + 1 ≡ 0 (mod n): λ = (-1 ± sqrt(-3)) / 2.
+        from ..field.inversion import tonelli_shanks_sqrt
+
+        try:
+            sqrt_m3 = tonelli_shanks_sqrt((-3) % order, order)
+        except ValueError:
+            continue
+        inv2 = pow(2, -1, order)
+        lam_candidates = [(-1 + sqrt_m3) * inv2 % order,
+                          (-1 - sqrt_m3) * inv2 % order]
+        base = curve.random_point(rng)
+        for beta in betas:
+            phi_base = AffinePoint(base.x * field.from_int(beta), base.y)
+            for lam in lam_candidates:
+                if curve.affine_scalar_mult(lam, base) == phi_base:
+                    return GeneratedGLV(
+                        b=b, order=order, beta=beta, lam=lam,
+                        gx=base.x.to_int(), gy=base.y.to_int(),
+                    )
+        # One of the combinations must match for a prime-order curve.
+        raise AssertionError(f"no (β, λ) pairing matched for b = {b}")
+    raise ArithmeticError(f"no prime-order j = 0 curve with b < {max_b}")
+
+
+def generate_weierstrass_curve(p: int, rng: Optional[random.Random] = None,
+                               ) -> Tuple[int, int, int]:
+    """An a = -3 Weierstraß curve with a verified base point.
+
+    Returns (b, gx, gy).  The group order is left undetermined (counting a
+    general 160-bit curve needs SEA, see DESIGN.md) — none of the paper's
+    performance experiments need it.
+    """
+    rng = rng or random.Random(0xB00)
+    field = GenericPrimeField(p, name=f"paramgen-F_{p:#x}")
+    b = 1
+    while True:
+        try:
+            curve = WeierstrassCurve(field, -3, b)
+        except ValueError:
+            b += 1
+            continue
+        try:
+            base = curve.random_point(rng)
+        except ValueError:
+            b += 1
+            continue
+        return b, base.x.to_int(), base.y.to_int()

@@ -1,0 +1,38 @@
+"""Shared point types for the curve packages.
+
+Affine points are the exchange format between curve families, protocols and
+tests; each family additionally has its own projective representation
+(Jacobian for Weierstraß/GLV, extended coordinates for twisted Edwards,
+X:Z for the Montgomery ladder) defined in its own module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..field.element import FpElement
+
+
+@dataclass(frozen=True)
+class AffinePoint:
+    """An affine point (x, y).  The point at infinity is ``None`` by
+    convention wherever ``Optional[AffinePoint]`` appears."""
+
+    x: FpElement
+    y: FpElement
+
+    def __repr__(self) -> str:
+        return f"AffinePoint(x={self.x.to_int():#x}, y={self.y.to_int():#x})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+
+#: Type alias used across the curve modules.
+MaybePoint = Optional[AffinePoint]

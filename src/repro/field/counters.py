@@ -1,0 +1,94 @@
+"""Field-level operation counters.
+
+The paper prices a scalar multiplication as a weighted sum of field
+operations (e.g. "5.3 M + 4 S per bit" for the Montgomery ladder).  Every
+:class:`~repro.field.prime_field.PrimeField` carries a
+:class:`FieldOpCounter`; the point arithmetic and scalar-multiplication
+algorithms are instrumented simply by being written on top of the field API.
+The cycle model (:mod:`repro.model.opcost`) converts these tallies into
+cycle estimates per processor mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..mpa.counters import WordOpCounter
+
+
+@dataclass
+class FieldOpCounter:
+    """Tallies of field-level operations plus embedded word-level tallies."""
+
+    add: int = 0
+    sub: int = 0
+    neg: int = 0
+    mul: int = 0
+    sqr: int = 0
+    mul_small: int = 0
+    inv: int = 0
+    words: WordOpCounter = field(default_factory=WordOpCounter)
+
+    def reset(self) -> None:
+        """Zero all field- and word-level tallies."""
+        self.add = 0
+        self.sub = 0
+        self.neg = 0
+        self.mul = 0
+        self.sqr = 0
+        self.mul_small = 0
+        self.inv = 0
+        self.words.reset()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current field-level tallies as a plain dict."""
+        return {
+            "add": self.add,
+            "sub": self.sub,
+            "neg": self.neg,
+            "mul": self.mul,
+            "sqr": self.sqr,
+            "mul_small": self.mul_small,
+            "inv": self.inv,
+        }
+
+    def mul_equivalents(self, sqr_weight: float = 1.0, addsub_weight: float = 0.05,
+                        mul_small_weight: float = 0.27) -> float:
+        """Rough cost in units of one field multiplication.
+
+        Default weights follow the paper: squaring is implemented by the same
+        multiplication routine (weight 1.0), a multiplication by a short
+        constant costs 0.25-0.3 M (we use the midpoint), and addition or
+        subtraction is roughly 240/3314 of a multiplication in CA mode.
+        """
+        return (
+            self.mul
+            + sqr_weight * self.sqr
+            + mul_small_weight * self.mul_small
+            + addsub_weight * (self.add + self.sub + self.neg)
+        )
+
+    def delta(self, earlier: "FieldOpCounter") -> "FieldOpCounter":
+        """Tallies accumulated since *earlier* (a snapshot copy)."""
+        return FieldOpCounter(
+            add=self.add - earlier.add,
+            sub=self.sub - earlier.sub,
+            neg=self.neg - earlier.neg,
+            mul=self.mul - earlier.mul,
+            sqr=self.sqr - earlier.sqr,
+            mul_small=self.mul_small - earlier.mul_small,
+            inv=self.inv - earlier.inv,
+        )
+
+    def copy(self) -> "FieldOpCounter":
+        """Shallow copy of the field-level tallies (word tallies excluded)."""
+        return FieldOpCounter(
+            add=self.add,
+            sub=self.sub,
+            neg=self.neg,
+            mul=self.mul,
+            sqr=self.sqr,
+            mul_small=self.mul_small,
+            inv=self.inv,
+        )

@@ -1,0 +1,181 @@
+"""Modular inversion algorithms.
+
+The paper's projective-to-affine conversion uses the *Montgomery inverse*
+(Kaliski's two-phase binary algorithm), which is why its "constant runtime"
+implementations are only constant-time in the scalar-multiplication main
+loop — the final inversion is data-dependent (Section V-B).  We implement:
+
+* :func:`binary_euclid_inverse` — the classic binary extended Euclidean
+  algorithm on plain residues,
+* :func:`kaliski_almost_inverse` / :func:`kaliski_montgomery_inverse` —
+  Kaliski's phase-1 "almost Montgomery inverse" (returns ``a^-1 * 2^k mod p``
+  together with the data-dependent iteration count ``k``) and the phase-2
+  correction,
+* :func:`fermat_inverse` — the constant-time exponentiation alternative.
+
+The phase-1 iteration count is exposed so leakage benchmarks can show the
+operand dependence the paper acknowledges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+
+def binary_euclid_inverse(a: int, p: int) -> int:
+    """Inverse of ``a`` modulo an odd prime ``p`` via binary extended Euclid."""
+    a %= p
+    if a == 0:
+        raise ZeroDivisionError("zero has no modular inverse")
+    u, v = a, p
+    x1, x2 = 1, 0
+    while u != 1 and v != 1:
+        while u % 2 == 0:
+            u //= 2
+            x1 = x1 // 2 if x1 % 2 == 0 else (x1 + p) // 2
+        while v % 2 == 0:
+            v //= 2
+            x2 = x2 // 2 if x2 % 2 == 0 else (x2 + p) // 2
+        if u >= v:
+            u -= v
+            x1 -= x2
+        else:
+            v -= u
+            x2 -= x1
+    inv = x1 if u == 1 else x2
+    inv %= p
+    if (a * inv) % p != 1:
+        raise AssertionError("binary extended Euclid produced a wrong inverse")
+    return inv
+
+
+def kaliski_almost_inverse(a: int, p: int) -> Tuple[int, int]:
+    """Kaliski phase 1: returns ``(r, k)`` with ``r = a^-1 * 2^k mod p``.
+
+    ``k`` lies in ``[bitlen(p), 2*bitlen(p)]`` and depends on the operand —
+    the source of the residual timing leakage the paper mentions for its
+    projective-to-affine conversion.
+    """
+    a %= p
+    if a == 0:
+        raise ZeroDivisionError("zero has no modular inverse")
+    u, v = p, a
+    r, s = 0, 1
+    k = 0
+    while v > 0:
+        if u % 2 == 0:
+            u //= 2
+            s *= 2
+        elif v % 2 == 0:
+            v //= 2
+            r *= 2
+        elif u > v:
+            u = (u - v) // 2
+            r += s
+            s *= 2
+        else:
+            v = (v - u) // 2
+            s += r
+            r *= 2
+        k += 1
+    if u != 1:
+        raise ValueError(f"operand {a} is not invertible modulo {p}")
+    if r >= p:
+        r -= p
+    return p - r, k
+
+
+def kaliski_montgomery_inverse(a: int, p: int, radix_bits: int) -> Tuple[int, int]:
+    """Montgomery inverse ``a^-1 * 2^radix_bits mod p`` plus the phase-1 count.
+
+    Given an operand in the ordinary domain this produces the inverse in the
+    Montgomery domain of radix ``R = 2^radix_bits`` — the form the OPF library
+    needs right before the final conversion to affine coordinates.
+    """
+    r, k = kaliski_almost_inverse(a, p)
+    # Phase 2: multiply by 2 until the exponent reaches 2 * radix_bits ...
+    target = 2 * radix_bits
+    if k > target:
+        raise ValueError(
+            f"phase-1 exponent {k} exceeds target {target}; "
+            f"radix too small for modulus"
+        )
+    # r = a^-1 * 2^k; we want a^-1 * 2^radix = r * 2^(radix - k) * ... using
+    # Montgomery halving/doubling steps.  Doubling (radix - k + radix) times
+    # then one Montgomery reduction by R is equivalent to multiplying by
+    # 2^(target - k) / 2^radix = 2^(radix - k).
+    for _ in range(target - k):
+        r = r * 2
+        if r >= p:
+            r -= p
+    inv_r = pow(2, radix_bits, p)
+    result = (r * pow(inv_r, -1, p)) % p
+    expected = (pow(a, -1, p) * pow(2, radix_bits, p)) % p
+    if result != expected:
+        raise AssertionError("Montgomery inverse correction failed")
+    return result, k
+
+
+def fermat_inverse(a: int, p: int,
+                   mul: Callable[[int, int], int] = None) -> int:
+    """Constant-time inverse via ``a^(p-2) mod p`` (square-and-multiply).
+
+    If *mul* is given it is used for every multiplication/squaring so callers
+    can route the exponentiation through an instrumented field (making the
+    M/S counts visible to the cycle model); otherwise plain integers are used.
+    """
+    a %= p
+    if a == 0:
+        raise ZeroDivisionError("zero has no modular inverse")
+    if mul is None:
+        return pow(a, p - 2, p)
+    result = None
+    exponent = p - 2
+    for bit in bin(exponent)[2:]:
+        if result is not None:
+            result = mul(result, result)
+        if bit == "1":
+            result = a if result is None else mul(result, a)
+    if result is None:
+        raise AssertionError("exponent p - 2 must be positive")
+    return result
+
+
+def tonelli_shanks_sqrt(a: int, p: int) -> int:
+    """A square root of ``a`` modulo an odd prime ``p``.
+
+    Used by the parameter generator (Cornacchia decomposition, point
+    sampling).  Raises :class:`ValueError` when ``a`` is a non-residue.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if pow(a, (p - 1) // 2, p) != 1:
+        raise ValueError(f"{a} is a quadratic non-residue modulo {p}")
+    if p % 4 == 3:
+        root = pow(a, (p + 1) // 4, p)
+    else:
+        # General Tonelli-Shanks.
+        q, s = p - 1, 0
+        while q % 2 == 0:
+            q //= 2
+            s += 1
+        z = 2
+        while pow(z, (p - 1) // 2, p) != p - 1:
+            z += 1
+        m, c, t = s, pow(z, q, p), pow(a, q, p)
+        root = pow(a, (q + 1) // 2, p)
+        while t != 1:
+            i, t2 = 0, t
+            while t2 != 1:
+                t2 = t2 * t2 % p
+                i += 1
+                if i == m:
+                    raise AssertionError("Tonelli-Shanks failed to converge")
+            b = pow(c, 1 << (m - i - 1), p)
+            m, c = i, b * b % p
+            t = t * c % p
+            root = root * b % p
+    if root * root % p != a:
+        raise AssertionError("square-root postcondition failed")
+    return root

@@ -1,0 +1,205 @@
+"""Prime-field base class and the generic (plain-residue) implementation.
+
+:class:`PrimeField` defines the API all curve and protocol code is written
+against; concrete subclasses provide the internal representation and the
+word-level arithmetic:
+
+* :class:`GenericPrimeField` — plain residues with Python big-int reduction.
+  Used for toy fields in tests and as the functional baseline.
+* :class:`~repro.field.opf.OptimalPrimeField` — Montgomery-domain,
+  incompletely reduced OPF arithmetic on 32-bit words (the paper's library).
+* :class:`~repro.field.secp160r1_field.Secp160r1Field` — the standardized
+  curve's field with its dedicated pseudo-Mersenne reduction.
+
+Every field owns a :class:`~repro.field.counters.FieldOpCounter`; the
+element operators bump it, which is how the cycle model later prices a whole
+scalar multiplication.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .counters import FieldOpCounter
+from .element import FpElement
+from .inversion import binary_euclid_inverse, tonelli_shanks_sqrt
+
+
+class PrimeField:
+    """Abstract prime field F_p.
+
+    Subclasses must implement the ``_``-prefixed representation hooks; user
+    code only ever touches :class:`~repro.field.element.FpElement` values
+    produced by :meth:`from_int` / :attr:`zero` / :attr:`one`.
+    """
+
+    #: Identifier used by the cycle model to pick per-operation costs.
+    cost_profile = "generic"
+
+    def __init__(self, p: int, name: Optional[str] = None):
+        if p < 3:
+            raise ValueError(f"modulus must be >= 3, got {p}")
+        self.p = p
+        self.bits = p.bit_length()
+        self.name = name or f"F_{p}"
+        self.counter = FieldOpCounter()
+
+    # -- representation hooks (subclass responsibility) --------------------
+
+    def int_to_internal(self, value: int) -> int:
+        """Map a plain integer (any sign/magnitude) to the internal form."""
+        raise NotImplementedError
+
+    def internal_to_int(self, internal: int) -> int:
+        """Map internal form back to the canonical residue in ``[0, p)``."""
+        raise NotImplementedError
+
+    def _add(self, x: int, y: int) -> int:
+        raise NotImplementedError
+
+    def _sub(self, x: int, y: int) -> int:
+        raise NotImplementedError
+
+    def _mul(self, x: int, y: int) -> int:
+        raise NotImplementedError
+
+    def _sqr(self, x: int) -> int:
+        return self._mul(x, x)
+
+    def _mul_small(self, x: int, constant: int) -> int:
+        raise NotImplementedError
+
+    def _neg(self, x: int) -> int:
+        """Negation; default is a subtraction from the internal zero."""
+        return self._sub(self._zero_internal(), x)
+
+    def _zero_internal(self) -> int:
+        """Internal representation of 0 (free of charge on any backend)."""
+        return 0
+
+    def _inv(self, x: int) -> int:
+        raise NotImplementedError
+
+    # -- element construction ----------------------------------------------
+
+    def from_int(self, value: int) -> FpElement:
+        """Create an element from a plain integer (reduced mod p)."""
+        return FpElement(self, self.int_to_internal(value % self.p))
+
+    @property
+    def zero(self) -> FpElement:
+        return self.from_int(0)
+
+    @property
+    def one(self) -> FpElement:
+        return self.from_int(1)
+
+    def random_element(self, rng: Optional[random.Random] = None) -> FpElement:
+        """Uniformly random element (for tests and blinding)."""
+        rng = rng or random
+        return self.from_int(rng.randrange(self.p))
+
+    def all_elements(self) -> List[FpElement]:
+        """Every element — only sensible for toy fields in tests."""
+        if self.p > 1 << 16:
+            raise ValueError("refusing to enumerate a large field")
+        return [self.from_int(v) for v in range(self.p)]
+
+    # -- counted operations -------------------------------------------------
+
+    def add(self, a: FpElement, b: FpElement) -> FpElement:
+        self.counter.add += 1
+        return FpElement(self, self._add(a.internal, b.internal))
+
+    def sub(self, a: FpElement, b: FpElement) -> FpElement:
+        self.counter.sub += 1
+        return FpElement(self, self._sub(a.internal, b.internal))
+
+    def neg(self, a: FpElement) -> FpElement:
+        self.counter.neg += 1
+        return FpElement(self, self._neg(a.internal))
+
+    def mul(self, a: FpElement, b: FpElement) -> FpElement:
+        self.counter.mul += 1
+        return FpElement(self, self._mul(a.internal, b.internal))
+
+    def sqr(self, a: FpElement) -> FpElement:
+        self.counter.sqr += 1
+        return FpElement(self, self._sqr(a.internal))
+
+    def mul_small(self, a: FpElement, constant: int) -> FpElement:
+        if not 0 <= constant < (1 << 16):
+            raise ValueError(
+                f"mul_small constant must fit in 16 bits, got {constant}"
+            )
+        self.counter.mul_small += 1
+        return FpElement(self, self._mul_small(a.internal, constant))
+
+    def inv(self, a: FpElement) -> FpElement:
+        if a.is_zero():
+            raise ZeroDivisionError("zero has no inverse")
+        self.counter.inv += 1
+        return FpElement(self, self._inv(a.internal))
+
+    def pow(self, a: FpElement, exponent: int) -> FpElement:
+        """Square-and-multiply exponentiation through counted operations."""
+        if exponent < 0:
+            return self.pow(self.inv(a), -exponent)
+        result = self.one
+        if exponent == 0:
+            return result
+        started = False
+        for bit in bin(exponent)[2:]:
+            if started:
+                result = self.sqr(result)
+            if bit == "1":
+                result = self.mul(result, a) if started else a
+                started = True
+        return result
+
+    def sqrt(self, a: FpElement) -> FpElement:
+        """Square root via Tonelli-Shanks on the plain value (uncounted)."""
+        return self.from_int(tonelli_shanks_sqrt(a.to_int(), self.p))
+
+    def is_square(self, a: FpElement) -> bool:
+        """Euler criterion on the plain value (uncounted)."""
+        v = a.to_int()
+        return v == 0 or pow(v, (self.p - 1) // 2, self.p) == 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, bits={self.bits})"
+
+
+class GenericPrimeField(PrimeField):
+    """Plain-residue field using Python's big-int reduction.
+
+    This is the functional baseline: correct for any odd prime, with
+    operation counting but no word-level modelling.  Toy fields in the test
+    suite and reference cross-checks use it.
+    """
+
+    cost_profile = "generic"
+
+    def int_to_internal(self, value: int) -> int:
+        return value % self.p
+
+    def internal_to_int(self, internal: int) -> int:
+        return internal % self.p
+
+    def _add(self, x: int, y: int) -> int:
+        t = x + y
+        return t - self.p if t >= self.p else t
+
+    def _sub(self, x: int, y: int) -> int:
+        t = x - y
+        return t + self.p if t < 0 else t
+
+    def _mul(self, x: int, y: int) -> int:
+        return (x * y) % self.p
+
+    def _mul_small(self, x: int, constant: int) -> int:
+        return (x * constant) % self.p
+
+    def _inv(self, x: int) -> int:
+        return binary_euclid_inverse(x, self.p)

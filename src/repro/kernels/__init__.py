@@ -1,0 +1,49 @@
+"""Generated AVR assembly kernels for the OPF field operations.
+
+The kernels reproduce Table I on the simulator:
+
+* :func:`~repro.kernels.addsub_kernel.generate_modadd` /
+  :func:`~repro.kernels.addsub_kernel.generate_modsub` — unrolled
+  branch-less addition/subtraction with incomplete reduction.
+* :func:`~repro.kernels.mul_kernels.generate_opf_mul_comba` — unrolled FIPS
+  Montgomery multiplication with native ``MUL`` (CA/FAST modes).
+* :func:`~repro.kernels.mul_kernels.generate_opf_mul_mac` — the ISE kernel
+  on the (32 x 4)-bit MAC unit (Algorithm 2's load-trigger pattern).
+"""
+
+from .addsub_kernel import generate_modadd, generate_modsub
+from .layout import (
+    ADDR_A,
+    ADDR_B,
+    ADDR_M,
+    ADDR_R,
+    ADDR_T,
+    OPERAND_BYTES,
+    OpfConstants,
+)
+from .coz_ladder_kernel import CozLadderKernel, generate_coz_ladder_program
+from .ladder_kernel import LadderKernel, generate_ladder_program
+from .mul_kernels import generate_opf_mul_comba, generate_opf_mul_mac
+from .runner import KernelRunner
+from .secp_kernel import SECP_P, generate_secp160r1_mul
+
+__all__ = [
+    "ADDR_A",
+    "ADDR_B",
+    "ADDR_M",
+    "ADDR_R",
+    "ADDR_T",
+    "OPERAND_BYTES",
+    "KernelRunner",
+    "CozLadderKernel",
+    "LadderKernel",
+    "generate_coz_ladder_program",
+    "generate_ladder_program",
+    "OpfConstants",
+    "generate_modadd",
+    "generate_modsub",
+    "generate_opf_mul_comba",
+    "generate_opf_mul_mac",
+    "generate_secp160r1_mul",
+    "SECP_P",
+]

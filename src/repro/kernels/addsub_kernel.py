@@ -1,0 +1,188 @@
+"""Unrolled AVR kernels: OPF modular addition and subtraction.
+
+Implements the paper's Section III-A algorithm as branch-less straight-line
+code: full carry-chain addition, then **two** conditional subtractions of
+``c * p`` with the condition bit updated in between.  Because the prime is
+low-weight, the masked subtrahend has only three non-zero bytes (byte 0 is
+1, the top two bytes hold ``u``); the zero bytes still participate in the
+borrow ripple via ``SBC r, zero`` — one cycle each, keeping the code
+constant-time without the probability-``2^-32`` branch discussed in the
+paper.
+
+Two code shapes, selected by operand size:
+
+* ``s <= 5`` (n <= 20 bytes): the accumulator lives entirely in r0..r19 —
+  the paper's 160-bit case, with the cycle counts of Table I.
+* ``s > 5``: a streaming variant that walks the operands in memory (the
+  two conditional-subtraction passes re-walk the result); used by the
+  scalability benchmarks for 192-256-bit fields.
+
+Register allocation (register-resident shape): r0..r(n-1) accumulator,
+r20 mask, r21/r22 masked ``u`` bytes, r23 loaded operand byte, r24
+condition bit, r25 constant zero, X→A, Y→B, Z→result.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layout import ADDR_A, ADDR_B, ADDR_R, OpfConstants
+
+
+def _prologue() -> List[str]:
+    return [
+        f"    ldi r26, {ADDR_A & 0xFF}",
+        f"    ldi r27, {ADDR_A >> 8}",
+        f"    ldi r28, {ADDR_B & 0xFF}",
+        f"    ldi r29, {ADDR_B >> 8}",
+        f"    ldi r30, {ADDR_R & 0xFF}",
+        f"    ldi r31, {ADDR_R >> 8}",
+        "    clr r25",
+    ]
+
+
+def _prepare_mask(constants: OpfConstants) -> List[str]:
+    """Build the masked modulus bytes from the condition bit in r24."""
+    return [
+        "    mov r20, r24",
+        "    neg r20",                      # r20 = 0xFF if condition else 0
+        f"    ldi r21, {constants.u_lo}",
+        "    and r21, r20",                 # r21 = c * u_lo
+        f"    ldi r22, {constants.u_hi}",
+        "    and r22, r20",                 # r22 = c * u_hi
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Register-resident shape (s <= 5)
+# ---------------------------------------------------------------------------
+
+
+def _conditional_subtract_p(n: int) -> List[str]:
+    """acc(r0..r(n-1)) -= c * p, leaving the borrow in the carry flag."""
+    lines = ["    sub r0, r24"]            # p byte 0 is 1, so c*p0 == c
+    lines += [f"    sbc r{i}, r25" for i in range(1, n - 2)]
+    lines.append(f"    sbc r{n - 2}, r21")
+    lines.append(f"    sbc r{n - 1}, r22")
+    return lines
+
+
+def _conditional_add_p(n: int) -> List[str]:
+    """acc(r0..r(n-1)) += b * p, leaving the carry in the carry flag."""
+    lines = ["    add r0, r24"]
+    lines += [f"    adc r{i}, r25" for i in range(1, n - 2)]
+    lines.append(f"    adc r{n - 2}, r21")
+    lines.append(f"    adc r{n - 1}, r22")
+    return lines
+
+
+def _register_resident(constants: OpfConstants, subtract: bool,
+                       subroutine: bool = False) -> str:
+    n = constants.operand_bytes
+    op0, opc = ("sub", "sbc") if subtract else ("add", "adc")
+    fix = _conditional_add_p if subtract else _conditional_subtract_p
+    kind = "subtraction" if subtract else "addition"
+    lines = [f"; OPF {constants.bits}-bit modular {kind} "
+             "(unrolled, branch-less)"]
+    if subroutine:
+        lines.append("    clr r25")   # caller provides X -> A, Y -> B, Z -> R
+    else:
+        lines += _prologue()
+    lines += [f"    ld r{i}, X+" for i in range(n)]
+    for i in range(n):
+        lines.append("    ld r23, Y+")
+        lines.append(f"    {op0 if i == 0 else opc} r{i}, r23")
+    # Extract the carry/borrow bit.
+    lines.append("    clr r24")
+    lines.append("    adc r24, r25")
+    # First conditional fix-up of c * p.
+    lines += _prepare_mask(constants)
+    lines += fix(n)
+    # c <- c - borrow/carry (the paper's update between the two passes).
+    lines.append("    sbc r24, r25")
+    # Second conditional fix-up.
+    lines += _prepare_mask(constants)
+    lines += fix(n)
+    lines += [f"    st Z+, r{i}" for i in range(n)]
+    lines.append("    ret" if subroutine else "    break")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Streaming shape (s > 5)
+# ---------------------------------------------------------------------------
+
+
+def _point_x_at(address: int) -> List[str]:
+    return [f"    ldi r26, {address & 0xFF}",
+            f"    ldi r27, {address >> 8}"]
+
+
+def _streaming(constants: OpfConstants, subtract: bool) -> str:
+    n = constants.operand_bytes
+    op0, opc = ("sub", "sbc") if subtract else ("add", "adc")
+    fix0, fixc = ("add", "adc") if subtract else ("sub", "sbc")
+    kind = "subtraction" if subtract else "addition"
+    lines = [f"; OPF {constants.bits}-bit modular {kind} "
+             "(streaming, branch-less)"]
+    lines += _prologue()
+    # Pass 1: result = A op B, byte-streamed through r0/r23.
+    for i in range(n):
+        lines.append("    ld r0, X+")
+        lines.append("    ld r23, Y+")
+        lines.append(f"    {op0 if i == 0 else opc} r0, r23")
+        lines.append("    st Z+, r0")
+    lines.append("    clr r24")
+    lines.append("    adc r24, r25")
+    # Two conditional fix-up passes over the result in memory.
+    for pass_index in range(2):
+        lines += _prepare_mask(constants)
+        lines += _point_x_at(ADDR_R)
+        for i in range(n):
+            operand = ("r24" if i == 0
+                       else "r21" if i == n - 2
+                       else "r22" if i == n - 1
+                       else "r25")
+            lines.append("    ld r0, X")
+            lines.append(f"    {fix0 if i == 0 else fixc} r0, {operand}")
+            lines.append("    st X+, r0")
+        if pass_index == 0:
+            lines.append("    sbc r24, r25")
+    lines.append("    break")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Public generators
+# ---------------------------------------------------------------------------
+
+
+def generate_modadd(constants: OpfConstants,
+                    subroutine: bool = False) -> str:
+    """Branch-less ``(a + b) mod p`` with incomplete reduction.
+
+    ``subroutine=True``: callable routine; the caller sets X -> A, Y -> B,
+    Z -> result and CALLs it (register-resident shape only, s <= 5).
+    """
+    constants.validate()
+    if constants.num_words <= 5:
+        return _register_resident(constants, subtract=False,
+                                  subroutine=subroutine)
+    if subroutine:
+        raise ValueError("subroutine mode supports s <= 5 operands")
+    return _streaming(constants, subtract=False)
+
+
+def generate_modsub(constants: OpfConstants,
+                    subroutine: bool = False) -> str:
+    """Branch-less ``(a - b) mod p`` with incomplete reduction.
+
+    See :func:`generate_modadd` for the subroutine calling convention.
+    """
+    constants.validate()
+    if constants.num_words <= 5:
+        return _register_resident(constants, subtract=True,
+                                  subroutine=subroutine)
+    if subroutine:
+        raise ValueError("subroutine mode supports s <= 5 operands")
+    return _streaming(constants, subtract=True)

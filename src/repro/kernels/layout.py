@@ -1,0 +1,90 @@
+"""Shared memory-layout conventions for the field-operation kernels.
+
+Every kernel is a flat code block ending in ``BREAK`` that processes
+fixed-size little-endian operands at fixed SRAM addresses — the same calling
+convention the paper's hand-written routines use (operands addressed through
+the Y and Z pointers, result through X).
+
+The generators are parameterised over the OPF prime ``p = u * 2^k + 1``.
+For the word-level algorithms to see the low-weight shape
+``[1, 0, ..., 0, u << 16]`` the exponent must satisfy ``k ≡ 16 (mod 32)``;
+the operand size is then ``s = (k + 16) / 32`` words.  The paper's field is
+``s = 5`` (160 bits); the scalability benchmarks sweep s = 4..8 (128 to 256
+bits).  The 6-bit LDD/STD displacement reach bounds s at 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Operand size in bytes for the paper's 160-bit field.
+OPERAND_BYTES = 20
+
+#: SRAM addresses (all within the ATmega128's internal SRAM).  The quotient
+#: digits live 32 bytes above B so the multiplication kernels can reach both
+#: through the Z pointer with 6-bit LDD/STD displacements.
+ADDR_A = 0x0100       # first operand
+ADDR_B = 0x0140       # second operand
+ADDR_M = ADDR_B + 32  # Montgomery quotient digits m[0..s-1] (Z-addressable)
+ADDR_R = 0x01A0       # result
+ADDR_T = 0x01E0       # scratch
+
+#: Largest supported operand length in 32-bit words (LDD displacement reach).
+MAX_WORDS = 8
+
+
+@dataclass(frozen=True)
+class OpfConstants:
+    """The prime's byte-level constants needed by the kernels."""
+
+    u: int
+    k: int
+
+    @property
+    def p(self) -> int:
+        return self.u * (1 << self.k) + 1
+
+    @property
+    def num_words(self) -> int:
+        """Operand length s in 32-bit words."""
+        return (self.k + 16) // 32
+
+    @property
+    def operand_bytes(self) -> int:
+        return 4 * self.num_words
+
+    @property
+    def bits(self) -> int:
+        return 32 * self.num_words
+
+    @property
+    def u_lo(self) -> int:
+        return self.u & 0xFF
+
+    @property
+    def u_hi(self) -> int:
+        return (self.u >> 8) & 0xFF
+
+    @property
+    def p_bytes(self) -> bytes:
+        """The little-endian prime, one byte per operand byte."""
+        return self.p.to_bytes(self.operand_bytes, "little")
+
+    @property
+    def msw(self) -> int:
+        """The most significant 32-bit word, u << 16."""
+        return (self.u << 16) & 0xFFFFFFFF
+
+    def validate(self) -> None:
+        if not 1 << 15 <= self.u < 1 << 16:
+            raise ValueError(f"u must be a 16-bit value, got {self.u}")
+        if self.k % 32 != 16:
+            raise ValueError(
+                f"k must be ≡ 16 (mod 32) for the word-aligned OPF shape, "
+                f"got k = {self.k}"
+            )
+        if not 2 <= self.num_words <= MAX_WORDS:
+            raise ValueError(
+                f"operand length {self.num_words} words outside the "
+                f"supported 2..{MAX_WORDS} range"
+            )

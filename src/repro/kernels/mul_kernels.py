@@ -1,0 +1,519 @@
+"""AVR kernels for OPF Montgomery multiplication (FIPS, parameterised).
+
+Three code generators, all fully unrolled product-scanning FIPS with the
+OPF optimisation (only the modulus words P0 = 1 and P_{s-1} = u << 16
+exist, and the quotient digit is a plain negation because
+``-p^-1 mod 2^32 = 2^32 - 1``):
+
+* :func:`generate_opf_mul_comba` — native AVR ``MUL`` instructions with a
+  byte-Comba triple accumulator per 32x32 block and a 72-bit software
+  accumulator in r2..r10.  The CA/FAST-mode kernel of Table I.
+* :func:`generate_opf_mul_mac` — the ISE kernel: the 72-bit accumulator IS
+  the MAC unit's R0-R8, and every 32x32 product is eight load-triggered
+  (32 x 4)-bit MACs (the paper's Algorithm 2 pattern).  With
+  ``optimized=True`` the MAC slots of each product are filled with the next
+  product's operand prefetch (loads into scratch r10..r13 followed by two
+  MOVWs into the multiplicand) — the scheduling that produces the paper's
+  MOVW-heavy instruction mix and its 552-cycle runtime.
+
+All kernels compute the Montgomery product ``a * b * 2^(-32s) mod p``
+(incompletely reduced, below ``2^(32s)``) for operands at ``ADDR_A`` /
+``ADDR_B``, leaving the result at ``ADDR_R`` — bit-identical to
+:func:`repro.mpa.montgomery.fips_montgomery_opf`.
+
+FIPS column schedule (generalised from the paper's s = 5):
+
+* columns 0..s-1: products ``A[j] * B[c-j]`` (j = 0..c); at column s-1 the
+  first reduction product ``m[0] * P_{s-1}`` joins; the digit step then
+  computes ``m[c] = -acc mod 2^32``, adds it (clearing the low word),
+  stores it, and shifts the accumulator one word right.
+* columns s..2s-2: products ``A[j] * B[c-j]`` plus ``m[c-s+1] * P_{s-1}``;
+  each column then emits one result word.
+* column 2s-1: the final word plus the carry bit driving the conditional
+  subtraction of ``p`` (LSW/MSW only; the probability-``2^-32`` borrow
+  ripple has its own short path, exactly as the paper describes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .layout import ADDR_A, ADDR_B, ADDR_M, ADDR_R, ADDR_T, OpfConstants
+
+#: SRAM save slots used by subroutine-mode kernels (result-pointer bases).
+_SAVE_R = ADDR_T
+_SAVE_MSW = ADDR_T + 2
+
+# Displacement of the m array relative to the Z (= ADDR_B) pointer.
+_M_OFF = ADDR_M - ADDR_B
+
+Pair = Tuple[str, int, int]
+
+
+def _pointer_setup() -> List[str]:
+    return [
+        f"    ldi r28, {ADDR_A & 0xFF}",
+        f"    ldi r29, {ADDR_A >> 8}",   # Y -> A
+        f"    ldi r30, {ADDR_B & 0xFF}",
+        f"    ldi r31, {ADDR_B >> 8}",   # Z -> B (and Z+32 -> m)
+        f"    ldi r26, {ADDR_R & 0xFF}",
+        f"    ldi r27, {ADDR_R >> 8}",   # X -> result (sequential stores)
+    ]
+
+
+def _fips_schedule(s: int) -> List[Tuple[int, List[Pair], str]]:
+    """The column plan: (column, [(kind, x_index, y_index)...], phase).
+
+    kind 'ab' multiplies A[x] * B[y]; kind 'mp' multiplies m[x] * P_{s-1}.
+    phase 'digit' columns end with a quotient-digit step, 'emit' columns
+    end by emitting a result word.
+    """
+    plan: List[Tuple[int, List[Pair], str]] = []
+    for c in range(s):
+        pairs: List[Pair] = [("ab", j, c - j) for j in range(c + 1)]
+        if c == s - 1:
+            pairs.append(("mp", 0, 0))
+        plan.append((c, pairs, "digit"))
+    for c in range(s, 2 * s - 1):
+        pairs = [("ab", j, c - j) for j in range(c - s + 1, s)]
+        pairs.append(("mp", c - s + 1, 0))
+        plan.append((c, pairs, "emit"))
+    plan.append((2 * s - 1, [], "emit"))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Native-MUL (Comba) kernel for CA / FAST modes
+# ---------------------------------------------------------------------------
+
+# Register map: r0/r1 MUL output, r2..r10 the 72-bit accumulator,
+# r11/r12/r13 the rotating column triple, r14 zero, r16..r19 multiplicand
+# word, r20..r23 multiplier word (or quotient digit during digit steps).
+
+_ACC = list(range(2, 11))          # a0..a8
+_ZERO = "r14"
+
+
+def _load_word_comba(lines: List[str], kind: str, x: int, y: int,
+                     u_lo: int, u_hi: int,
+                     m_absolute: bool = False) -> List[int]:
+    """Load the two 4-byte factors; returns the multiplier byte offsets.
+
+    For 'ab': A[x] -> r16..r19 (via Y), B[y] -> r20..r23 (via Z).
+    For 'mp': m[x] -> r16..r19 (via Z+32, or LDS from the fixed quotient
+    scratch in subroutine mode), P_{s-1} -> r22/r23 immediates (u << 16 has
+    only bytes 2 and 3 non-zero).
+    """
+    if kind == "ab":
+        for o in range(4):
+            lines.append(f"    ldd r{16 + o}, Y+{4 * x + o}")
+        for o in range(4):
+            lines.append(f"    ldd r{20 + o}, Z+{4 * y + o}")
+        return [0, 1, 2, 3]
+    for o in range(4):
+        if m_absolute:
+            lines.append(f"    lds r{16 + o}, {ADDR_M + 4 * x + o}")
+        else:
+            lines.append(f"    ldd r{16 + o}, Z+{_M_OFF + 4 * x + o}")
+    lines.append(f"    ldi r22, {u_lo}")
+    lines.append(f"    ldi r23, {u_hi}")
+    return [2, 3]
+
+
+def _mac_block_comba(lines: List[str], multiplier_bytes: List[int]) -> None:
+    """acc(r2..r10) += (r16:r19) * multiplier bytes of (r20:r23).
+
+    Byte-Comba over the block's seven columns with a rotating 3-byte triple;
+    each column folds its low byte into the corresponding accumulator byte.
+    """
+    triple = [11, 12, 13]
+    lines.append(f"    clr r{triple[0]}")
+    lines.append(f"    clr r{triple[1]}")
+    lines.append(f"    clr r{triple[2]}")
+    max_off = 3 + max(multiplier_bytes)
+    for off in range(0, max_off + 1):
+        t0, t1, t2 = triple
+        for x in range(4):
+            y = off - x
+            if y in multiplier_bytes:
+                lines.append(f"    mul r{16 + x}, r{20 + y}")
+                lines.append(f"    add r{t0}, r0")
+                lines.append(f"    adc r{t1}, r1")
+                lines.append(f"    adc r{t2}, {_ZERO}")
+        # Fold the column's low byte into the accumulator.
+        lines.append(f"    add r{_ACC[off]}, r{t0}")
+        lines.append(f"    adc r{t1}, {_ZERO}")
+        lines.append(f"    adc r{t2}, {_ZERO}")
+        lines.append(f"    clr r{t0}")
+        triple = [t1, t2, t0]
+    # Remaining carries land in the next two accumulator bytes.
+    t0, t1 = triple[0], triple[1]
+    lines.append(f"    add r{_ACC[max_off + 1]}, r{t0}")
+    lines.append(f"    adc r{_ACC[max_off + 2]}, r{t1}")
+    # Ripple any carry to the top of the accumulator.
+    for k in range(max_off + 3, len(_ACC)):
+        lines.append(f"    adc r{_ACC[k]}, {_ZERO}")
+
+
+def _digit_step_comba(lines: List[str], column: int,
+                      m_absolute: bool = False) -> None:
+    """m[c] = -acc_low; acc += m[c]; store m[c]; shift acc right one word."""
+    for o in range(4):
+        lines.append(f"    mov r{20 + o}, r{_ACC[o]}")
+    for o in range(4):
+        lines.append(f"    com r{20 + o}")
+    lines.append("    sec")
+    for o in range(4):
+        lines.append(f"    adc r{20 + o}, {_ZERO}")   # m = ~acc_low + 1
+    for o in range(4):
+        if m_absolute:
+            lines.append(f"    sts {ADDR_M + 4 * column + o}, r{20 + o}")
+        else:
+            lines.append(f"    std Z+{_M_OFF + 4 * column + o}, r{20 + o}")
+    # acc += m (m * P0 with P0 = 1); the low word becomes zero.
+    lines.append(f"    add r{_ACC[0]}, r20")
+    for o in range(1, 4):
+        lines.append(f"    adc r{_ACC[o]}, r{20 + o}")
+    for k in range(4, len(_ACC)):
+        lines.append(f"    adc r{_ACC[k]}, {_ZERO}")
+    _shift_acc_comba(lines)
+
+
+def _shift_acc_comba(lines: List[str]) -> None:
+    """acc >>= 32 (the FIPS per-column word shift)."""
+    lines.append("    movw r2, r6")
+    lines.append("    movw r4, r8")
+    lines.append("    mov r6, r10")
+    for r in (7, 8, 9, 10):
+        lines.append(f"    clr r{r}")
+
+
+def _emit_word_comba(lines: List[str]) -> None:
+    """Store the accumulator's low word as the next result word."""
+    for o in range(4):
+        lines.append(f"    st X+, r{_ACC[o]}")
+    _shift_acc_comba(lines)
+
+
+def _final_subtract(lines: List[str], operand_bytes: int,
+                    carry_reg: str = "r20",
+                    subroutine: bool = False) -> None:
+    """Conditional subtraction of ``carry * p`` touching only LSW and MSW.
+
+    The low-weight shortcut from paper Section III-B: the interior bytes of
+    p are zero, so only the bottom word and the two `u` bytes are adjusted.
+    A borrow out of the bottom word (probability 2^-32) takes the explicit
+    ripple path through the zero bytes.  Masked u bytes must already sit in
+    r22/r23 (see :func:`_prepare_subtract_mask`).
+    """
+    n = operand_bytes
+    if subroutine:
+        # The result base was stashed at entry (caller-chosen address).
+        lines.append(f"    lds r26, {_SAVE_R}")
+        lines.append(f"    lds r27, {_SAVE_R + 1}")
+    else:
+        lines.append(f"    ldi r26, {ADDR_R & 0xFF}")
+        lines.append(f"    ldi r27, {ADDR_R >> 8}")   # X -> result base
+    # Bottom word: R[0..3] -= carry (p byte 0 is 1).
+    for o in range(4):
+        lines.append(f"    ld r{16 + o}, X+")
+    lines.append(f"    sub r16, {carry_reg}")
+    for o in range(1, 4):
+        lines.append(f"    sbc r{16 + o}, {_ZERO}")
+    for o in range(4):
+        lines.append(f"    st -X, r{19 - o}")
+    # The ripple block can exceed a conditional branch's ±64-word reach for
+    # large operands, so hop over an RJMP instead.
+    lines.append("    brcs ripple")
+    lines.append("    rjmp msw_sub")
+    lines.append("ripple:")
+    # Rare ripple (probability 2^-32): propagate the borrow through the
+    # zero bytes 4..n-5.  The SEC below re-establishes the borrow, so the
+    # flag-clobbering pointer arithmetic of the subroutine path is safe.
+    if subroutine:
+        lines.append(f"    lds r26, {_SAVE_R}")
+        lines.append(f"    lds r27, {_SAVE_R + 1}")
+        lines.append("    adiw r26, 4")
+    else:
+        lines.append(f"    ldi r26, {(ADDR_R + 4) & 0xFF}")
+        lines.append(f"    ldi r27, {(ADDR_R + 4) >> 8}")
+    lines.append("    sec")   # the borrow we branched on
+    for _ in range(n - 8):
+        lines.append("    ld r16, X")
+        lines.append(f"    sbc r16, {_ZERO}")
+        lines.append("    st X+, r16")
+    lines.append("msw_sub:")
+    # MSW: top word -= carry * u (u sits in the top two bytes; any pending
+    # borrow arrives through C).  LDS/LDI and LD leave C untouched.
+    if subroutine:
+        lines.append(f"    lds r26, {_SAVE_MSW}")
+        lines.append(f"    lds r27, {_SAVE_MSW + 1}")
+    else:
+        lines.append(f"    ldi r26, {(ADDR_R + n - 4) & 0xFF}")
+        lines.append(f"    ldi r27, {(ADDR_R + n - 4) >> 8}")
+    for o in range(4):
+        lines.append(f"    ld r{16 + o}, X+")
+    lines.append(f"    sbc r16, {_ZERO}")
+    lines.append(f"    sbc r17, {_ZERO}")
+    lines.append("    sbc r18, r22")
+    lines.append("    sbc r19, r23")
+    for o in range(4):
+        lines.append(f"    st -X, r{19 - o}")
+    lines.append("    ret" if subroutine else "    break")
+
+
+def _prepare_subtract_mask(lines: List[str], u_lo: int, u_hi: int,
+                           carry_reg: str = "r20") -> None:
+    """Materialise carry-masked u bytes in r22/r23 (flag-safe later use)."""
+    lines.append(f"    mov r21, {carry_reg}")
+    lines.append("    neg r21")
+    lines.append(f"    ldi r22, {u_lo}")
+    lines.append("    and r22, r21")
+    lines.append(f"    ldi r23, {u_hi}")
+    lines.append("    and r23, r21")
+
+
+def _save_result_pointer(lines: List[str], operand_bytes: int) -> None:
+    """Stash the caller's X (result base) and the MSW address in SRAM.
+
+    Subroutine-mode entry code: the final conditional subtraction needs to
+    re-walk the result, and LDS restores are flag-safe where LDI constants
+    are unavailable (the address is the caller's choice).
+    """
+    lines.append(f"    sts {_SAVE_R}, r26")
+    lines.append(f"    sts {_SAVE_R + 1}, r27")
+    lines.append(f"    adiw r26, {operand_bytes - 4}")
+    lines.append(f"    sts {_SAVE_MSW}, r26")
+    lines.append(f"    sts {_SAVE_MSW + 1}, r27")
+    lines.append(f"    sbiw r26, {operand_bytes - 4}")
+
+
+def generate_opf_mul_comba(constants: OpfConstants,
+                           subroutine: bool = False) -> str:
+    """Unrolled FIPS Montgomery multiplication with native AVR ``MUL``.
+
+    With ``subroutine=True`` the kernel is emitted as a callable routine:
+    the caller sets Y -> A, Z -> B, X -> result and CALLs it; the quotient
+    digits use the fixed ``ADDR_M`` scratch (absolute LDS/STS, same cycle
+    counts) and the routine ends with RET instead of BREAK.
+    """
+    constants.validate()
+    u_lo, u_hi = constants.u_lo, constants.u_hi
+    s = constants.num_words
+    lines = [f"; OPF {constants.bits}-bit FIPS Montgomery multiplication "
+             "(Comba, unrolled)"]
+    if subroutine:
+        _save_result_pointer(lines, constants.operand_bytes)
+    else:
+        lines += _pointer_setup()
+    lines.append(f"    clr {_ZERO}")
+    for r in _ACC:
+        lines.append(f"    clr r{r}")
+    for column, pairs, phase in _fips_schedule(s):
+        lines.append(f"; ---- column {column} ----")
+        for kind, x, y in pairs:
+            mult_bytes = _load_word_comba(lines, kind, x, y, u_lo, u_hi,
+                                          m_absolute=subroutine)
+            _mac_block_comba(lines, mult_bytes)
+        if phase == "digit":
+            _digit_step_comba(lines, column, m_absolute=subroutine)
+        else:
+            _emit_word_comba(lines)
+    # After the last emit the accumulator's low byte holds the carry bit.
+    lines.append("    mov r20, r2")
+    _prepare_subtract_mask(lines, u_lo, u_hi)
+    _final_subtract(lines, constants.operand_bytes, subroutine=subroutine)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# MAC-unit kernel for ISE mode
+# ---------------------------------------------------------------------------
+
+# Register map: r0..r8 the hardware 72-bit accumulator, r16..r19 the MAC
+# multiplicand, r24 the trigger register, r20..r23 scratch/digit, r25 zero,
+# r10..r13 the prefetch buffer of the optimised schedule.
+
+_MACCR = 0x28
+_ZERO_ISE = "r25"
+
+
+def _operand_loads(kind: str, x: int, u_lo: int, u_hi: int,
+                   target_base: int) -> List[str]:
+    """The four instructions that materialise a multiplicand word."""
+    if kind == "ab":
+        return [f"    ldd r{target_base + o}, Y+{4 * x + o}"
+                for o in range(4)]
+    return [f"    ldi r{target_base + 0}, 0",
+            f"    ldi r{target_base + 1}, 0",
+            f"    ldi r{target_base + 2}, {u_lo}",
+            f"    ldi r{target_base + 3}, {u_hi}"]
+
+
+def _trigger_offsets(kind: str, x: int, y: int,
+                     m_absolute: bool = False) -> List[Tuple[str, int]]:
+    """(addressing, value) pairs for the four trigger loads."""
+    if kind == "ab":
+        return [("Z", 4 * y + o) for o in range(4)]
+    if m_absolute:
+        return [("abs", ADDR_M + 4 * x + o) for o in range(4)]
+    return [("Z", _M_OFF + 4 * x + o) for o in range(4)]
+
+
+def _mac_product_simple(lines: List[str], kind: str, x: int, y: int,
+                        u_lo: int, u_hi: int,
+                        m_absolute: bool = False) -> None:
+    """One 32x32 product via 8 load-triggered nibble MACs (Algorithm 2).
+
+    The multiplicand (r16..r19) may only change while no MAC is pending, so
+    it is loaded first; the four loads into r24 then trigger two MACs each,
+    issued every other cycle per the paper's Algorithm 2 (a NOP fills each
+    MAC slot the simple schedule leaves empty).
+    """
+    lines += _operand_loads(kind, x, u_lo, u_hi, 16)
+    for mode_tag, off in _trigger_offsets(kind, x, y, m_absolute):
+        if mode_tag == "abs":
+            lines.append(f"    lds r24, {off}")
+        else:
+            lines.append(f"    ldd r24, Z+{off}")
+        lines.append("    nop")
+    lines.append("    nop")
+
+
+def _mac_product_optimized(lines: List[str], kind: str, x: int, y: int,
+                           u_lo: int, u_hi: int,
+                           next_product: Optional[Pair],
+                           prefetched: bool,
+                           m_absolute: bool = False) -> bool:
+    """Algorithm-2 product with the next multiplicand prefetched in the
+    MAC slots (the paper's scheduling: loads into scratch registers while
+    MACs drain, then two MOVWs once the unit is idle).
+
+    Returns True when the *next* product's multiplicand has been left in
+    r10..r13 for its MOVW pickup.
+    """
+    if prefetched:
+        # The multiplicand sits in r10..r13; the MAC unit is idle at product
+        # boundaries, so the MOVWs into r16..r19 are hazard-free.
+        lines.append("    movw r16, r10")
+        lines.append("    movw r18, r12")
+    else:
+        lines += _operand_loads(kind, x, u_lo, u_hi, 16)
+    # Slot filler: the next product's operand loads (4 of the 5 MAC slots).
+    fillers: List[str] = []
+    will_prefetch = False
+    if next_product is not None and next_product[0] == "ab":
+        fillers = [f"    ldd r{10 + o}, Y+{4 * next_product[1] + o}"
+                   for o in range(4)]
+        will_prefetch = True
+    offsets = _trigger_offsets(kind, x, y, m_absolute)
+    for i, (mode_tag, off) in enumerate(offsets):
+        if mode_tag == "abs":
+            lines.append(f"    lds r24, {off}")
+        else:
+            lines.append(f"    ldd r24, Z+{off}")
+        lines.append(fillers[i] if i < len(fillers) else "    nop")
+    lines.append("    nop")
+    return will_prefetch
+
+
+def _digit_step_mac(lines: List[str], column: int,
+                    m_absolute: bool = False) -> None:
+    """Digit computation on the hardware accumulator r0..r8."""
+    for o in range(4):
+        lines.append(f"    mov r{20 + o}, r{o}")
+    for o in range(4):
+        lines.append(f"    com r{20 + o}")
+    lines.append("    sec")
+    for o in range(4):
+        lines.append(f"    adc r{20 + o}, {_ZERO_ISE}")
+    for o in range(4):
+        if m_absolute:
+            lines.append(f"    sts {ADDR_M + 4 * column + o}, r{20 + o}")
+        else:
+            lines.append(f"    std Z+{_M_OFF + 4 * column + o}, r{20 + o}")
+    lines.append("    add r0, r20")
+    for o in range(1, 4):
+        lines.append(f"    adc r{o}, r{20 + o}")
+    for k in range(4, 9):
+        lines.append(f"    adc r{k}, {_ZERO_ISE}")
+    _shift_acc_mac(lines)
+
+
+def _shift_acc_mac(lines: List[str]) -> None:
+    """acc >>= 32 on r0..r8 (MOVW-heavy, as in the paper's mix)."""
+    lines.append("    movw r0, r4")
+    lines.append("    movw r2, r6")
+    lines.append("    mov r4, r8")
+    for r in (5, 6, 7, 8):
+        lines.append(f"    clr r{r}")
+
+
+def _emit_word_mac(lines: List[str]) -> None:
+    for o in range(4):
+        lines.append(f"    st X+, r{o}")
+    _shift_acc_mac(lines)
+
+
+def generate_opf_mul_mac(constants: OpfConstants,
+                         optimized: bool = True,
+                         subroutine: bool = False) -> str:
+    """Unrolled FIPS Montgomery multiplication on the (32 x 4)-bit MAC unit.
+
+    ``optimized=True`` (default) applies the operand-prefetch schedule; the
+    plain Algorithm-2 schedule (``optimized=False``) is kept for the
+    scheduling-ablation benchmark.  ``subroutine=True`` emits a callable
+    routine (caller sets Y -> A, Z -> B, X -> result, enables MACCR once).
+    """
+    constants.validate()
+    u_lo, u_hi = constants.u_lo, constants.u_hi
+    s = constants.num_words
+    style = "prefetch-scheduled" if optimized else "plain Algorithm 2"
+    lines = [f"; OPF {constants.bits}-bit FIPS Montgomery multiplication "
+             f"(MAC unit, ISE, {style})"]
+    if subroutine:
+        _save_result_pointer(lines, constants.operand_bytes)
+    else:
+        lines += _pointer_setup()
+    lines.append(f"    clr {_ZERO_ISE}")
+    # Enable the load-trigger mechanism and reset the nibble counter.
+    # (In subroutine mode the counter may carry state from a previous call,
+    # so the reset matters; the one-cycle OUT is part of every call.)
+    lines.append("    ldi r20, 0x82")
+    lines.append(f"    out {_MACCR}, r20")
+    for r in range(9):
+        lines.append(f"    clr r{r}")
+
+    # Flatten the schedule so each product can see its successor (the
+    # prefetch crosses digit/emit steps: those touch neither Y nor r10-r13).
+    plan = _fips_schedule(s)
+    flat: List[Tuple[Pair, Optional[Pair]]] = []
+    all_pairs = [pair for _, pairs, _ in plan for pair in pairs]
+    for i, pair in enumerate(all_pairs):
+        nxt = all_pairs[i + 1] if i + 1 < len(all_pairs) else None
+        flat.append((pair, nxt))
+    flat_iter = iter(flat)
+
+    prefetched = False
+    for column, pairs, phase in plan:
+        lines.append(f"; ---- column {column} ----")
+        for _ in pairs:
+            (kind, x, y), nxt = next(flat_iter)
+            if optimized:
+                prefetched = _mac_product_optimized(
+                    lines, kind, x, y, u_lo, u_hi, nxt, prefetched,
+                    m_absolute=subroutine,
+                )
+            else:
+                _mac_product_simple(lines, kind, x, y, u_lo, u_hi,
+                                    m_absolute=subroutine)
+        if phase == "digit":
+            _digit_step_mac(lines, column, m_absolute=subroutine)
+        else:
+            _emit_word_mac(lines)
+    lines.append("    mov r20, r0")
+    _prepare_subtract_mask(lines, u_lo, u_hi)
+    # The shared final subtraction uses r14 as its zero register.
+    lines.append("    clr r14")
+    _final_subtract(lines, constants.operand_bytes, subroutine=subroutine)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,65 @@
+"""Execution harness for the field-operation kernels.
+
+A :class:`KernelRunner` owns an :class:`~repro.avr.core.AvrCore` in a chosen
+mode, assembles a kernel once, and then exposes ``run(a, b) -> (result,
+cycles)`` with operands placed at the canonical SRAM addresses.  The Table I
+benchmarks call kernels through this harness and compare both the *values*
+(against the Python OPF library) and the *cycles* (against the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..avr.assembler import assemble
+from ..avr.core import AvrCore
+from ..avr.memory import ProgramMemory
+from ..avr.profiler import Profiler
+from ..avr.timing import Mode
+from .layout import ADDR_A, ADDR_B, ADDR_R, OPERAND_BYTES
+
+
+class KernelRunner:
+    """Assemble once, run many times with fresh operands."""
+
+    def __init__(self, source: str, mode: Mode = Mode.CA,
+                 hazard_policy: str = "error", sram_size: int = 8192):
+        self.source = source
+        self.mode = mode
+        self.program = assemble(source)
+        self.core = AvrCore(ProgramMemory(), mode=mode,
+                            hazard_policy=hazard_policy,
+                            sram_size=sram_size)
+        self.program.load_into(self.core.program)
+        self.profiler: Optional[Profiler] = None
+
+    @property
+    def code_bytes(self) -> int:
+        """Kernel size in flash bytes (a Table III 'ROM' contribution)."""
+        return self.program.size_bytes
+
+    def attach_profiler(self) -> Profiler:
+        self.profiler = Profiler()
+        self.core.attach_profiler(self.profiler)
+        return self.profiler
+
+    def run(self, a: int, b: Optional[int] = None,
+            operand_bytes: int = OPERAND_BYTES) -> Tuple[int, int]:
+        """Execute the kernel on operand(s); returns (result, cycles).
+
+        Operands are little-endian values of *operand_bytes* bytes placed at
+        the canonical addresses; the result is read from ``ADDR_R``.
+        """
+        core = self.core
+        core.data.load_bytes(ADDR_A, a.to_bytes(operand_bytes, "little"))
+        if b is not None:
+            core.data.load_bytes(ADDR_B, b.to_bytes(operand_bytes, "little"))
+        if self.profiler is not None:
+            self.profiler.reset()
+        core.reset(pc=0)
+        core.data.sp = core.data.size - 1
+        cycles = core.run()
+        result = int.from_bytes(
+            core.data.dump_bytes(ADDR_R, operand_bytes), "little"
+        )
+        return result, cycles

@@ -1,0 +1,191 @@
+"""AVR kernel: secp160r1 field multiplication (hybrid + fold reduction).
+
+The paper implements the standardized curve's arithmetic with "an unrolled
+variant of Gura et al's hybrid multiplication method … in combination with
+some prime-specific optimizations of the modular reduction" (Section V-B).
+This generator does the same:
+
+* **product phase** — the full 320-bit product via unrolled word-Comba
+  (byte-level hybrid blocks identical to the OPF kernel's), written to
+  scratch memory;
+* **reduction phase** — the pseudo-Mersenne fold for
+  ``p = 2^160 - 2^31 - 1``: since ``2^160 ≡ 2^31 + 1 (mod p)``,
+
+      lo + hi * 2^160  ≡  lo + hi + (hi >> 1) * 2^32 + (hi & 1) * 2^31
+
+  (because ``hi * 2^31 = (hi >> 1) * 2^32 + (hi & 1) * 2^31``).  The first
+  fold overflows 160 bits by at most ~32 bits (collected in the register
+  accumulator E); a second fold absorbs E; every carry out of a 2^160 chain
+  is exactly one extra ``+ (2^31 + 1)``, handled by a tiny final loop (the
+  same rare data-dependent tail every generalized-Mersenne implementation
+  has — reduction "via additions", as the paper contrasts with OPFs).
+
+The kernel returns an *incompletely reduced* value below ``2^160`` that is
+congruent to ``a * b mod p`` — the same contract as the OPF kernels.
+
+Register use in the fold: r0..r19 the running 160-bit result, r20 temp,
+r21..r24 the overflow accumulator E, r25 zero, r18/r26 — no: the carry
+counter lives in the otherwise-free XL register r26 until the final stores
+re-point X.  Z walks the product scratch (low half Z+0..19, high half
+Z+20..39, the halved high half q at Z+40..59).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layout import ADDR_A, ADDR_B, ADDR_R, ADDR_T
+from .mul_kernels import _ACC, _ZERO, _load_word_comba, _mac_block_comba
+
+#: secp160r1's prime.
+SECP_P = (1 << 160) - (1 << 31) - 1
+
+
+def _product_phase(lines: List[str]) -> None:
+    """T[0..39] = A * B via unrolled word-Comba (s = 5)."""
+    lines += [
+        f"    ldi r28, {ADDR_A & 0xFF}",
+        f"    ldi r29, {ADDR_A >> 8}",   # Y -> A
+        f"    ldi r30, {ADDR_B & 0xFF}",
+        f"    ldi r31, {ADDR_B >> 8}",   # Z -> B
+        f"    ldi r26, {ADDR_T & 0xFF}",
+        f"    ldi r27, {ADDR_T >> 8}",   # X -> T (product scratch)
+        f"    clr {_ZERO}",
+    ]
+    for r in _ACC:
+        lines.append(f"    clr r{r}")
+    for column in range(10):
+        lines.append(f"; ---- product column {column} ----")
+        low = max(0, column - 4)
+        high = min(column, 4)
+        for j in range(low, high + 1):
+            _load_word_comba(lines, "ab", j, column - j, 0, 0)
+            _mac_block_comba(lines, [0, 1, 2, 3])
+        # Emit the low word and shift the accumulator.
+        for o in range(4):
+            lines.append(f"    st X+, r{_ACC[o]}")
+        lines.append("    movw r2, r6")
+        lines.append("    movw r4, r8")
+        lines.append("    mov r6, r10")
+        for r in (7, 8, 9, 10):
+            lines.append(f"    clr r{r}")
+
+
+def _ripple(lines: List[str], start: int, count_reg: str = "r25") -> None:
+    """ADC the zero register through result bytes start..19."""
+    for i in range(start, 20):
+        lines.append(f"    adc r{i}, {count_reg}")
+
+
+def _fold_phase(lines: List[str]) -> None:
+    """R = T folded below 2^160 (congruent mod p)."""
+    lines.append("; ---- reduction: q = hi >> 1 (r = shifted-out bit) ----")
+    lines += [
+        f"    ldi r30, {ADDR_T & 0xFF}",
+        f"    ldi r31, {ADDR_T >> 8}",   # Z -> T
+        "    clr r25",
+    ]
+    # q bytes written MSB-first so ROR chains the inter-byte carry.
+    lines.append("    clc")
+    for i in range(19, -1, -1):
+        lines.append(f"    ldd r20, Z+{20 + i}")
+        lines.append("    ror r20")
+        lines.append(f"    std Z+{40 + i}, r20")
+    lines.append("    clr r24")
+    lines.append("    rol r24")            # r24 = r = hi & 1 (flag-safe grab)
+
+    lines.append("; ---- R = lo; E and the wrap counter start at zero ----")
+    for i in range(20):
+        lines.append(f"    ldd r{i}, Z+{i}")
+    for reg in ("r21", "r22", "r23", "r26"):
+        lines.append(f"    clr {reg}")      # E low bytes + wrap counter
+
+    lines.append("; ---- R += hi ----")
+    for i in range(20):
+        lines.append(f"    ldd r20, Z+{20 + i}")
+        lines.append(f"    {'add' if i == 0 else 'adc'} r{i}, r20")
+    lines.append("    adc r21, r25")        # E0 += carry
+
+    lines.append("; ---- R += r * 2^31 (bit 7 of byte 3) ----")
+    lines.append("    mov r20, r24")
+    lines.append("    lsr r20")             # C = r, r20 = 0
+    lines.append("    ror r20")             # r20 = r << 7, C = 0
+    lines.append("    clr r24")             # E's top byte, now that r is used
+    lines.append("    add r3, r20")
+    _ripple(lines, 4)
+    lines.append("    adc r21, r25")
+    lines.append("    adc r22, r25")
+
+    lines.append("; ---- R += q * 2^32 (q bytes 0..15 at offset 4) ----")
+    for i in range(16):
+        lines.append(f"    ldd r20, Z+{40 + i}")
+        lines.append(f"    {'add' if i == 0 else 'adc'} r{4 + i}, r20")
+    lines.append("    adc r21, r25")
+    lines.append("    adc r22, r25")
+    lines.append("; ---- E += q bytes 16..19 ----")
+    for i in range(4):
+        lines.append(f"    ldd r20, Z+{56 + i}")
+        lines.append(f"    {'add' if i == 0 else 'adc'} r{21 + i}, r20")
+    # E (r21..r24) <= 2^32 + 3: the carry chain ends inside r24.
+
+    lines.append("; ---- second fold: R += E; each chain carry is one "
+                 "2^160 wrap ----")
+    lines.append("    add r0, r21")
+    lines.append("    adc r1, r22")
+    lines.append("    adc r2, r23")
+    lines.append("    adc r3, r24")
+    _ripple(lines, 4)
+    lines.append("    adc r26, r25")        # wrap count += carry
+    # E >>= 1 (4-byte ROR chain); C ends as E&1.
+    lines.append("    lsr r24")
+    lines.append("    ror r23")
+    lines.append("    ror r22")
+    lines.append("    ror r21")
+    lines.append("    clr r20")
+    lines.append("    ror r20")             # r20 = (E&1) << 7, C = 0
+    lines.append("; R += (E>>1) * 2^32")
+    lines.append("    add r4, r21")
+    lines.append("    adc r5, r22")
+    lines.append("    adc r6, r23")
+    lines.append("    adc r7, r24")
+    _ripple(lines, 8)
+    lines.append("    adc r26, r25")
+    lines.append("; R += (E&1) * 2^31")
+    lines.append("    add r3, r20")
+    _ripple(lines, 4)
+    lines.append("    adc r26, r25")
+
+    lines.append("; ---- residual wraps: each is one '+ (2^31 + 1)' ----")
+    lines.append("fold_loop:")
+    lines.append("    tst r26")
+    lines.append("    breq fold_done")
+    lines.append("    dec r26")
+    lines.append("    ldi r20, 0x80")
+    lines.append("    add r3, r20")         # += 2^31
+    _ripple(lines, 4)
+    lines.append("    adc r26, r25")        # a new wrap, if any
+    lines.append("    sec")
+    lines.append("    adc r0, r25")         # += 1
+    _ripple(lines, 1)
+    lines.append("    adc r26, r25")
+    lines.append("    rjmp fold_loop")
+    lines.append("fold_done:")
+
+    lines.append("; ---- store result ----")
+    lines += [
+        f"    ldi r26, {ADDR_R & 0xFF}",
+        f"    ldi r27, {ADDR_R >> 8}",
+    ]
+    for i in range(20):
+        lines.append(f"    st X+, r{i}")
+    lines.append("    break")
+
+
+def generate_secp160r1_mul() -> str:
+    """Unrolled secp160r1 field multiplication (hybrid + fold reduction)."""
+    lines: List[str] = [
+        "; secp160r1 160x160 multiplication with pseudo-Mersenne folds",
+    ]
+    _product_phase(lines)
+    _fold_phase(lines)
+    return "\n".join(lines) + "\n"

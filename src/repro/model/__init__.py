@@ -1,0 +1,69 @@
+"""Cycle, area, power and SARP models plus the paper's published data.
+
+* :mod:`~repro.model.paper_data` — every table of the paper as data.
+* :mod:`~repro.model.cycles` — per-field-op costs (paper Table I or
+  measured on our simulator kernels).
+* :mod:`~repro.model.opcost` — instrumented scalar multiplications priced
+  into cycle estimates (Tables II and III).
+* :mod:`~repro.model.area` / :mod:`~repro.model.power` — GE and µW models
+  calibrated against Table III.
+* :mod:`~repro.model.sarp` — the scaled area-runtime product.
+"""
+
+from .area import AreaModel, calibration_report
+from .cycles import (
+    MUL_SMALL_RATIO,
+    FieldOpCosts,
+    costs_for,
+    measured_costs,
+    paper_costs,
+)
+from .inversion_model import (
+    InversionTrace,
+    estimate_inversion_cycles,
+    fermat_inversion_cycles,
+    inversion_cycle_spread,
+    price_trace,
+    trace_kaliski,
+)
+from .opcost import (
+    CONSTANT_METHODS,
+    HIGHSPEED_METHODS,
+    PointMultMeasurement,
+    measure_point_mult,
+    price,
+    run_method,
+)
+from .power import PowerEstimate, PowerModel, energy_uj, paper_energy_range
+from .sarp import REFERENCE, paper_sarp_check, reference_product, sarp, sarp_table
+
+__all__ = [
+    "InversionTrace",
+    "estimate_inversion_cycles",
+    "fermat_inversion_cycles",
+    "inversion_cycle_spread",
+    "price_trace",
+    "trace_kaliski",
+    "AreaModel",
+    "CONSTANT_METHODS",
+    "FieldOpCosts",
+    "HIGHSPEED_METHODS",
+    "MUL_SMALL_RATIO",
+    "PointMultMeasurement",
+    "PowerEstimate",
+    "PowerModel",
+    "REFERENCE",
+    "calibration_report",
+    "costs_for",
+    "energy_uj",
+    "measure_point_mult",
+    "measured_costs",
+    "paper_costs",
+    "paper_energy_range",
+    "paper_sarp_check",
+    "price",
+    "reference_product",
+    "run_method",
+    "sarp",
+    "sarp_table",
+]

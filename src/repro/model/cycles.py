@@ -1,0 +1,152 @@
+"""Per-field-operation cycle costs for the three processor modes.
+
+Two cost sources:
+
+* ``paper`` — Table I of the paper (240/145-cycle add, 3314/2537/552-cycle
+  multiplication, 189k/128k/124k-cycle inversion).
+* ``measured`` — our assembly kernels executed on the JAAVR simulator
+  (:mod:`repro.kernels`); inversion, which has no kernel, is the paper value
+  scaled by the measured-vs-paper multiplication ratio.
+
+The secp160r1 profile has no Table I column of its own; the paper's Table II
+shows its NAF point multiplication running 2.2% above the OPF Weierstraß
+curve, so its multiplication is priced at that documented ratio (its
+generalized-Mersenne reduction is adds-only but the hybrid product is the
+same size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict
+
+from ..avr.timing import Mode
+from ..kernels.addsub_kernel import generate_modadd, generate_modsub
+from ..kernels.layout import OpfConstants
+from ..kernels.mul_kernels import generate_opf_mul_comba, generate_opf_mul_mac
+from ..kernels.runner import KernelRunner
+from ..kernels.secp_kernel import generate_secp160r1_mul
+from .paper_data import TABLE1_RUNTIMES
+
+#: Ratio of a small-constant multiplication to a full multiplication
+#: (paper Section II-B: "some 0.25-0.3 M"; we use the midpoint).
+MUL_SMALL_RATIO = 0.27
+
+#: secp160r1 multiplication cost relative to the OPF multiplication
+#: (derived from the paper's Table II secp160r1-vs-Weierstraß gap).
+SECP160R1_MUL_RATIO = 7136.0 / 6983.0
+
+
+@dataclass(frozen=True)
+class FieldOpCosts:
+    """Cycle costs of each counted field operation."""
+
+    add: float
+    sub: float
+    neg: float
+    mul: float
+    sqr: float
+    mul_small: float
+    inv: float
+    source: str = "paper"
+    mode: str = "CA"
+
+    def scaled(self, factor: float, source: str) -> "FieldOpCosts":
+        return FieldOpCosts(
+            add=self.add, sub=self.sub, neg=self.neg,
+            mul=self.mul * factor, sqr=self.sqr * factor,
+            mul_small=self.mul_small * factor, inv=self.inv,
+            source=source, mode=self.mode,
+        )
+
+
+def paper_costs(mode: Mode, profile: str = "opf") -> FieldOpCosts:
+    """Table I costs (squaring priced as a multiplication, as in the paper's
+    library, which has no dedicated squaring routine)."""
+    key = mode.value
+    add = float(TABLE1_RUNTIMES["addition"][key])
+    mul = float(TABLE1_RUNTIMES["multiplication"][key])
+    inv = float(TABLE1_RUNTIMES["inversion"][key])
+    costs = FieldOpCosts(
+        add=add, sub=add, neg=add, mul=mul, sqr=mul,
+        mul_small=MUL_SMALL_RATIO * mul, inv=inv,
+        source="paper", mode=key,
+    )
+    if profile == "secp160r1":
+        return costs.scaled(SECP160R1_MUL_RATIO, "paper/secp160r1")
+    if profile in ("opf", "generic"):
+        return costs
+    raise ValueError(f"unknown cost profile {profile!r}")
+
+
+@lru_cache(maxsize=None)
+def _measured_table(u: int, k: int) -> Dict[str, Dict[str, int]]:
+    """Run the kernels once per (u, k) and cache their cycle counts."""
+    constants = OpfConstants(u=u, k=k)
+    sample_a = (0xA5A5 << 128) | 0x1357_9BDF
+    sample_b = (0x5A5A << 120) | 0x2468_ACE0
+    out: Dict[str, Dict[str, int]] = {"addition": {}, "subtraction": {},
+                                      "multiplication": {},
+                                      "secp_multiplication": {}}
+    for mode in (Mode.CA, Mode.FAST):
+        add = KernelRunner(generate_modadd(constants), mode=mode)
+        sub = KernelRunner(generate_modsub(constants), mode=mode)
+        mul = KernelRunner(generate_opf_mul_comba(constants), mode=mode)
+        secp = KernelRunner(generate_secp160r1_mul(), mode=mode)
+        out["addition"][mode.value] = add.run(sample_a, sample_b)[1]
+        out["subtraction"][mode.value] = sub.run(sample_a, sample_b)[1]
+        out["multiplication"][mode.value] = mul.run(sample_a, sample_b)[1]
+        out["secp_multiplication"][mode.value] = secp.run(sample_a,
+                                                          sample_b)[1]
+    mac = KernelRunner(generate_opf_mul_mac(constants), mode=Mode.ISE)
+    out["addition"]["ISE"] = out["addition"]["FAST"]
+    out["subtraction"]["ISE"] = out["subtraction"]["FAST"]
+    out["multiplication"]["ISE"] = mac.run(sample_a, sample_b)[1]
+    # secp160r1's generalized-Mersenne reduction gains nothing from the MAC
+    # unit's reduction trick, but the hybrid product does; model its ISE
+    # multiplication as the OPF MAC product plus the fold-reduction excess.
+    fold_excess = (out["secp_multiplication"]["FAST"]
+                   - out["multiplication"]["FAST"])
+    out["secp_multiplication"]["ISE"] = (
+        out["multiplication"]["ISE"] + max(0, fold_excess)
+    )
+    return out
+
+
+def measured_costs(mode: Mode, profile: str = "opf",
+                   u: int = 65356, k: int = 144) -> FieldOpCosts:
+    """Costs measured by running our kernels on the simulator.
+
+    Inversion (no kernel) is the paper figure scaled by the measured/paper
+    multiplication ratio for the mode.
+    """
+    table = _measured_table(u, k)
+    key = mode.value
+    add = float(table["addition"][key])
+    mul = float(table["multiplication"][key])
+    paper_mul = float(TABLE1_RUNTIMES["multiplication"][key])
+    inv = float(TABLE1_RUNTIMES["inversion"][key]) * (mul / paper_mul)
+    if profile == "secp160r1":
+        mul = float(table["secp_multiplication"][key])
+        inv = float(TABLE1_RUNTIMES["inversion"][key]) * (mul / paper_mul)
+        return FieldOpCosts(
+            add=add, sub=float(table["subtraction"][key]), neg=add,
+            mul=mul, sqr=mul, mul_small=MUL_SMALL_RATIO * mul, inv=inv,
+            source="measured/secp160r1", mode=key,
+        )
+    return FieldOpCosts(
+        add=add, sub=float(table["subtraction"][key]), neg=add,
+        mul=mul, sqr=mul, mul_small=MUL_SMALL_RATIO * mul, inv=inv,
+        source="measured", mode=key,
+    )
+
+
+def costs_for(mode: Mode, source: str = "paper",
+              profile: str = "opf") -> FieldOpCosts:
+    """Dispatch on the cost source ('paper' or 'measured')."""
+    if source == "paper":
+        return paper_costs(mode, profile)
+    if source == "measured":
+        return measured_costs(mode, profile)
+    raise ValueError(f"unknown cost source {source!r}")

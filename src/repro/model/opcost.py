@@ -1,0 +1,128 @@
+"""Pricing point multiplications: field-op counts × per-op cycle costs.
+
+This is the paper's own accounting ("5.3 M + 4 S per bit" etc.) made
+executable: a scalar multiplication runs on the *instrumented* field, its
+exact operation counts are captured, and the cycle estimate is the weighted
+sum under a :class:`~repro.model.cycles.FieldOpCosts`.
+
+``measure_point_mult`` runs one (curve, method) cell of Table II/III on a
+fresh suite and returns both the counts and the cycle estimates for every
+mode, so the benchmark harness just formats rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..avr.timing import Mode
+from ..curves.params import CurveSuite, make_suite
+from ..field.counters import FieldOpCounter
+from ..scalarmult import (
+    adapter_for,
+    coz_ladder_xy,
+    glv_scalar_mult,
+    montgomery_ladder_x,
+    scalar_mult_daaa,
+    scalar_mult_naf,
+)
+from .cycles import FieldOpCosts, costs_for
+
+#: Table II methods per curve: high-speed and constant-round selections.
+HIGHSPEED_METHODS: Dict[str, str] = {
+    "secp160r1": "naf",
+    "weierstrass": "naf",
+    "edwards": "naf",
+    "montgomery": "ladder",
+    "glv": "glv-jsf",
+}
+
+CONSTANT_METHODS: Dict[str, str] = {
+    "secp160r1": "coz-ladder",
+    "weierstrass": "coz-ladder",
+    "edwards": "daaa",
+    "montgomery": "ladder",
+    "glv": "coz-ladder",
+}
+
+
+def price(counter: FieldOpCounter, costs: FieldOpCosts) -> float:
+    """Cycle estimate for a batch of counted field operations."""
+    return (
+        counter.add * costs.add
+        + counter.sub * costs.sub
+        + counter.neg * costs.neg
+        + counter.mul * costs.mul
+        + counter.sqr * costs.sqr
+        + counter.mul_small * costs.mul_small
+        + counter.inv * costs.inv
+    )
+
+
+@dataclass
+class PointMultMeasurement:
+    """One (curve, method) cell: counts plus per-mode cycle estimates."""
+
+    curve: str
+    method: str
+    scalar: int
+    counts: FieldOpCounter
+    #: mode name -> estimated cycles (under the chosen cost source)
+    cycles: Dict[str, float]
+    cost_source: str
+
+    @property
+    def kcycles(self) -> Dict[str, float]:
+        return {mode: cyc / 1000.0 for mode, cyc in self.cycles.items()}
+
+
+def run_method(suite: CurveSuite, method: str, k: int) -> None:
+    """Execute one scalar multiplication; counts accumulate in the field."""
+    curve, base = suite.curve, suite.base
+    if method == "naf":
+        scalar_mult_naf(adapter_for(curve, base), k)
+    elif method == "daaa":
+        scalar_mult_daaa(adapter_for(curve, base), k, bits=suite.scalar_bits)
+    elif method == "ladder":
+        xz = montgomery_ladder_x(curve, k, base, bits=suite.scalar_bits)
+        if not xz.is_infinity():
+            curve.x_affine(xz)  # final inversion, as in the paper
+    elif method == "coz-ladder":
+        # The register-light (X, Y)-only variant, as in the paper.
+        coz_ladder_xy(curve, k, base)
+    elif method == "glv-jsf":
+        glv_scalar_mult(curve, k, base)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+
+def measure_point_mult(curve_key: str, method: str,
+                       scalar: Optional[int] = None,
+                       source: str = "paper",
+                       seed: int = 0xEC) -> PointMultMeasurement:
+    """Run one scalar multiplication and price it for all three modes.
+
+    A fresh suite is constructed so the counters start at zero; the scalar
+    defaults to a random 160-bit value with the top bit set (a full-length
+    scalar, as the constant-round methods assume).
+    """
+    if scalar is None:
+        rng = random.Random(seed)
+        scalar = rng.getrandbits(160) | (1 << 159)
+        if curve_key == "glv":
+            scalar %= make_suite("glv").order
+    suite = make_suite(curve_key)
+    profile = suite.field.cost_profile
+    if profile == "generic":
+        profile = "opf"
+    run_method(suite, method, scalar)
+    counts = suite.field.counter.copy()
+    cycles = {
+        mode.value: price(counts, costs_for(mode, source, profile))
+        for mode in (Mode.CA, Mode.FAST, Mode.ISE)
+    }
+    return PointMultMeasurement(
+        curve=curve_key, method=method, scalar=scalar,
+        counts=counts, cycles=cycles, cost_source=source,
+    )

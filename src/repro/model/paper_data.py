@@ -1,0 +1,181 @@
+"""Every number the paper reports, as structured data.
+
+These constants serve two purposes: (1) the benchmark harnesses print
+paper-vs-measured columns from them, and (2) the area/power models are
+calibrated against Table III (we cannot synthesize a 130 nm UMC netlist in
+Python; DESIGN.md documents this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Table I: OPF field-operation runtimes (cycles) and JAAVR core area (GE)
+# ---------------------------------------------------------------------------
+
+TABLE1_RUNTIMES: Dict[str, Dict[str, int]] = {
+    "addition": {"CA": 240, "FAST": 145, "ISE": 145},
+    "subtraction": {"CA": 240, "FAST": 145, "ISE": 145},
+    "multiplication": {"CA": 3314, "FAST": 2537, "ISE": 552},
+    "inversion": {"CA": 189_000, "FAST": 128_000, "ISE": 124_000},
+}
+
+TABLE1_JAAVR_AREA_GE: Dict[str, int] = {"CA": 6166, "FAST": 6800, "ISE": 8344}
+
+# ---------------------------------------------------------------------------
+# Table II: point-multiplication times on a standard ATmega128 (kCycles)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    curve: str
+    highspeed_method: str
+    highspeed_kcycles: float
+    constant_method: str
+    constant_kcycles: float
+
+
+TABLE2: Tuple[Table2Row, ...] = (
+    Table2Row("secp160r1", "NAF", 7136, "Mon", 8722),
+    Table2Row("weierstrass", "NAF", 6983, "Mon", 8824),
+    Table2Row("edwards", "NAF", 5597, "DAAA", 8251),
+    Table2Row("montgomery", "Mon", 5545, "Mon", 5545),
+    Table2Row("glv", "End, JSF", 3930, "Mon", 8132),
+)
+
+# ---------------------------------------------------------------------------
+# Table III: synthesis results per curve and mode
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    curve: str
+    mode: str
+    point_mult_cycles: int
+    rom_bytes: int
+    jaavr_ge: int
+    rom_ge: int
+    ram_ge: int
+    total_ge: int
+    jaavr_uw: float
+    rom_uw: float
+    total_uw: float
+    sarp: float
+
+
+TABLE3: Tuple[Table3Row, ...] = (
+    Table3Row("weierstrass", "CA", 6_982_629, 6224, 6166, 9091, 4485,
+              19742, 18.8, 109.5, 138.8, 1.00),
+    Table3Row("edwards", "CA", 5_596_860, 6022, 6166, 8694, 4712,
+              19572, 18.0, 81.9, 110.1, 1.26),
+    Table3Row("montgomery", "CA", 5_545_078, 6824, 6167, 9542, 4359,
+              20068, 17.9, 60.0, 88.9, 1.24),
+    Table3Row("glv", "CA", 3_930_256, 8638, 6166, 12413, 6450,
+              25029, 16.8, 87.1, 115.7, 1.40),
+    Table3Row("weierstrass", "FAST", 5_254_706, 6224, 6800, 9071, 4485,
+              20355, 18.6, 60.2, 89.7, 1.29),
+    Table3Row("edwards", "FAST", 4_214_289, 6022, 6802, 8695, 4712,
+              20208, 19.4, 50.1, 80.9, 1.62),
+    Table3Row("montgomery", "FAST", 4_165_405, 6824, 6803, 9533, 4359,
+              20695, 18.3, 15.4, 45.4, 1.60),
+    Table3Row("glv", "FAST", 2_939_929, 8638, 6802, 12413, 6450,
+              25665, 19.5, 68.0, 99.9, 1.83),
+    Table3Row("weierstrass", "ISE", 1_542_981, 6290, 8344, 8718, 4485,
+              21546, 18.7, 58.4, 88.5, 4.15),
+    Table3Row("edwards", "ISE", 1_230_663, 6128, 8345, 8562, 4359,
+              21266, 20.7, 67.3, 99.8, 5.27),
+    Table3Row("montgomery", "ISE", 1_299_598, 5752, 8343, 7926, 4712,
+              20980, 21.8, 14.4, 49.5, 5.06),
+    Table3Row("glv", "ISE", 1_001_302, 8640, 8330, 12078, 6450,
+              26858, 19.5, 78.5, 111.1, 5.13),
+)
+
+#: Data-memory (RAM) requirements per curve, bytes (Section V-C).
+RAM_BYTES: Dict[str, int] = {
+    "weierstrass": 528,
+    "montgomery": 505,
+    "edwards": 567,
+    "glv": 865,
+}
+
+# ---------------------------------------------------------------------------
+# Table IV: related hardware implementations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    reference: str
+    field_type: str
+    field_bits: int
+    runtime_kcycles: int
+    area_ge: int
+
+
+TABLE4_RELATED: Tuple[Table4Row, ...] = (
+    Table4Row("Koschuch et al. [15]", "GF(2^m)", 163, 1190, 29491),
+    Table4Row("Fuerbass et al. [5]", "GF(p)", 160, 362, 19000),
+    Table4Row("Hein et al. [11]", "GF(2^m)", 163, 296, 13250),
+    Table4Row("Lee et al. [16]", "GF(2^m)", 163, 302, 12506),
+    Table4Row("Wenger et al. [25]", "GF(p)", 192, 1377, 11686),
+)
+
+TABLE4_OUR_WORK = Table4Row("Our Work (Mon)", "GF(p)", 160, 1300, 20980)
+
+# ---------------------------------------------------------------------------
+# Table V: related ATmega128 software implementations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    reference: str
+    curve: str
+    kcycles: float
+
+
+TABLE5_RELATED: Tuple[Table5Row, ...] = (
+    Table5Row("Wang et al. [23]", "secp160r1", 15060),
+    Table5Row("Liu et al. (TinyECC) [17]", "secp160r1", 9953),
+    Table5Row("Ugus et al. [22]", "Weierstrass, GM prime", 9376),
+    Table5Row("Szczechowiak et al. [21]", "secp160r1", 7594),
+    Table5Row("Gura et al. [9]", "secp160r1", 6480),
+    Table5Row("Grossschaedl et al. [8]", "GLV, OPF", 5480),
+)
+
+TABLE5_OUR_ROWS: Tuple[Table5Row, ...] = (
+    Table5Row("Our Work (Montgomery, OPF)", "Montgomery, OPF", 5545),
+    Table5Row("Our Work (GLV, OPF)", "GLV, OPF", 3930),
+)
+
+# ---------------------------------------------------------------------------
+# Section IV-A: the 552-cycle ISE multiplication's instruction mix
+# ---------------------------------------------------------------------------
+
+ISE_MUL_INSTRUCTION_MIX: Dict[str, int] = {
+    "loads": 204,          # LD + LDD, of which ...
+    "mac_triggering_loads": 100,
+    "stores": 40,
+    "movw": 83,
+    "swap": 40,
+    "nop": 31,
+}
+
+#: Further paper facts used by benches and tests.
+INNER_LOOP_CYCLES = 101           # FIPS inner-loop iteration (Section III-B)
+MUL_NO_REDUCTION_CYCLES = 2840    # 160x160 product without reduction
+ENERGY_RANGE_UJ = (455.0, 969.0)  # CA-mode energy per point mult (GLV..Weier)
+CLOCK_MHZ = 20                    # desired operating frequency
+MICAZ_CLOCK_MHZ = 7.3728          # footnote 1
+
+
+def table3_row(curve: str, mode: str) -> Optional[Table3Row]:
+    """Lookup helper used by the models and benches."""
+    for row in TABLE3:
+        if row.curve == curve and row.mode == mode:
+            return row
+    return None

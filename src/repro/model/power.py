@@ -1,0 +1,84 @@
+"""Power and energy model (placed-and-routed simulation substitutes).
+
+The paper reports simulated power at 1 MHz for the CPU (17-22 µW), the RAM
+(1.2-5.4 µW) and the synthesized program memory (up to 110 µW, dominated by
+access activity).  Those numbers come from gate-level simulation we cannot
+rerun, so:
+
+* For the twelve Table III configurations the model returns the paper's own
+  values (calibration data).
+* For novel configurations it falls back to a regression: CPU power is the
+  per-mode mean, ROM power scales with ROM bytes (the activity-dependent
+  residual is documented as the model's uncertainty).
+
+The *energy* computation on top is exact arithmetic, and reproduces the
+paper's 455-969 µJ range: E [µJ] = total µW × cycles / f(1 MHz) / 10^6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, Optional, Tuple
+
+from ..avr.timing import Mode
+from .paper_data import TABLE3, table3_row
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    cpu_uw: float
+    rom_uw: float
+    total_uw: float
+    source: str  # 'paper' or 'regression'
+
+
+class PowerModel:
+    """Per-configuration power at 1 MHz."""
+
+    def __init__(self):
+        self._cpu_mean: Dict[str, float] = {}
+        rom_points = []
+        for mode in ("CA", "FAST", "ISE"):
+            rows = [r for r in TABLE3 if r.mode == mode]
+            self._cpu_mean[mode] = mean(r.jaavr_uw for r in rows)
+        for r in TABLE3:
+            rom_points.append((r.rom_bytes, r.rom_uw))
+        num = sum(x * y for x, y in rom_points)
+        den = sum(x * x for x, _ in rom_points)
+        self._rom_uw_per_byte = num / den
+
+    def estimate(self, curve: str, mode: Mode,
+                 rom_bytes: Optional[int] = None) -> PowerEstimate:
+        row = table3_row(curve, mode.value)
+        if row is not None and (rom_bytes is None
+                                or rom_bytes == row.rom_bytes):
+            return PowerEstimate(cpu_uw=row.jaavr_uw, rom_uw=row.rom_uw,
+                                 total_uw=row.total_uw, source="paper")
+        rom_bytes = rom_bytes if rom_bytes is not None else 6000
+        cpu = self._cpu_mean[mode.value]
+        rom = self._rom_uw_per_byte * rom_bytes
+        # RAM power (1.2-5.4 µW) folded into a midpoint constant.
+        ram = 3.3
+        return PowerEstimate(cpu_uw=cpu, rom_uw=rom,
+                             total_uw=cpu + rom + ram, source="regression")
+
+
+def energy_uj(total_uw: float, cycles: float,
+              clock_hz: float = 1_000_000.0) -> float:
+    """Energy of one operation: power × time.
+
+    At the paper's 1 MHz reference clock a 6.98 Mcycle Weierstraß point
+    multiplication at 138.8 µW costs 969 µJ — exactly Table/Section V-C.
+    """
+    seconds = cycles / clock_hz
+    return total_uw * seconds
+
+
+def paper_energy_range() -> Tuple[float, float]:
+    """Min/max CA-mode energy per point multiplication from Table III."""
+    values = []
+    for row in TABLE3:
+        if row.mode == "CA":
+            values.append(energy_uj(row.total_uw, row.point_mult_cycles))
+    return min(values), max(values)

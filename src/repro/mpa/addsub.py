@@ -1,0 +1,209 @@
+"""Word-level addition and subtraction with the paper's reduction semantics.
+
+Section III-A of the paper describes modular addition/subtraction with
+*incomplete reduction*: results are kept in the range ``[0, 2^n - 1]`` rather
+than ``[0, p - 1]``.  The carry bit of the final word addition decides whether
+the modulus is subtracted, which is cheaper than an exact magnitude
+comparison.  To obtain branch-less (constant-time) code the implementation
+always performs **two** subtractions of ``c * p``, updating the carry bit
+after the first one.
+
+These routines model that behaviour exactly at word granularity, including
+the low-weight-prime shortcut (only the most- and least-significant words of
+``p`` are non-zero, so the conditional subtraction normally touches only two
+words) and the rare borrow-propagation case the paper calls out (probability
+``2^-32`` for w = 32).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .counters import NULL_COUNTER, WordOpCounter
+from .words import DEFAULT_WORD_BITS, word_mask
+
+
+def add_words(
+    a: Sequence[int],
+    b: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> Tuple[List[int], int]:
+    """Multi-word addition ``a + b``; returns (sum words, carry-out bit).
+
+    Mirrors the AVR ``ADD`` / ``ADC`` carry chain: word 0 is added without
+    carry-in, every further word with the carry of the previous one.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"operand lengths differ: {len(a)} vs {len(b)}")
+    mask = word_mask(word_bits)
+    out: List[int] = []
+    carry = 0
+    for ai, bi in zip(a, b):
+        t = ai + bi + carry
+        out.append(t & mask)
+        carry = t >> word_bits
+        counter.add += 1
+        counter.load += 2
+        counter.store += 1
+    return out, carry
+
+
+def sub_words(
+    a: Sequence[int],
+    b: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> Tuple[List[int], int]:
+    """Multi-word subtraction ``a - b``; returns (difference words, borrow bit).
+
+    A borrow of 1 means the true difference is negative and the returned words
+    represent ``a - b + 2^(len*w)`` (two's-complement wrap), exactly like a
+    chain of AVR ``SUB`` / ``SBC`` instructions.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"operand lengths differ: {len(a)} vs {len(b)}")
+    mask = word_mask(word_bits)
+    out: List[int] = []
+    borrow = 0
+    for ai, bi in zip(a, b):
+        t = ai - bi - borrow
+        out.append(t & mask)
+        borrow = 1 if t < 0 else 0
+        counter.sub += 1
+        counter.load += 2
+        counter.store += 1
+    return out, borrow
+
+
+def sub_scaled_words(
+    a: Sequence[int],
+    b: Sequence[int],
+    scale: int,
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> Tuple[List[int], int]:
+    """Branch-less conditional subtraction ``a - scale * b`` with scale in {0, 1}.
+
+    This is the paper's "always subtract c * p" construction: the same
+    instruction sequence executes regardless of the condition bit, so the
+    control flow leaks nothing about the operands.
+    """
+    if scale not in (0, 1):
+        raise ValueError(f"scale must be 0 or 1, got {scale}")
+    masked_b = [w * scale for w in b]
+    return sub_words(a, masked_b, word_bits, counter)
+
+
+def modadd_incomplete(
+    a: Sequence[int],
+    b: Sequence[int],
+    p_words: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Modular addition with incomplete reduction (paper Section III-A).
+
+    Inputs may themselves be incompletely reduced (any value below ``2^n``
+    where ``n = len * w``).  The result is congruent to ``a + b mod p`` and
+    again below ``2^n``.  Two branch-less conditional subtractions of
+    ``c * p`` are performed, with the carry bit updated in between.
+    """
+    total, carry = add_words(a, b, word_bits, counter)
+    # First conditional subtraction of c * p.
+    total, borrow = sub_scaled_words(total, p_words, carry, word_bits, counter)
+    carry -= borrow
+    # Second conditional subtraction with the updated carry bit.
+    total, borrow = sub_scaled_words(total, p_words, carry, word_bits, counter)
+    carry -= borrow
+    if carry != 0:
+        raise AssertionError(
+            "incomplete reduction invariant violated: residual carry "
+            f"{carry} after two conditional subtractions"
+        )
+    return total
+
+
+def modsub_incomplete(
+    a: Sequence[int],
+    b: Sequence[int],
+    p_words: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Modular subtraction with incomplete reduction.
+
+    The dual of :func:`modadd_incomplete`: if the difference is negative the
+    modulus is added back, twice if necessary (both operands may be
+    incompletely reduced, so ``a - b`` can be as small as ``-(2^n - 1)`` while
+    ``p`` is only a little above ``2^(n-1)``).
+    """
+    diff, borrow = sub_words(a, b, word_bits, counter)
+    add_back = [w * borrow for w in p_words]
+    diff, carry = add_words(diff, add_back, word_bits, counter)
+    borrow -= carry
+    add_back = [w * borrow for w in p_words]
+    diff, carry = add_words(diff, add_back, word_bits, counter)
+    borrow -= carry
+    if borrow != 0:
+        raise AssertionError(
+            "incomplete reduction invariant violated: residual borrow "
+            f"{borrow} after two conditional additions"
+        )
+    return diff
+
+
+def lowweight_conditional_subtract(
+    t: Sequence[int],
+    p_words: Sequence[int],
+    condition: int,
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> Tuple[List[int], int, bool]:
+    """Conditional subtraction exploiting the low-weight form of ``p``.
+
+    Only the least- and most-significant words of an OPF prime are non-zero,
+    so the subtraction normally needs to touch just those two words.  The
+    exception — which the paper handles with an explicit borrow-propagation
+    path of probability ``2^-w`` — is a borrow out of the least-significant
+    word that must ripple through the zero words.
+
+    Returns ``(result words, final borrow, slow_path_taken)`` where
+    ``slow_path_taken`` flags the rare ripple case (useful for leakage
+    analysis and for testing the probability claim).
+    """
+    if condition not in (0, 1):
+        raise ValueError(f"condition must be 0 or 1, got {condition}")
+    s = len(t)
+    if len(p_words) != s:
+        raise ValueError("modulus word count mismatch")
+    for i in range(1, s - 1):
+        if p_words[i] != 0:
+            raise ValueError("modulus is not low-weight: interior word non-zero")
+    mask = word_mask(word_bits)
+    out = list(t)
+    # Subtract the LSW of p.
+    low = out[0] - condition * p_words[0]
+    out[0] = low & mask
+    borrow = 1 if low < 0 else 0
+    counter.sub += 1
+    counter.load += 2
+    counter.store += 1
+    slow_path = borrow == 1
+    if slow_path:
+        # Rare case: ripple the borrow through the interior zero words.
+        for i in range(1, s - 1):
+            v = out[i] - borrow
+            out[i] = v & mask
+            borrow = 1 if v < 0 else 0
+            counter.sub += 1
+            counter.load += 1
+            counter.store += 1
+    # Subtract the MSW of p together with any pending borrow.
+    high = out[s - 1] - condition * p_words[s - 1] - borrow
+    out[s - 1] = high & mask
+    borrow = 1 if high < 0 else 0
+    counter.sub += 1
+    counter.load += 2
+    counter.store += 1
+    return out, borrow, slow_path

@@ -1,0 +1,352 @@
+"""Montgomery modular multiplication: SOS, CIOS and FIPS organisations.
+
+The paper's OPF library performs modular multiplication with Montgomery's
+algorithm organised as **Finely Integrated Product Scanning** (FIPS, after
+Koç, Acar and Kaliski), which interleaves multiplication and reduction
+column by column.  For a general s-word modulus FIPS executes ``2s^2 + s``
+word multiplications; for a low-weight OPF prime ``p = u * 2^k + 1`` the
+count drops to ``s^2 + s`` because all interior modulus words are zero and
+``-p^-1 mod 2^w = 2^w - 1`` turns the quotient-digit computation into a
+negation.
+
+All functions operate on little-endian word arrays, accept *incompletely
+reduced* inputs (any value below ``R = 2^(s*w)``) and return incompletely
+reduced outputs below ``R`` that are congruent to ``a * b * R^-1 mod p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .addsub import sub_scaled_words
+from .counters import NULL_COUNTER, WordOpCounter
+from .words import DEFAULT_WORD_BITS, from_words, to_words, word_mask
+
+
+def inverse_mod_word(value: int, word_bits: int = DEFAULT_WORD_BITS) -> int:
+    """Inverse of an odd value modulo ``2^word_bits`` (Dusse-Kaliski lifting)."""
+    if value % 2 == 0:
+        raise ValueError("value must be odd to be invertible modulo a power of two")
+    modulus = 1 << word_bits
+    inv = 1
+    bits = 1
+    while bits < word_bits:
+        inv = (inv * (2 - value * inv)) % modulus
+        bits *= 2
+    if (value * inv) % modulus != 1:
+        raise AssertionError("word inverse computation failed")
+    return inv
+
+
+@dataclass(frozen=True)
+class MontgomeryContext:
+    """Precomputed constants for Montgomery arithmetic modulo ``p``.
+
+    Attributes:
+        p: the (odd) modulus.
+        word_bits: word size *w*.
+        num_words: operand length *s* in words.
+        n0_prime: ``-p^-1 mod 2^w`` (the quotient-digit constant).
+        r: the Montgomery radix ``R = 2^(s*w)``.
+        r2: ``R^2 mod p`` used to enter the Montgomery domain.
+    """
+
+    p: int
+    word_bits: int
+    num_words: int
+    n0_prime: int
+    r: int
+    r2: int
+
+    @classmethod
+    def create(cls, p: int, word_bits: int = DEFAULT_WORD_BITS) -> "MontgomeryContext":
+        if p < 3 or p % 2 == 0:
+            raise ValueError(f"modulus must be an odd integer >= 3, got {p}")
+        s = -(-p.bit_length() // word_bits)
+        r = 1 << (s * word_bits)
+        mask = word_mask(word_bits)
+        # ``p & mask`` is the LSW of p; it is odd because p is odd.
+        n0_prime = (-inverse_mod_word(p & mask, word_bits)) & mask
+        return cls(
+            p=p,
+            word_bits=word_bits,
+            num_words=s,
+            n0_prime=n0_prime,
+            r=r,
+            r2=(r * r) % p,
+        )
+
+    @property
+    def p_words(self) -> List[int]:
+        """The modulus as a little-endian word array."""
+        return to_words(self.p, self.num_words, self.word_bits)
+
+    def is_low_weight(self) -> bool:
+        """True when only the LSW and MSW of ``p`` are non-zero (OPF form)."""
+        words = self.p_words
+        return all(w == 0 for w in words[1:-1]) and words[0] != 0 and words[-1] != 0
+
+    def to_mont(self, a: int, counter: WordOpCounter = NULL_COUNTER) -> int:
+        """Map ``a`` into the Montgomery domain: returns ``a * R mod p``."""
+        a_words = to_words(a % self.r, self.num_words, self.word_bits)
+        r2_words = to_words(self.r2, self.num_words, self.word_bits)
+        out = fips_montgomery(a_words, r2_words, self, counter)
+        return from_words(out, self.word_bits)
+
+    def from_mont(self, a: int, counter: WordOpCounter = NULL_COUNTER) -> int:
+        """Map out of the Montgomery domain and fully reduce."""
+        a_words = to_words(a % self.r, self.num_words, self.word_bits)
+        one = to_words(1, self.num_words, self.word_bits)
+        out = from_words(fips_montgomery(a_words, one, self, counter), self.word_bits)
+        return out % self.p
+
+
+def _final_subtract(
+    result: int,
+    carry: int,
+    ctx: MontgomeryContext,
+    counter: WordOpCounter,
+) -> List[int]:
+    """Branch-less conditional subtraction keeping the result below ``R``.
+
+    Montgomery's bound for incompletely reduced inputs is
+    ``result + carry * R < R + p < 2R``, so a single conditional subtraction
+    of ``carry * p`` suffices; it is performed with the same always-execute
+    pattern as the modular addition to avoid a data-dependent branch.
+    """
+    words = to_words(result, ctx.num_words, ctx.word_bits)
+    words, borrow = sub_scaled_words(words, ctx.p_words, carry, ctx.word_bits, counter)
+    if carry - borrow != 0:
+        raise AssertionError("Montgomery final subtraction left a residual carry")
+    return words
+
+
+def fips_montgomery(
+    a: Sequence[int],
+    b: Sequence[int],
+    ctx: MontgomeryContext,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Generic FIPS Montgomery multiplication (2s^2 + s word multiplications).
+
+    Computes ``a * b * R^-1 mod p`` (incompletely reduced, below ``R``).
+    """
+    s = ctx.num_words
+    if len(a) != s or len(b) != s:
+        raise ValueError(f"operands must be {s} words")
+    w = ctx.word_bits
+    mask = word_mask(w)
+    n = ctx.p_words
+    m: List[int] = [0] * s
+    u: List[int] = [0] * s
+    t = 0
+    for i in range(s):
+        for j in range(i):
+            t += a[j] * b[i - j] + m[j] * n[i - j]
+            counter.mul += 2
+            counter.add += 4
+            counter.load += 4
+        t += a[i] * b[0]
+        counter.mul += 1
+        counter.add += 2
+        counter.load += 2
+        m[i] = (t * ctx.n0_prime) & mask
+        counter.mul += 1
+        t += m[i] * n[0]
+        counter.mul += 1
+        counter.add += 2
+        if t & mask:
+            raise AssertionError("FIPS column not divisible by the word base")
+        t >>= w
+        counter.shift += 1
+    for i in range(s, 2 * s):
+        for j in range(i - s + 1, s):
+            t += a[j] * b[i - j] + m[j] * n[i - j]
+            counter.mul += 2
+            counter.add += 4
+            counter.load += 4
+        u[i - s] = t & mask
+        t >>= w
+        counter.store += 1
+        counter.shift += 1
+    carry = t
+    if carry not in (0, 1):
+        raise AssertionError(f"unexpected FIPS carry {carry}")
+    return _final_subtract(from_words(u, w), carry, ctx, counter)
+
+
+def fips_montgomery_opf(
+    a: Sequence[int],
+    b: Sequence[int],
+    ctx: MontgomeryContext,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """OPF-optimised FIPS Montgomery multiplication (s^2 + s word muls).
+
+    Requires a low-weight modulus with ``p mod 2^w == 1`` (i.e. LSW == 1):
+    then ``n0' = 2^w - 1`` so each quotient digit is ``(-t) mod 2^w``
+    (a negation, not a multiplication), the ``m[i] * n[0]`` product is just
+    ``m[i]``, and the only modulus word that generates multiplications is the
+    MSW — contributing exactly ``s`` extra word muls on top of the ``s^2``
+    operand products.
+    """
+    s = ctx.num_words
+    if len(a) != s or len(b) != s:
+        raise ValueError(f"operands must be {s} words")
+    n = ctx.p_words
+    if not ctx.is_low_weight() or n[0] != 1:
+        raise ValueError("modulus is not of OPF form p = u * 2^k + 1")
+    w = ctx.word_bits
+    mask = word_mask(w)
+    msw = n[s - 1]
+    m: List[int] = [0] * s
+    u: List[int] = [0] * s
+    t = 0
+    for i in range(s):
+        for j in range(i):
+            t += a[j] * b[i - j]
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 2
+        # Contribution of the modulus MSW: only when i - j == s - 1.
+        if i == s - 1:
+            t += m[0] * msw
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 1
+        t += a[i] * b[0]
+        counter.mul += 1
+        counter.add += 2
+        counter.load += 2
+        m[i] = (-t) & mask  # n0' = 2^w - 1: quotient digit is a negation.
+        counter.sub += 1
+        t += m[i]  # m[i] * n[0] with n[0] == 1.
+        counter.add += 1
+        if t & mask:
+            raise AssertionError("OPF-FIPS column not divisible by the word base")
+        t >>= w
+        counter.shift += 1
+    for i in range(s, 2 * s):
+        for j in range(i - s + 1, s):
+            t += a[j] * b[i - j]
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 2
+        j = i - s + 1
+        if j < s:
+            t += m[j] * msw
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 1
+        u[i - s] = t & mask
+        t >>= w
+        counter.store += 1
+        counter.shift += 1
+    carry = t
+    if carry not in (0, 1):
+        raise AssertionError(f"unexpected OPF-FIPS carry {carry}")
+    return _final_subtract(from_words(u, w), carry, ctx, counter)
+
+
+def sos_montgomery(
+    a: Sequence[int],
+    b: Sequence[int],
+    ctx: MontgomeryContext,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Separated Operand Scanning: full product first, then reduction.
+
+    The simplest Montgomery organisation (2s^2 + s word muls, 2s + 2 words of
+    temporary storage).  Included as a baseline for the method-comparison
+    benchmarks; the paper's library uses FIPS because it halves the working
+    set and lets the low-weight prime eliminate half the multiplications.
+    """
+    from .mul import mul_operand_scanning
+
+    s = ctx.num_words
+    w = ctx.word_bits
+    mask = word_mask(w)
+    n = ctx.p_words
+    t = mul_operand_scanning(a, b, w, counter) + [0]
+    for i in range(s):
+        m_i = (t[i] * ctx.n0_prime) & mask
+        counter.mul += 1
+        carry = 0
+        for j in range(s):
+            v = t[i + j] + m_i * n[j] + carry
+            t[i + j] = v & mask
+            carry = v >> w
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 2
+            counter.store += 1
+        k = i + s
+        while carry and k < len(t):
+            v = t[k] + carry
+            t[k] = v & mask
+            carry = v >> w
+            counter.add += 1
+            k += 1
+    u = t[s : 2 * s]
+    carry = t[2 * s]
+    if carry not in (0, 1):
+        raise AssertionError(f"unexpected SOS carry {carry}")
+    return _final_subtract(from_words(u, w), carry, ctx, counter)
+
+
+def cios_montgomery(
+    a: Sequence[int],
+    b: Sequence[int],
+    ctx: MontgomeryContext,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Coarsely Integrated Operand Scanning (2s^2 + s word muls).
+
+    The most common Montgomery organisation in software libraries; included
+    for the method-comparison benchmark alongside SOS and FIPS.
+    """
+    s = ctx.num_words
+    w = ctx.word_bits
+    mask = word_mask(w)
+    n = ctx.p_words
+    t = [0] * (s + 2)
+    for i in range(s):
+        carry = 0
+        for j in range(s):
+            v = t[j] + a[j] * b[i] + carry
+            t[j] = v & mask
+            carry = v >> w
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 3
+            counter.store += 1
+        v = t[s] + carry
+        t[s] = v & mask
+        t[s + 1] += v >> w
+        counter.add += 1
+        m_i = (t[0] * ctx.n0_prime) & mask
+        counter.mul += 1
+        v = t[0] + m_i * n[0]
+        carry = v >> w
+        counter.mul += 1
+        counter.add += 1
+        for j in range(1, s):
+            v = t[j] + m_i * n[j] + carry
+            t[j - 1] = v & mask
+            carry = v >> w
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 2
+            counter.store += 1
+        v = t[s] + carry
+        t[s - 1] = v & mask
+        carry = v >> w
+        t[s] = t[s + 1] + carry
+        t[s + 1] = 0
+        counter.add += 2
+    u = t[:s]
+    carry = t[s]
+    if carry not in (0, 1):
+        raise AssertionError(f"unexpected CIOS carry {carry}")
+    return _final_subtract(from_words(u, w), carry, ctx, counter)

@@ -1,0 +1,187 @@
+"""Multi-precision multiplication and squaring at word granularity.
+
+Three classic schoolbook organisations are implemented:
+
+* **operand scanning** — the textbook row-by-row method,
+* **product scanning** (Comba) — column-by-column accumulation into a
+  triple-word accumulator, the organisation the paper's 72-bit MAC
+  accumulator is built for,
+* **hybrid** (Gura et al., CHES 2004) — the byte-level cost model used by the
+  paper's secp160r1 implementation, where each (w x w)-bit word multiplication
+  decomposes into ``(w/8)^2`` AVR ``MUL`` instructions.
+
+All methods return the full double-length product and tally word
+multiplications in a :class:`~repro.mpa.counters.WordOpCounter`, so tests can
+check the analytic counts (``s^2`` word muls for an s-word multiplication,
+roughly ``(s^2 + s) / 2`` for squaring).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .counters import NULL_COUNTER, WordOpCounter
+from .words import DEFAULT_WORD_BITS, word_mask
+
+
+def byte_muls_per_word_mul(word_bits: int = DEFAULT_WORD_BITS) -> int:
+    """AVR 8-bit ``MUL`` instructions inside one (w x w)-bit word multiply."""
+    if word_bits % 8 != 0:
+        raise ValueError(f"word size must be a multiple of 8, got {word_bits}")
+    return (word_bits // 8) ** 2
+
+
+def mul_operand_scanning(
+    a: Sequence[int],
+    b: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Row-by-row schoolbook multiplication; returns 2s product words."""
+    s = len(a)
+    if len(b) != s:
+        raise ValueError(f"operand lengths differ: {s} vs {len(b)}")
+    mask = word_mask(word_bits)
+    out = [0] * (2 * s)
+    for i in range(s):
+        carry = 0
+        for j in range(s):
+            t = out[i + j] + a[i] * b[j] + carry
+            out[i + j] = t & mask
+            carry = t >> word_bits
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 3
+            counter.store += 1
+        out[i + s] = carry
+        counter.store += 1
+    return out
+
+
+def mul_product_scanning(
+    a: Sequence[int],
+    b: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Column-by-column (Comba) multiplication.
+
+    Each column sum is accumulated into a wide accumulator before a single
+    store — the access pattern the MAC unit's 72-bit accumulator (nine 8-bit
+    registers R0–R8) serves on the real hardware.
+    """
+    s = len(a)
+    if len(b) != s:
+        raise ValueError(f"operand lengths differ: {s} vs {len(b)}")
+    mask = word_mask(word_bits)
+    out = [0] * (2 * s)
+    acc = 0
+    for col in range(2 * s - 1):
+        lo = max(0, col - s + 1)
+        hi = min(col, s - 1)
+        for i in range(lo, hi + 1):
+            acc += a[i] * b[col - i]
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 2
+        out[col] = acc & mask
+        acc >>= word_bits
+        counter.store += 1
+        counter.shift += 1
+    out[2 * s - 1] = acc & mask
+    counter.store += 1
+    return out
+
+
+def sqr_product_scanning(
+    a: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Column-wise squaring exploiting cross-product symmetry.
+
+    The off-diagonal products ``a[i] * a[j]`` (i < j) appear twice in the
+    square, so they are computed once and doubled, leaving
+    ``s + s*(s-1)/2 = (s^2 + s) / 2`` word multiplications.
+    """
+    s = len(a)
+    mask = word_mask(word_bits)
+    out = [0] * (2 * s)
+    acc = 0
+    for col in range(2 * s - 1):
+        lo = max(0, col - s + 1)
+        hi = min(col, s - 1)
+        # Off-diagonal pairs, each counted once and doubled.
+        i = lo
+        while i < col - i:
+            if i <= hi:
+                acc += 2 * a[i] * a[col - i]
+                counter.mul += 1
+                counter.add += 2
+                counter.shift += 1
+                counter.load += 2
+            i += 1
+        # Diagonal element when the column index is even.
+        if col % 2 == 0:
+            acc += a[col // 2] * a[col // 2]
+            counter.mul += 1
+            counter.add += 2
+            counter.load += 1
+        out[col] = acc & mask
+        acc >>= word_bits
+        counter.store += 1
+        counter.shift += 1
+    out[2 * s - 1] = acc & mask
+    counter.store += 1
+    return out
+
+
+def mul_hybrid(
+    a: Sequence[int],
+    b: Sequence[int],
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+    byte_counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Hybrid multiplication (Gura et al.) cost model.
+
+    Functionally identical to product scanning over w-bit words, but
+    additionally tallies the byte-level ``MUL`` count in *byte_counter* —
+    every word multiplication costs ``(w/8)^2`` 8-bit multiplies on an AVR,
+    which is the figure the paper's 101-cycle inner loop is built around.
+    """
+    per_word = byte_muls_per_word_mul(word_bits)
+    before = counter.mul
+    out = mul_product_scanning(a, b, word_bits, counter)
+    byte_counter.mul += (counter.mul - before) * per_word
+    return out
+
+
+def mul_small_constant(
+    a: Sequence[int],
+    c: int,
+    word_bits: int = DEFAULT_WORD_BITS,
+    counter: WordOpCounter = NULL_COUNTER,
+) -> List[int]:
+    """Multiply an s-word operand by a small (single-word) constant.
+
+    Returns ``s + 1`` words.  The paper measures this at 0.25–0.3 of a full
+    field multiplication; the word-mul count here (s instead of s^2) is what
+    produces that ratio once reduction is added.
+    """
+    mask = word_mask(word_bits)
+    if not 0 <= c <= mask:
+        raise ValueError(f"constant {c:#x} does not fit in one {word_bits}-bit word")
+    out = [0] * (len(a) + 1)
+    carry = 0
+    for i, ai in enumerate(a):
+        t = ai * c + carry
+        out[i] = t & mask
+        carry = t >> word_bits
+        counter.mul += 1
+        counter.add += 1
+        counter.load += 1
+        counter.store += 1
+    out[len(a)] = carry
+    counter.store += 1
+    return out

@@ -1,0 +1,80 @@
+"""Word-array representation of multi-precision integers.
+
+The paper's OPF library operates on arrays of *w*-bit words (w = 32 on the
+8-bit AVR, i.e. four bytes are processed at a time).  This module provides the
+conversions between Python integers and little-endian word arrays, plus a few
+helpers shared by the arithmetic routines.
+
+Uppercase-letter notation from the paper: ``A`` is an array of words
+representing a field element *a*; ``A[i]`` is the *i*-th (least-significant
+first) *w*-bit word.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Default word size used throughout the library (bits).  The paper's OPF
+#: library uses 32-bit words on the 8-bit AVR.
+DEFAULT_WORD_BITS = 32
+
+
+def word_mask(word_bits: int = DEFAULT_WORD_BITS) -> int:
+    """Return the all-ones mask for a *word_bits*-bit word."""
+    if word_bits <= 0:
+        raise ValueError(f"word size must be positive, got {word_bits}")
+    return (1 << word_bits) - 1
+
+
+def num_words(bit_length: int, word_bits: int = DEFAULT_WORD_BITS) -> int:
+    """Number of words *s* = ceil(n / w) needed for an *n*-bit operand."""
+    if bit_length <= 0:
+        raise ValueError(f"bit length must be positive, got {bit_length}")
+    return -(-bit_length // word_bits)
+
+
+def to_words(value: int, count: int, word_bits: int = DEFAULT_WORD_BITS) -> List[int]:
+    """Split a non-negative integer into *count* little-endian words.
+
+    Raises :class:`ValueError` if the value does not fit.
+    """
+    if value < 0:
+        raise ValueError(f"cannot represent negative value {value}")
+    if value.bit_length() > count * word_bits:
+        raise ValueError(
+            f"value of {value.bit_length()} bits does not fit in "
+            f"{count} x {word_bits}-bit words"
+        )
+    mask = word_mask(word_bits)
+    return [(value >> (i * word_bits)) & mask for i in range(count)]
+
+
+def from_words(words: Sequence[int], word_bits: int = DEFAULT_WORD_BITS) -> int:
+    """Recombine little-endian words into an integer."""
+    mask = word_mask(word_bits)
+    acc = 0
+    for i, w in enumerate(words):
+        if not 0 <= w <= mask:
+            raise ValueError(f"word {i} = {w:#x} out of range for {word_bits} bits")
+        acc |= w << (i * word_bits)
+    return acc
+
+
+def to_bytes_le(value: int, count: int) -> bytes:
+    """Little-endian byte serialization (the AVR's natural memory layout)."""
+    return value.to_bytes(count, "little")
+
+
+def from_bytes_le(data: bytes) -> int:
+    """Inverse of :func:`to_bytes_le`."""
+    return int.from_bytes(data, "little")
+
+
+def hamming_weight_words(words: Sequence[int]) -> int:
+    """Number of non-zero words — the quantity that makes a prime 'low-weight'.
+
+    The paper's OPF primes have exactly two non-zero words (the most- and
+    least-significant ones), which is what reduces the FIPS word-multiplication
+    count from 2s^2 + s to s^2 + s.
+    """
+    return sum(1 for w in words if w != 0)

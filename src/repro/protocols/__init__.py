@@ -1,0 +1,35 @@
+"""Protocol layer: ECDH (x-only and full-point), ECDSA, Schnorr."""
+
+from .ecdh import FullPointEcdh, KeyPair, XOnlyEcdh, XOnlyKeyPair
+from .ecdsa import Ecdsa, Signature, deterministic_nonce
+from .rsa import (
+    MontgomeryModExp,
+    Rsa,
+    RsaKeyPair,
+    estimate_modexp_cycles,
+    generate_keypair,
+    generate_prime,
+    per_block_cycles,
+    rsa_private_op_estimate,
+)
+from .schnorr import Schnorr, SchnorrSignature
+
+__all__ = [
+    "MontgomeryModExp",
+    "Rsa",
+    "RsaKeyPair",
+    "estimate_modexp_cycles",
+    "generate_keypair",
+    "generate_prime",
+    "per_block_cycles",
+    "rsa_private_op_estimate",
+    "Ecdsa",
+    "FullPointEcdh",
+    "KeyPair",
+    "Schnorr",
+    "SchnorrSignature",
+    "Signature",
+    "XOnlyEcdh",
+    "XOnlyKeyPair",
+    "deterministic_nonce",
+]

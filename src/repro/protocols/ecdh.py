@@ -1,0 +1,96 @@
+"""Elliptic-curve Diffie-Hellman over the reproduction's curves.
+
+Two flavours, mirroring the paper's motivation that its methods suit ECDH
+(no fixed/known base point required):
+
+* :class:`XOnlyEcdh` — x-coordinate-only ECDH on the Montgomery curve via
+  the ladder (the IoT-friendly variant: 20-byte public keys, constant-time
+  scalar multiplication).
+* :class:`FullPointEcdh` — classic ECDH on any Weierstraß/GLV/Edwards curve
+  through a pluggable scalar-multiplication method.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..curves.montgomery import MontgomeryCurve
+from ..curves.point import AffinePoint, MaybePoint
+from ..scalarmult import adapter_for, montgomery_ladder_x, scalar_mult_naf
+
+
+@dataclass(frozen=True)
+class XOnlyKeyPair:
+    private: int
+    public_x: int  # affine x of private * G
+
+
+class XOnlyEcdh:
+    """x-only ECDH on a Montgomery curve (Montgomery-ladder based)."""
+
+    def __init__(self, curve: MontgomeryCurve, base: AffinePoint,
+                 scalar_bits: int = 160):
+        if not curve.is_on_curve(base):
+            raise ValueError("base point is not on the curve")
+        self.curve = curve
+        self.base = base
+        self.scalar_bits = scalar_bits
+
+    def _ladder_x(self, k: int, x_coord: int) -> int:
+        point = self.curve.lift_x(x_coord)
+        result = montgomery_ladder_x(self.curve, k, point,
+                                     bits=self.scalar_bits)
+        if result.is_infinity():
+            raise ValueError("derived the point at infinity; bad scalar")
+        return self.curve.x_affine(result).to_int()
+
+    def generate_keypair(self, rng: Optional[random.Random] = None,
+                         ) -> XOnlyKeyPair:
+        rng = rng or random.SystemRandom()
+        private = rng.getrandbits(self.scalar_bits - 1) | (
+            1 << (self.scalar_bits - 2)
+        )
+        public_x = self._ladder_x(private, self.base.x.to_int())
+        return XOnlyKeyPair(private=private, public_x=public_x)
+
+    def shared_secret(self, own: XOnlyKeyPair, peer_public_x: int) -> int:
+        """x coordinate of (own.private * peer.private) * G."""
+        return self._ladder_x(own.private, peer_public_x)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    private: int
+    public: AffinePoint
+
+
+class FullPointEcdh:
+    """Classic ECDH with a pluggable scalar-multiplication backend."""
+
+    def __init__(self, curve, base: AffinePoint, order: Optional[int] = None,
+                 mult: Optional[Callable] = None):
+        self.curve = curve
+        self.base = base
+        self.order = order
+        self._mult = mult or self._default_mult
+
+    def _default_mult(self, k: int, point: AffinePoint) -> MaybePoint:
+        return scalar_mult_naf(adapter_for(self.curve, point), k)
+
+    def generate_keypair(self, rng: Optional[random.Random] = None) -> KeyPair:
+        rng = rng or random.SystemRandom()
+        upper = self.order - 1 if self.order else 1 << 159
+        private = rng.randrange(1, upper)
+        public = self._mult(private, self.base)
+        if public is None:
+            raise ValueError("private key maps the base point to infinity")
+        return KeyPair(private=private, public=public)
+
+    def shared_secret(self, own: KeyPair,
+                      peer_public: AffinePoint) -> AffinePoint:
+        secret = self._mult(own.private, peer_public)
+        if secret is None:
+            raise ValueError("shared secret is the point at infinity")
+        return secret

@@ -1,0 +1,111 @@
+"""ECDSA over secp160r1 (the suite's curve with a standardized order).
+
+Deterministic nonces are derived HMAC-style from SHA-256 (an RFC-6979-like
+construction, simplified) so signing is reproducible in tests and leaks no
+RNG state.  Verification uses Shamir's trick for the double-scalar
+multiplication — the same simultaneous-evaluation machinery the GLV method
+exercises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from ..curves.point import AffinePoint
+from ..curves.weierstrass import WeierstrassCurve
+from ..scalarmult import adapter_for, scalar_mult_naf, shamir_scalar_mult
+
+
+@dataclass(frozen=True)
+class Signature:
+    r: int
+    s: int
+
+
+def _bits_to_int(data: bytes, order: int) -> int:
+    value = int.from_bytes(data, "big")
+    excess = max(0, 8 * len(data) - order.bit_length())
+    return value >> excess
+
+
+def deterministic_nonce(private: int, digest: bytes, order: int) -> int:
+    """An RFC-6979-flavoured deterministic nonce in [1, order - 1]."""
+    size = (order.bit_length() + 7) // 8
+    key = private.to_bytes(size, "big") + digest
+    counter = 0
+    while True:
+        block = hmac.new(key, counter.to_bytes(4, "big"),
+                         hashlib.sha256).digest()
+        k = _bits_to_int(block, order) % order
+        if 1 <= k < order:
+            return k
+        counter += 1
+
+
+class Ecdsa:
+    """Sign/verify over a Weierstraß curve with known prime order."""
+
+    def __init__(self, curve: WeierstrassCurve, base: AffinePoint, order: int):
+        if not curve.is_on_curve(base):
+            raise ValueError("base point is not on the curve")
+        self.curve = curve
+        self.base = base
+        self.order = order
+
+    # -- key handling -----------------------------------------------------
+
+    def public_key(self, private: int) -> AffinePoint:
+        if not 1 <= private < self.order:
+            raise ValueError("private key out of range")
+        point = scalar_mult_naf(adapter_for(self.curve, self.base), private)
+        if point is None:
+            raise AssertionError("private key maps base to infinity")
+        return point
+
+    # -- core operations -----------------------------------------------------
+
+    def _hash(self, message: bytes) -> int:
+        digest = hashlib.sha256(message).digest()
+        return _bits_to_int(digest, self.order) % self.order
+
+    def sign(self, private: int, message: bytes,
+             nonce: Optional[int] = None) -> Signature:
+        if not 1 <= private < self.order:
+            raise ValueError("private key out of range")
+        e = self._hash(message)
+        digest = hashlib.sha256(message).digest()
+        k = nonce if nonce is not None else deterministic_nonce(
+            private, digest, self.order
+        )
+        if not 1 <= k < self.order:
+            raise ValueError("nonce out of range")
+        point = scalar_mult_naf(adapter_for(self.curve, self.base), k)
+        if point is None:
+            raise ValueError("nonce maps base to infinity; pick another")
+        r = point.x.to_int() % self.order
+        if r == 0:
+            raise ValueError("r = 0; pick another nonce")
+        k_inv = pow(k, -1, self.order)
+        s = k_inv * (e + r * private) % self.order
+        if s == 0:
+            raise ValueError("s = 0; pick another nonce")
+        return Signature(r=r, s=s)
+
+    def verify(self, public: AffinePoint, message: bytes,
+               signature: Signature) -> bool:
+        r, s = signature.r, signature.s
+        if not (1 <= r < self.order and 1 <= s < self.order):
+            return False
+        if not self.curve.is_on_curve(public):
+            return False
+        e = self._hash(message)
+        w = pow(s, -1, self.order)
+        u1 = e * w % self.order
+        u2 = r * w % self.order
+        point = shamir_scalar_mult(self.curve, u1, self.base, u2, public)
+        if point is None:
+            return False
+        return point.x.to_int() % self.order == r

@@ -1,0 +1,165 @@
+"""RSA on the ASIP — the paper's generality claim, made executable.
+
+Section IV-A: "The (32 x 4)-bit MAC unit is in principle suitable to speed
+up any public-key cryptosystem that relies on multi-precision
+multiplication, e.g. ECC over prime fields or even RSA."  This module backs
+that sentence with code:
+
+* textbook RSA (keygen / encrypt / decrypt / sign — educational, unpadded)
+  whose modular exponentiation runs through the *instrumented* generic FIPS
+  Montgomery multiplier of :mod:`repro.mpa`, so every word multiplication
+  is counted;
+* a cycle model pricing those word-level (32 x 32) MAC blocks with the
+  per-block costs measured from our kernels, per JAAVR mode — which is what
+  the RSA-vs-ECC benchmark uses to show the MAC unit's ~6x gain carries
+  over to RSA.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..avr.timing import Mode
+from ..curves.paramgen import is_probable_prime
+from ..mpa.counters import WordOpCounter
+from ..mpa.montgomery import MontgomeryContext, fips_montgomery
+from ..mpa.words import from_words, to_words
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    n: int
+    e: int
+    d: int
+    bits: int
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """A random prime of exactly *bits* bits."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def generate_keypair(bits: int = 512, e: int = 65537,
+                     rng: Optional[random.Random] = None) -> RsaKeyPair:
+    """Textbook RSA key generation (educational — no padding downstream)."""
+    if bits < 64 or bits % 2:
+        raise ValueError("modulus size must be an even number >= 64 bits")
+    rng = rng or random.SystemRandom()
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if n.bit_length() != bits:
+            continue
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return RsaKeyPair(n=n, e=e, d=d, bits=bits)
+
+
+class MontgomeryModExp:
+    """Left-to-right square-and-multiply over counted FIPS multiplications.
+
+    All multiplications and squarings execute
+    :func:`repro.mpa.montgomery.fips_montgomery` on word arrays (the generic
+    2s^2 + s variant — an RSA modulus is not low-weight), tallying word
+    multiplications into :attr:`counter`.
+    """
+
+    def __init__(self, modulus: int):
+        if modulus % 2 == 0:
+            raise ValueError("Montgomery arithmetic needs an odd modulus")
+        self.ctx = MontgomeryContext.create(modulus)
+        self.counter = WordOpCounter()
+        self.multiplications = 0
+
+    def _mul(self, a_words, b_words):
+        self.multiplications += 1
+        return fips_montgomery(a_words, b_words, self.ctx, self.counter)
+
+    def modexp(self, base: int, exponent: int) -> int:
+        """base^exponent mod n via Montgomery square-and-multiply."""
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        ctx = self.ctx
+        s = ctx.num_words
+        if exponent == 0:
+            return 1 % ctx.p
+        base %= ctx.p
+        base_m = to_words(ctx.to_mont(base, self.counter), s)
+        acc = base_m
+        for bit in bin(exponent)[3:]:  # skip the leading 1
+            acc = self._mul(acc, acc)
+            if bit == "1":
+                acc = self._mul(acc, base_m)
+        one = to_words(1, s)
+        return from_words(self._mul(acc, one)) % ctx.p
+
+
+class Rsa:
+    """Unpadded RSA primitives over the counted Montgomery engine."""
+
+    def __init__(self, key: RsaKeyPair):
+        self.key = key
+        self.engine = MontgomeryModExp(key.n)
+
+    def encrypt(self, message: int) -> int:
+        if not 0 <= message < self.key.n:
+            raise ValueError("message out of range")
+        return self.engine.modexp(message, self.key.e)
+
+    def decrypt(self, ciphertext: int) -> int:
+        if not 0 <= ciphertext < self.key.n:
+            raise ValueError("ciphertext out of range")
+        return self.engine.modexp(ciphertext, self.key.d)
+
+    def sign(self, digest: int) -> int:
+        return self.decrypt(digest)
+
+    def verify(self, digest: int, signature: int) -> bool:
+        return self.encrypt(signature) == digest % self.key.n
+
+
+# ---------------------------------------------------------------------------
+# Cycle model
+# ---------------------------------------------------------------------------
+
+
+def per_block_cycles(mode: Mode) -> float:
+    """Measured cycles of one (32 x 32) multiply-accumulate block.
+
+    Derived from the OPF multiplication kernels: total kernel cycles divided
+    by their 30 word-product blocks.  This is the unit an RSA inner loop is
+    built from on the same hardware.
+    """
+    from ..model.cycles import measured_costs
+
+    return measured_costs(mode).mul / 30.0
+
+
+def estimate_modexp_cycles(word_muls: int, mode: Mode) -> float:
+    """Price a counted modular exponentiation for a JAAVR mode."""
+    if word_muls < 0:
+        raise ValueError("word-multiplication count must be non-negative")
+    return word_muls * per_block_cycles(mode)
+
+
+def rsa_private_op_estimate(bits: int, mode: Mode) -> float:
+    """Analytic estimate of one RSA private-key operation's cycles.
+
+    s = bits/32 words; one FIPS multiplication costs 2s^2 + s word muls;
+    square-and-multiply over a *bits*-bit exponent performs ~1.5 * bits
+    multiplications.
+    """
+    s = bits // 32
+    muls = int(1.5 * bits)
+    return estimate_modexp_cycles(muls * (2 * s * s + s), mode)

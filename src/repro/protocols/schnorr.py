@@ -1,0 +1,75 @@
+"""Schnorr signatures (the lighter IoT alternative to ECDSA).
+
+Included because the paper positions its ASIP for generic PKC services
+("encryption, authentication, and key establishment"); Schnorr needs no
+modular inversion at signing time, which matters on a device whose
+inversion costs ~189k cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..curves.point import AffinePoint
+from ..scalarmult import adapter_for, scalar_mult_naf, shamir_scalar_mult
+from .ecdsa import deterministic_nonce
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    challenge: int  # e
+    response: int   # s
+
+
+class Schnorr:
+    """Schnorr sign/verify over a curve with known prime order."""
+
+    def __init__(self, curve, base: AffinePoint, order: int):
+        self.curve = curve
+        self.base = base
+        self.order = order
+
+    def public_key(self, private: int) -> AffinePoint:
+        point = scalar_mult_naf(adapter_for(self.curve, self.base), private)
+        if point is None:
+            raise AssertionError("private key maps base to infinity")
+        return point
+
+    def _challenge(self, commitment: AffinePoint, message: bytes) -> int:
+        size = (self.order.bit_length() + 7) // 8
+        payload = (
+            commitment.x.to_int().to_bytes(size, "big")
+            + commitment.y.to_int().to_bytes(size, "big")
+            + message
+        )
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest, "big") % self.order
+
+    def sign(self, private: int, message: bytes,
+             nonce: Optional[int] = None) -> SchnorrSignature:
+        if not 1 <= private < self.order:
+            raise ValueError("private key out of range")
+        digest = hashlib.sha256(message).digest()
+        k = nonce if nonce is not None else deterministic_nonce(
+            private, b"schnorr" + digest, self.order
+        )
+        commitment = scalar_mult_naf(adapter_for(self.curve, self.base), k)
+        if commitment is None:
+            raise ValueError("nonce maps base to infinity; pick another")
+        e = self._challenge(commitment, message)
+        s = (k + e * private) % self.order
+        return SchnorrSignature(challenge=e, response=s)
+
+    def verify(self, public: AffinePoint, message: bytes,
+               signature: SchnorrSignature) -> bool:
+        e, s = signature.challenge, signature.response
+        if not (0 <= e < self.order and 0 <= s < self.order):
+            return False
+        # R' = s*G - e*P; accept iff H(R', m) == e.
+        neg_pub = self.curve.affine_neg(public)
+        commitment = shamir_scalar_mult(self.curve, s, self.base, e, neg_pub)
+        if commitment is None:
+            return False
+        return self._challenge(commitment, message) == e

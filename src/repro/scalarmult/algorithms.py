@@ -1,0 +1,86 @@
+"""Generic scalar-multiplication algorithms over a group adapter.
+
+These are the paper's "high-speed" and "constant round" methods that work on
+any curve family exposing double / add-base / sub-base:
+
+* :func:`scalar_mult_binary` — left-to-right double-and-add (reference).
+* :func:`scalar_mult_naf` — signed-digit NAF double-and-add, the paper's
+  high-speed method for secp160r1, Weierstraß and Edwards curves.
+* :func:`scalar_mult_daaa` — Double-And-Add-Always with a fixed iteration
+  count: every loop iteration performs exactly one doubling and one
+  addition, discarding the addition when the scalar bit is 0.  This is the
+  paper's leakage-reduced method for the Edwards curve (whose complete
+  addition law makes the dummy addition exception-free).
+
+The x-only Montgomery ladder and the co-Z ladder for Weierstraß curves live
+in :mod:`repro.scalarmult.ladder`; the GLV method in
+:mod:`repro.scalarmult.glv_mult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..curves.point import MaybePoint
+from .adapters import GroupAdapter
+from .recoding import naf_digits
+
+
+def scalar_mult_binary(adapter: GroupAdapter, k: int) -> MaybePoint:
+    """Left-to-right binary double-and-add (n doublings, ~n/2 additions)."""
+    if k < 0:
+        raise ValueError("scalar must be non-negative")
+    if k == 0:
+        return adapter.to_affine(adapter.identity())
+    result = adapter.identity()
+    bits = bin(k)[2:]
+    for i, bit in enumerate(bits):
+        is_add = bit == "1"
+        result = adapter.double(result, next_is_add=is_add)
+        if is_add:
+            result = adapter.add_base(result)
+    return adapter.to_affine(result)
+
+
+def scalar_mult_naf(adapter: GroupAdapter, k: int) -> MaybePoint:
+    """NAF double-and-add: n doublings, ~n/3 additions/subtractions."""
+    if k < 0:
+        raise ValueError("scalar must be non-negative")
+    if k == 0:
+        return adapter.to_affine(adapter.identity())
+    digits = naf_digits(k)
+    result = adapter.identity()
+    for digit in reversed(digits):
+        result = adapter.double(result, next_is_add=digit != 0)
+        if digit == 1:
+            result = adapter.add_base(result)
+        elif digit == -1:
+            result = adapter.sub_base(result)
+    return adapter.to_affine(result)
+
+
+def scalar_mult_daaa(adapter: GroupAdapter, k: int,
+                     bits: Optional[int] = None) -> MaybePoint:
+    """Double-And-Add-Always over a fixed number of iterations.
+
+    Args:
+        adapter: group adapter (Edwards adapters use their complete unified
+            addition for the always-executed add).
+        k: the scalar.
+        bits: loop length; defaults to the scalar's bit length, but passing
+            the group-order length makes the execution profile independent
+            of the scalar — the paper's "constant round" property.
+    """
+    if k < 0:
+        raise ValueError("scalar must be non-negative")
+    length = bits if bits is not None else max(1, k.bit_length())
+    if k.bit_length() > length:
+        raise ValueError(f"scalar does not fit in {length} bits")
+    result = adapter.identity()
+    for i in range(length - 1, -1, -1):
+        result = adapter.double(result, next_is_add=True)
+        candidate = adapter.add_base(result)
+        # Dummy addition: always computed, conditionally kept.
+        if (k >> i) & 1:
+            result = candidate
+    return adapter.to_affine(result)

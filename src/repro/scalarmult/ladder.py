@@ -1,0 +1,267 @@
+"""Regular (constant-profile) ladders.
+
+* :func:`montgomery_ladder_x` — the x-only Montgomery ladder on a Montgomery
+  curve: per bit one differential addition (3M + 2S against the affine base)
+  and one doubling (2M + 2S + one small-constant multiplication), i.e. the
+  paper's 5.3 M + 4 S per bit.  The high-speed and constant-time variants
+  coincide — exactly the property Table II shows for the Montgomery curve.
+
+* :func:`coz_ladder` — Montgomery ladder on a Weierstraß (or GLV) curve with
+  co-Z Jacobian formulas (Hutter, Joye and Sierra's register-light ladder):
+  each rung is a conjugate co-Z addition (ZADDC) followed by a co-Z addition
+  with update (ZADDU).  This is what the paper's "Mon" rows use for
+  secp160r1, the OPF Weierstraß curve and the GLV curve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..curves.montgomery import MontgomeryCurve, XZPoint
+from ..curves.point import AffinePoint, MaybePoint
+from ..curves.weierstrass import JacobianPoint, WeierstrassCurve
+
+
+def montgomery_ladder_x(curve: MontgomeryCurve, k: int, base: AffinePoint,
+                        bits: Optional[int] = None) -> XZPoint:
+    """x-only ladder: returns (X : Z) of k*P.
+
+    With ``bits`` set (normally the group-order length) the ladder performs
+    exactly that many add+double rungs regardless of the scalar value.
+    """
+    if k < 0:
+        raise ValueError("scalar must be non-negative")
+    length = bits if bits is not None else max(1, k.bit_length())
+    if k.bit_length() > length:
+        raise ValueError(f"scalar does not fit in {length} bits")
+    f = curve.field
+    base_xz = curve.xz_from_affine(base)
+    r0 = XZPoint(f.one, f.zero)  # the point at infinity
+    r1 = base_xz
+    for i in range(length - 1, -1, -1):
+        if (k >> i) & 1:
+            r0, r1 = curve.xadd(r0, r1, base_xz), curve.xdbl(r1)
+        else:
+            r0, r1 = curve.xdbl(r0), curve.xadd(r0, r1, base_xz)
+    return r0
+
+
+def montgomery_ladder_full(curve: MontgomeryCurve, k: int, base: AffinePoint,
+                           bits: Optional[int] = None) -> MaybePoint:
+    """Ladder plus Okeya-Sakurai y-recovery: returns the affine point k*P.
+
+    Needs both ladder outputs (k*P and (k+1)*P), so it re-runs the final
+    state bookkeeping: the ladder above already maintains R1 = R0 + P.
+    """
+    if k < 0:
+        raise ValueError("scalar must be non-negative")
+    length = bits if bits is not None else max(1, k.bit_length())
+    if k.bit_length() > length:
+        raise ValueError(f"scalar does not fit in {length} bits")
+    f = curve.field
+    base_xz = curve.xz_from_affine(base)
+    r0 = XZPoint(f.one, f.zero)
+    r1 = base_xz
+    for i in range(length - 1, -1, -1):
+        if (k >> i) & 1:
+            r0, r1 = curve.xadd(r0, r1, base_xz), curve.xdbl(r1)
+        else:
+            r0, r1 = curve.xdbl(r0), curve.xadd(r0, r1, base_xz)
+    if r0.is_infinity():
+        return None
+    if r1.is_infinity():
+        # (k+1)*P = O, i.e. k*P = -P.
+        return curve.affine_neg(base)
+    xq = curve.x_affine(r0)
+    x_next = curve.x_affine(r1)
+    return curve.recover_y(base, xq, x_next)
+
+
+# ---------------------------------------------------------------------------
+# Co-Z ladder for Weierstraß curves
+# ---------------------------------------------------------------------------
+
+
+def zaddu(x1, y1, x2, y2, z):
+    """Co-Z addition with update.
+
+    Input: P = (x1, y1), Q = (x2, y2) sharing the (explicit) coordinate z.
+    Output: ((x3, y3), (x1', y1'), z3) where (x3, y3) = P + Q and
+    (x1', y1') is P rescaled to the new common z3.  Cost 5M + 2S.
+    """
+    c = (x1 - x2).square()
+    w1 = x1 * c
+    w2 = x2 * c
+    d = (y1 - y2).square()
+    a1 = y1 * (w1 - w2)
+    x3 = d - w1 - w2
+    y3 = (y1 - y2) * (w1 - x3) - a1
+    z3 = z * (x1 - x2)
+    return (x3, y3), (w1, a1), z3
+
+
+def zaddc(x1, y1, x2, y2, z):
+    """Conjugate co-Z addition.
+
+    Output: ((x3, y3), (x3', y3'), z3) = (P + Q, P - Q, new common z).
+    Cost 6M + 3S.
+    """
+    c = (x1 - x2).square()
+    w1 = x1 * c
+    w2 = x2 * c
+    d_minus = (y1 - y2).square()
+    a1 = y1 * (w1 - w2)
+    x3 = d_minus - w1 - w2
+    y3 = (y1 - y2) * (w1 - x3) - a1
+    d_plus = (y1 + y2).square()
+    x3p = d_plus - w1 - w2
+    y3p = (y1 + y2) * (w1 - x3p) - a1
+    z3 = z * (x1 - x2)
+    return (x3, y3), (x3p, y3p), z3
+
+
+def dblu(curve: WeierstrassCurve, base: AffinePoint):
+    """Initial doubling with co-Z update (DBLU), Z1 = 1.
+
+    Returns ((x_2P, y_2P), (x_P', y_P'), z) with both points sharing z = 2y.
+    """
+    f = curve.field
+    x, y = base.x, base.y
+    x_sq = x.square()
+    m = x_sq + x_sq + x_sq + curve.a
+    y_sq = y.square()
+    s = x * y_sq
+    s = s + s
+    s = s + s  # 4 x y^2
+    x2 = m.square() - (s + s)
+    y_quad = y_sq.square()
+    eight_y4 = y_quad + y_quad
+    eight_y4 = eight_y4 + eight_y4
+    eight_y4 = eight_y4 + eight_y4
+    y2 = m * (s - x2) - eight_y4
+    z = y + y
+    return (x2, y2), (s, eight_y4), z
+
+
+def coz_ladder(curve: WeierstrassCurve, k: int,
+               base: AffinePoint) -> MaybePoint:
+    """Montgomery ladder on a Weierstraß curve with co-Z formulas.
+
+    Per scalar bit: one ZADDC + one ZADDU (11M + 5S with explicit-Z
+    bookkeeping), a regular pattern independent of the bit values — the
+    paper's constant-round "Mon" method for Weierstraß-form curves.
+
+    Requires ``2 <= k`` with ``k * base`` and all intermediate ladder points
+    away from the exceptional cases (guaranteed when the base point's order
+    exceeds ``k``).
+    """
+    if k < 2:
+        if k < 0:
+            raise ValueError("scalar must be non-negative")
+        if k == 0:
+            return None
+        return base
+    (x1, y1), (x0, y0), z = dblu(curve, base)
+    # Invariant: R1 - R0 = P, with R1 = (x1, y1), R0 = (x0, y0), common z.
+    for i in range(k.bit_length() - 2, -1, -1):
+        bit = (k >> i) & 1
+        if bit:
+            # S = R1 + R0, D = R1 - R0; then N = S + D = 2*R1.
+            (xs, ys), (xd, yd), z = zaddc(x1, y1, x0, y0, z)
+            (x1, y1), (x0, y0), z = zaddu(xs, ys, xd, yd, z)
+        else:
+            # S = R0 + R1, D = R0 - R1; then N = S + D = 2*R0.
+            (xs, ys), (xd, yd), z = zaddc(x0, y0, x1, y1, z)
+            (x0, y0), (x1, y1), z = zaddu(xs, ys, xd, yd, z)
+    return curve.to_affine(JacobianPoint(x0, y0, z))
+
+
+def zaddu_xy(x1, y1, x2, y2):
+    """Co-Z addition with update, (X, Y) only (no Z tracking): 4M + 2S."""
+    c = (x1 - x2).square()
+    w1 = x1 * c
+    w2 = x2 * c
+    d = (y1 - y2).square()
+    a1 = y1 * (w1 - w2)
+    x3 = d - w1 - w2
+    y3 = (y1 - y2) * (w1 - x3) - a1
+    return (x3, y3), (w1, a1)
+
+
+def zaddc_xy(x1, y1, x2, y2):
+    """Conjugate co-Z addition, (X, Y) only: 5M + 3S.
+
+    Returns (P + Q, P - Q, (x1 - x2)) — the last value lets the caller
+    rescale a stale co-Z point when needed (final-iteration recovery).
+    """
+    c = (x1 - x2).square()
+    w1 = x1 * c
+    w2 = x2 * c
+    d_minus = (y1 - y2).square()
+    a1 = y1 * (w1 - w2)
+    x3 = d_minus - w1 - w2
+    y3 = (y1 - y2) * (w1 - x3) - a1
+    d_plus = (y1 + y2).square()
+    x3p = d_plus - w1 - w2
+    y3p = (y1 + y2) * (w1 - x3p) - a1
+    return (x3, y3), (x3p, y3p)
+
+
+def coz_ladder_xy(curve: WeierstrassCurve, k: int,
+                  base: AffinePoint) -> MaybePoint:
+    """The paper's register-light co-Z ladder: no Z coordinate at all.
+
+    Per bit one ZADDC (5M + 3S) and one ZADDU (4M + 2S) — 9M + 5S, matching
+    Hutter, Joye and Sierra's 10-register ladder the paper uses for its
+    constant-round Weierstraß/GLV/secp160r1 rows.  The affine result is
+    recovered at the end from the base point: the last iteration rescales
+    the conjugate difference (±P) to the final common Z, which pins down
+    Z^2 and Z^3 against the known affine (x_P, y_P) — one inversion plus a
+    handful of multiplications, no Z ever materialised in the loop.
+    """
+    if k < 2:
+        if k < 0:
+            raise ValueError("scalar must be non-negative")
+        if k == 0:
+            return None
+        return base
+    (x1, y1), (x0, y0), _z = dblu(curve, base)
+    xd = yd = None
+    last_bit = 0
+    for i in range(k.bit_length() - 2, -1, -1):
+        bit = (k >> i) & 1
+        last_bit = bit
+        if bit:
+            (xs, ys), (xdc, ydc) = zaddc_xy(x1, y1, x0, y0)
+        else:
+            (xs, ys), (xdc, ydc) = zaddc_xy(x0, y0, x1, y1)
+        if i == 0:
+            # Rescale the difference (= ±P) to the Z the ZADDU will leave:
+            # ZADDU multiplies Z by (X_S - X_D), i.e. X scales by its
+            # square (already computed as part of ZADDU's C) and Y by its
+            # cube.  Two extra multiplications, final iteration only.
+            step = xs - xdc
+            c = step.square()
+            xd = xdc * c
+            yd = ydc * (c * step)
+        (xn, yn), (xsp, ysp) = zaddu_xy(xs, ys, xdc, ydc)
+        if bit:
+            x1, y1 = xn, yn
+            x0, y0 = xsp, ysp
+        else:
+            x0, y0 = xn, yn
+            x1, y1 = xsp, ysp
+    # D = R_b - R_{1-b}: +P when the last bit was 1, -P otherwise.
+    # Z^2 = X_D / x_P and Z^3 = sign * Y_D / y_P, hence:
+    #   x0_affine = X0 * x_P / X_D,  y0_affine = sign * Y0 * y_P / Y_D.
+    if xd.is_zero() or yd.is_zero():
+        # k*P landed on an exceptional configuration; fall back.
+        return curve.affine_scalar_mult(k, base)
+    inv = (xd * yd).invert()
+    x_aff = x0 * base.x * yd * inv
+    y_aff = y0 * base.y * xd * inv
+    # Branch-less sign fix: the negation is always computed and the result
+    # selected, so the operation profile stays scalar-independent.
+    y_neg = -y_aff
+    y_aff = y_aff if last_bit else y_neg
+    return AffinePoint(x_aff, y_aff)

@@ -1,0 +1,126 @@
+"""Scalar recodings: binary, NAF, and the Joint Sparse Form.
+
+* The Non-Adjacent Form (NAF) has signed digits in {-1, 0, 1}, no two
+  adjacent digits non-zero, and average density 1/3 — the paper's
+  "high-speed" recoding for Weierstraß, Edwards and secp160r1.
+* The Joint Sparse Form (Solinas; Algorithm 3.50 in Hankerson et al.) recodes
+  a *pair* of scalars with minimal joint density 1/2 — used by the GLV
+  method to evaluate ``k1*P + k2*φ(P)`` with n/2 doublings and about n/4
+  additions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def binary_digits(k: int) -> List[int]:
+    """Plain binary digits, least-significant first."""
+    if k < 0:
+        raise ValueError("binary recoding requires a non-negative scalar")
+    if k == 0:
+        return [0]
+    return [(k >> i) & 1 for i in range(k.bit_length())]
+
+
+def naf_digits(k: int) -> List[int]:
+    """Non-Adjacent Form digits in {-1, 0, 1}, least-significant first."""
+    if k < 0:
+        raise ValueError("NAF recoding requires a non-negative scalar")
+    digits: List[int] = []
+    while k > 0:
+        if k & 1:
+            digit = 2 - (k & 3)  # k mod 4 == 1 -> +1, == 3 -> -1
+            k -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        k >>= 1
+    return digits or [0]
+
+
+def naf_value(digits: List[int]) -> int:
+    """Evaluate a digit list back to an integer (inverse of recoding)."""
+    return sum(d << i for i, d in enumerate(digits))
+
+
+def width_w_naf_digits(k: int, width: int) -> List[int]:
+    """Width-w NAF: odd digits with |d| < 2^(w-1), density 1/(w+1).
+
+    Included for the window-method extension benchmarks (the paper itself
+    avoids window methods to keep memory low, Section V-B).
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    if k < 0:
+        raise ValueError("wNAF recoding requires a non-negative scalar")
+    modulus = 1 << width
+    half = 1 << (width - 1)
+    digits: List[int] = []
+    while k > 0:
+        if k & 1:
+            digit = k % modulus
+            if digit >= half:
+                digit -= modulus
+            k -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        k >>= 1
+    return digits or [0]
+
+
+def _mods4(value: int) -> int:
+    """value mod 4 mapped into {-1, 1} for odd values."""
+    return 2 - (value & 3)
+
+
+def jsf_digits(k0: int, k1: int) -> List[Tuple[int, int]]:
+    """Joint Sparse Form of two non-negative scalars (LSB first).
+
+    Returns a list of digit pairs in {-1, 0, 1}^2 such that
+    ``sum(d0 * 2^i) == k0`` and ``sum(d1 * 2^i) == k1``, with at least one of
+    any three consecutive positions being (0, 0) in each row — the minimal
+    joint density of 1/2 that gives the GLV method its n/4 addition count.
+    """
+    if k0 < 0 or k1 < 0:
+        raise ValueError("JSF requires non-negative scalars")
+    d0 = d1 = 0
+    digits: List[Tuple[int, int]] = []
+    while k0 + d0 > 0 or k1 + d1 > 0:
+        l0 = k0 + d0
+        l1 = k1 + d1
+        if l0 % 2 == 0:
+            u0 = 0
+        else:
+            u0 = _mods4(l0)
+            if l0 % 8 in (3, 5) and l1 % 4 == 2:
+                u0 = -u0
+        if l1 % 2 == 0:
+            u1 = 0
+        else:
+            u1 = _mods4(l1)
+            if l1 % 8 in (3, 5) and l0 % 4 == 2:
+                u1 = -u1
+        if 2 * d0 == 1 + u0:
+            d0 = 1 - d0
+        if 2 * d1 == 1 + u1:
+            d1 = 1 - d1
+        k0 >>= 1
+        k1 >>= 1
+        digits.append((u0, u1))
+    return digits or [(0, 0)]
+
+
+def joint_weight(digits: List[Tuple[int, int]]) -> int:
+    """Number of positions where at least one digit is non-zero.
+
+    For the JSF this averages half the length — each such position costs one
+    point addition in the simultaneous (Shamir) evaluation.
+    """
+    return sum(1 for (a, b) in digits if a != 0 or b != 0)
+
+
+def hamming_weight(digits: List[int]) -> int:
+    """Number of non-zero digits of a single recoding."""
+    return sum(1 for d in digits if d != 0)

@@ -1,0 +1,88 @@
+"""Width-w NAF (window) scalar multiplication — the road not taken.
+
+The paper deliberately avoids window/comb methods: "we decided to stick
+with methods for point multiplication that require a minimal amount of
+memory" (Section V-B).  This module implements the window method anyway so
+the ablation benchmark can *quantify* that trade-off: each extra window bit
+halves-ish the addition count but doubles the precomputed table, whose RAM
+footprint is exactly what a sensor node lacks.
+
+The table holds the odd multiples P, 3P, ..., (2^(w-1)-1)P in affine form
+(mixed additions stay cheap), produced with one shared inversion via
+Montgomery's batch-inversion trick.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..curves.point import AffinePoint, MaybePoint
+from ..curves.weierstrass import JacobianPoint, WeierstrassCurve
+from ..field.element import FpElement
+from .recoding import width_w_naf_digits
+
+
+def batch_invert(elements: List[FpElement]) -> List[FpElement]:
+    """Montgomery's trick: n inversions for 1 inversion + 3(n-1) muls."""
+    if not elements:
+        return []
+    if any(e.is_zero() for e in elements):
+        raise ZeroDivisionError("cannot batch-invert zero")
+    prefix = [elements[0]]
+    for e in elements[1:]:
+        prefix.append(prefix[-1] * e)
+    running = prefix[-1].invert()
+    out: List[Optional[FpElement]] = [None] * len(elements)
+    for i in range(len(elements) - 1, 0, -1):
+        out[i] = running * prefix[i - 1]
+        running = running * elements[i]
+    out[0] = running
+    return out  # type: ignore[return-value]
+
+
+def precompute_odd_multiples(curve: WeierstrassCurve, base: AffinePoint,
+                             width: int) -> List[AffinePoint]:
+    """[P, 3P, 5P, ..., (2^(w-1)-1)P] in affine form (batch inversion)."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    count = 1 << (width - 2)      # number of odd multiples
+    jacobians: List[JacobianPoint] = [curve.from_affine(base)]
+    double_p = curve.double(curve.from_affine(base))
+    for _ in range(count - 1):
+        jacobians.append(curve.add(jacobians[-1], double_p))
+    # Batch-convert to affine: invert all Z coordinates at once.
+    z_invs = batch_invert([pt.z for pt in jacobians])
+    table: List[AffinePoint] = []
+    for pt, z_inv in zip(jacobians, z_invs):
+        z2 = z_inv.square()
+        table.append(AffinePoint(pt.x * z2, pt.y * z2 * z_inv))
+    return table
+
+
+def scalar_mult_wnaf(curve: WeierstrassCurve, k: int, base: AffinePoint,
+                     width: int = 4) -> MaybePoint:
+    """Width-w NAF double-and-add with a precomputed odd-multiple table."""
+    if k < 0:
+        raise ValueError("scalar must be non-negative")
+    if k == 0:
+        return None
+    table = precompute_odd_multiples(curve, base, width)
+    neg_table = [curve.affine_neg(p) for p in table]
+    digits = width_w_naf_digits(k, width)
+    result = curve.identity
+    for digit in reversed(digits):
+        result = curve.double(result)
+        if digit > 0:
+            result = curve.add_mixed(result, table[(digit - 1) // 2])
+        elif digit < 0:
+            result = curve.add_mixed(result, neg_table[(-digit - 1) // 2])
+    return curve.to_affine(result)
+
+
+def wnaf_table_ram_bytes(width: int, field_bytes: int = 20) -> int:
+    """RAM the table costs: 2 coordinates per entry, plus the negatives'
+    y coordinates if stored (we charge only the positive table — negation
+    is computed on the fly in a RAM-tight implementation)."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    return (1 << (width - 2)) * 2 * field_bytes

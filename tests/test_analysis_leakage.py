@@ -1,0 +1,94 @@
+"""Leakage analysis: regularity of the constant-round methods."""
+
+import math
+
+import pytest
+
+from repro.analysis.leakage import (
+    collect_traces,
+    fixed_vs_random_t,
+    is_regular,
+    leakage_report,
+    random_traces,
+    relative_spread,
+    scalar_weight_correlation,
+    welch_t,
+)
+
+
+class TestRegularity:
+    @pytest.mark.parametrize("curve,method", [
+        ("montgomery", "ladder"),
+        ("weierstrass", "coz-ladder"),
+        ("glv", "coz-ladder"),
+        ("edwards", "daaa"),
+    ])
+    def test_constant_round_methods_are_regular(self, curve, method):
+        traces = random_traces(curve, method, n=8, seed=1)
+        assert is_regular(traces)
+        assert relative_spread(traces) == 0.0
+
+    @pytest.mark.parametrize("curve,method", [
+        ("weierstrass", "naf"),
+        ("edwards", "naf"),
+        ("glv", "glv-jsf"),
+    ])
+    def test_highspeed_methods_leak(self, curve, method):
+        traces = random_traces(curve, method, n=8, seed=2)
+        assert not is_regular(traces)
+        assert relative_spread(traces) > 0.001
+
+
+class TestWelchT:
+    def test_identical_samples_zero(self):
+        assert welch_t([5.0, 5.0, 5.0], [5.0, 5.0]) == 0.0
+
+    def test_separated_samples_large(self):
+        t = welch_t([10.0, 10.1, 9.9, 10.0], [20.0, 20.1, 19.9, 20.2])
+        assert abs(t) > 4.5
+
+    def test_minimum_observations(self):
+        with pytest.raises(ValueError):
+            welch_t([1.0], [2.0, 3.0])
+
+    def test_constant_vs_different_constant_is_infinite(self):
+        assert math.isinf(welch_t([1.0, 1.0], [2.0, 2.0]))
+
+
+class TestFixedVsRandom:
+    def test_naf_distinguishable(self):
+        t = fixed_vs_random_t("weierstrass", "naf", n=8)
+        assert abs(t) > 4.5   # the TVLA threshold
+
+    def test_ladder_indistinguishable(self):
+        t = fixed_vs_random_t("montgomery", "ladder", n=8)
+        assert abs(t) < 0.5
+
+
+class TestMechanism:
+    def test_naf_cycles_track_scalar_weight(self):
+        traces = random_traces("weierstrass", "naf", n=12, seed=3)
+        assert scalar_weight_correlation(traces) > 0.9
+
+    def test_ladder_cycles_do_not(self):
+        traces = random_traces("montgomery", "ladder", n=12, seed=4)
+        assert abs(scalar_weight_correlation(traces)) < 0.2
+
+
+class TestReport:
+    def test_report_structure(self):
+        report = leakage_report(n=5)
+        assert len(report) == 5
+        for entry in report.values():
+            if entry["category"] == "constant-round":
+                assert entry["regular"]
+            else:
+                assert not entry["regular"]
+
+
+class TestCollectTraces:
+    def test_explicit_scalars(self):
+        traces = collect_traces("montgomery", "ladder",
+                                [(1 << 159) + 1, (1 << 159) + 3])
+        assert len(traces) == 2
+        assert traces[0].op_vector == traces[1].op_vector

@@ -1,0 +1,156 @@
+"""Table regeneration: structure, shape assertions, rendering."""
+
+import pytest
+
+from repro.analysis import (
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_table4,
+    generate_table5,
+    measure_kernel_cycles,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return generate_table1()
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return generate_table2()
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return generate_table3()
+
+
+class TestTable1:
+    def test_all_ops_and_modes_present(self, table1):
+        ops = {row[0] for row in table1.rows}
+        assert {"addition", "subtraction", "multiplication"} <= ops
+        modes = {row[1] for row in table1.rows}
+        assert modes == {"CA", "FAST", "ISE"}
+
+    def test_deltas_bounded(self, table1):
+        for row in table1.rows:
+            assert abs(row[4]) < 30.0, row
+
+    def test_mode_ordering_per_op(self, table1):
+        by_op = {}
+        for op, mode, measured, _, _ in table1.rows:
+            by_op.setdefault(op, {})[mode] = measured
+        assert by_op["multiplication"]["ISE"] \
+            < by_op["multiplication"]["FAST"] \
+            < by_op["multiplication"]["CA"]
+        assert by_op["addition"]["FAST"] < by_op["addition"]["CA"]
+
+    def test_render(self, table1):
+        text = table1.render()
+        assert "Table I" in text and "measured" in text
+
+    def test_kernel_cycle_cache_shape(self):
+        cycles = measure_kernel_cycles()
+        assert set(cycles) == {"addition", "subtraction", "multiplication"}
+        for op in cycles.values():
+            assert set(op) == {"CA", "FAST", "ISE"}
+
+
+class TestTable2:
+    def test_five_curves(self, table2):
+        assert len(table2.rows) == 5
+
+    def test_deltas_bounded(self, table2):
+        for row in table2.rows:
+            assert abs(row[4]) < 10.0, row   # high-speed delta %
+            assert abs(row[8]) < 10.0, row   # constant-time delta %
+
+    def test_render(self, table2):
+        text = table2.render()
+        assert "Table II" in text
+        assert "glv" in text
+
+
+class TestTable3:
+    def test_twelve_rows(self, table3):
+        assert len(table3.rows) == 12
+
+    def test_cycle_deltas_bounded(self, table3):
+        for row in table3.rows:
+            assert abs(row[4]) < 12.0, row
+
+    def test_area_estimates_close(self, table3):
+        for row in table3.rows:
+            est, paper = row[5], row[6]
+            assert abs(est / paper - 1) < 0.05, row
+
+    def test_sarp_shape(self, table3):
+        sarps = {(row[0], row[1]): row[7] for row in table3.rows}
+        # GLV wins CA and FAST (paper Section V-C).
+        for mode in ("CA", "FAST"):
+            best = max(v for (c, m), v in sarps.items() if m == mode)
+            assert sarps[("glv", mode)] == best
+        # In ISE mode the paper has Edwards ahead of Montgomery by a "small
+        # margin" (5.27 vs 5.06-5.13); our estimates land within that noise,
+        # so assert the robust property: Edwards and Montgomery are the top
+        # two and within 10% of each other.
+        ise = sorted(((v, c) for (c, m), v in sarps.items() if m == "ISE"),
+                     reverse=True)
+        top_two = {ise[0][1], ise[1][1]}
+        assert top_two == {"edwards", "montgomery"}
+        assert ise[0][0] / ise[1][0] < 1.10
+
+    def test_ise_sarp_is_a_leap_over_fast(self, table3):
+        """The big Table III effect: ISE ~triples the area-time product."""
+        sarps = {(row[0], row[1]): row[7] for row in table3.rows}
+        for curve in ("weierstrass", "edwards", "montgomery", "glv"):
+            assert sarps[(curve, "ISE")] > 2.2 * sarps[(curve, "FAST")]
+
+    def test_energy_column_positive(self, table3):
+        for row in table3.rows:
+            assert row[9] > 0
+
+
+class TestTables4And5:
+    def test_table4_contains_our_row(self):
+        table = generate_table4()
+        refs = [row[0] for row in table.rows]
+        assert any("Our Work" in r for r in refs)
+        assert len(table.rows) == 6
+
+    def test_table4_accepts_measured_runtime(self):
+        table = generate_table4(measured_mon_ise_kcycles=1234.5)
+        ours = [row for row in table.rows if "Our Work" in row[0]][0]
+        assert ours[3] == 1234 or ours[3] == 1235
+
+    def test_table5_sorted_descending(self):
+        table = generate_table5()
+        values = [float(row[2]) for row in table.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_table5_our_rows_beat_most_related_work(self):
+        """Paper Section V-D: our software outperforms most prior work."""
+        table = generate_table5()
+        ours = [float(r[2]) for r in table.rows if "Our Work" in r[0]]
+        related = [float(r[2]) for r in table.rows if "Our Work" not in r[0]]
+        assert min(ours) < min(related)
+
+    def test_table5_measured_override(self):
+        table = generate_table5(measured={"GLV, OPF": 4000.0})
+        ours = [r for r in table.rows
+                if "Our Work" in r[0] and r[1] == "GLV, OPF"][0]
+        assert ours[2] == 4000
+
+
+class TestRendering:
+    def test_notes_included(self, table1):
+        assert any("kernel" in n for n in table1.notes)
+        assert "note:" in table1.render()
+
+    def test_column_alignment(self, table2):
+        lines = table2.render().splitlines()
+        header_line = lines[2]
+        separator = lines[3]
+        assert len(header_line) == len(separator)

@@ -1,0 +1,216 @@
+"""Assembler: syntax, directives, labels, errors, disassembler round trip."""
+
+import pytest
+
+from repro.avr import AssemblyError, assemble, disassemble, disassemble_one
+from repro.avr.isa import BY_NAME
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert assemble("").words == []
+
+    def test_comments_stripped(self):
+        prog = assemble("; full line\n nop ; trailing\n nop // slashes\n")
+        assert len(prog.words) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble("NOP\nnop\nNoP\n").words == [0, 0, 0]
+
+    def test_register_case(self):
+        a = assemble("mov R5, r6").words
+        b = assemble("MOV r5, R6").words
+        assert a == b
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1")
+
+    def test_register_range_enforced(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldi r5, 3")  # LDI needs r16..r31
+
+    def test_immediate_range_enforced(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldi r16, 256")
+
+
+class TestLabels:
+    def test_forward_and_backward(self):
+        prog = assemble("start:\n rjmp end\nmid:\n rjmp start\nend:\n"
+                        " rjmp mid")
+        assert prog.symbols == {"start": 0, "mid": 1, "end": 2}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\n nop\na:\n nop")
+
+    def test_label_on_own_line(self):
+        prog = assemble("lbl:\n\n nop\n rjmp lbl")
+        assert prog.symbols["lbl"] == 0
+
+    def test_multiple_labels_one_address(self):
+        prog = assemble("a: b:\n nop")
+        assert prog.symbols["a"] == prog.symbols["b"] == 0
+
+
+class TestDirectives:
+    def test_equ(self):
+        prog = assemble(".equ VAL = 0x42\n ldi r16, VAL")
+        assert prog.words[0] == BY_NAME["LDI"].encode({"d": 16, "K": 0x42})[0]
+
+    def test_equ_expression(self):
+        prog = assemble(".equ A = 0x100\n.equ B = A + 4\n ldi r16, lo8(B)\n"
+                        " ldi r17, hi8(B)")
+        assert prog.words[0] & 0xF == 4
+        assert (prog.words[1] >> 0) & 0xF == 1
+
+    def test_org_pads(self):
+        prog = assemble(" nop\n.org 4\n nop")
+        assert len(prog.words) == 5
+        assert prog.words[4] == 0
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".org 4\n nop\n.org 2\n nop")
+
+    def test_dw(self):
+        prog = assemble(".dw 0x1234, 0xABCD")
+        assert prog.words == [0x1234, 0xABCD]
+
+    def test_db_packs_little_endian(self):
+        prog = assemble(".db 0x11, 0x22, 0x33")
+        assert prog.words == [0x2211, 0x0033]
+
+    def test_db_range_check(self):
+        with pytest.raises(AssemblyError):
+            assemble(".db 256")
+
+
+class TestAddressingSyntax:
+    @pytest.mark.parametrize("mode,name", [
+        ("X", "LD_X"), ("X+", "LD_XP"), ("-X", "LD_MX"),
+        ("Y+", "LD_YP"), ("-Y", "LD_MY"),
+        ("Z+", "LD_ZP"), ("-Z", "LD_MZ"),
+    ])
+    def test_ld_modes(self, mode, name):
+        prog = assemble(f"ld r5, {mode}")
+        assert prog.words[0] == BY_NAME[name].encode({"d": 5})[0]
+
+    def test_ld_y_is_ldd_zero(self):
+        prog = assemble("ld r5, Y")
+        assert prog.words[0] == BY_NAME["LDD_Y"].encode({"d": 5, "q": 0})[0]
+
+    def test_ldd_displacement(self):
+        prog = assemble("ldd r5, Y+17")
+        assert prog.words[0] == BY_NAME["LDD_Y"].encode({"d": 5, "q": 17})[0]
+
+    def test_ldd_displacement_expression(self):
+        prog = assemble(".equ OFF = 8\n ldd r5, Z+OFF+1")
+        assert prog.words[0] == BY_NAME["LDD_Z"].encode({"d": 5, "q": 9})[0]
+
+    def test_std(self):
+        prog = assemble("std Z+63, r9")
+        assert prog.words[0] == BY_NAME["STD_Z"].encode({"d": 9, "q": 63})[0]
+
+    def test_displacement_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldd r5, Y+64")
+
+    def test_bad_mode(self):
+        with pytest.raises(AssemblyError):
+            assemble("ld r5, W+")
+
+    def test_lds_sts_two_words(self):
+        prog = assemble("lds r5, 0x1234\n sts 0x4321, r6")
+        assert len(prog.words) == 4
+        assert prog.words[1] == 0x1234
+        assert prog.words[3] == 0x4321
+
+
+class TestBranchEncoding:
+    def test_branch_range_enforced(self):
+        lines = ["target:"] + ["nop"] * 100 + ["breq target"]
+        with pytest.raises(AssemblyError):
+            assemble("\n".join(lines))
+
+    def test_rjmp_range(self):
+        # ±2047 words for RJMP: 2100 NOPs back is too far... still fine
+        # (4096 reach); make it beyond 2048.
+        lines = ["target:"] + ["nop"] * 2100 + ["rjmp target"]
+        with pytest.raises(AssemblyError):
+            assemble("\n".join(lines))
+
+    def test_all_branch_aliases(self):
+        for alias in ("breq", "brne", "brcs", "brcc", "brsh", "brlo",
+                      "brmi", "brpl", "brge", "brlt", "brhs", "brhc",
+                      "brts", "brtc", "brvs", "brvc", "brie", "brid"):
+            prog = assemble(f"here: {alias} here")
+            assert len(prog.words) == 1
+
+
+class TestListingAndProgram:
+    def test_listing_contains_addresses(self):
+        prog = assemble("nop\n ldi r16, 1")
+        assert prog.listing[0].startswith("0000:")
+
+    def test_size_bytes(self):
+        prog = assemble("nop\n nop\n lds r0, 0")
+        assert prog.size_bytes == 8
+
+    def test_load_into(self):
+        from repro.avr import ProgramMemory
+
+        mem = ProgramMemory()
+        assemble("nop\n break").load_into(mem)
+        assert mem.used_bytes == 4
+
+
+class TestDisassembler:
+    def test_roundtrip_simple_program(self):
+        source = ("nop\n ldi r16, 10\n add r16, r17\n mul r2, r3\n"
+                   " movw r4, r6\n swap r20\n break")
+        prog = assemble(source)
+        text = disassemble(prog.words)
+        assert len(text) == 7
+        assert "LDI r16, 10" in text[1]
+        assert "MUL r2, r3" in text[3]
+
+    def test_disassemble_branches_show_targets(self):
+        prog = assemble("here: rjmp here")
+        text, consumed = disassemble_one(prog.words[0], address=0)
+        assert consumed == 1
+        assert "0x0000" in text
+
+    def test_disassemble_two_word(self):
+        prog = assemble("lds r7, 0x1ABC")
+        text, consumed = disassemble_one(prog.words[0], prog.words[1], 0)
+        assert consumed == 2
+        assert "0x1abc" in text.lower()
+
+    def test_unknown_word(self):
+        text, consumed = disassemble_one(0xFF0F)
+        assert text.startswith(".dw")
+
+    def test_memory_modes_roundtrip(self):
+        source = ("ld r1, X+\n ld r2, -Y\n st Z+, r3\n ldd r4, Y+5\n"
+                   " std Z+9, r5\n lpm r6, Z+")
+        prog = assemble(source)
+        text = "\n".join(disassemble(prog.words))
+        for fragment in ("LD r1, X+", "LD r2, -Y", "ST Z+, r3",
+                         "LDD r4, Y+5", "STD Z+9, r5", "LPM r6, Z+"):
+            assert fragment in text
+
+    def test_reassembly_equivalence(self):
+        """Disassembled text re-assembles to the same words."""
+        source = ("ldi r16, 0x42\n ldi r28, 0x60\n ldi r29, 0\n"
+                   " std Y+3, r16\n ldd r17, Y+3\n add r17, r16\n break")
+        prog = assemble(source)
+        lines = [line.split(":", 1)[1].strip()
+                 for line in disassemble(prog.words)]
+        again = assemble("\n".join(lines))
+        assert again.words == prog.words

@@ -1,0 +1,161 @@
+"""Bit-pattern compilation and the ISA table's encode/decode round trip."""
+
+import random
+
+import pytest
+
+from repro.avr.encoding import BitPattern, sign_extend, to_twos_complement
+from repro.avr.isa import DECODE_ORDER, TABLE, decode_word, instruction_words
+
+
+class TestBitPattern:
+    def test_fixed_bits(self):
+        p = BitPattern.compile("0000000000000000")
+        assert p.fixed_mask == 0xFFFF and p.fixed_value == 0
+
+    def test_field_extraction(self):
+        p = BitPattern.compile("000011rdddddrrrr")
+        word = p.encode({"r": 0b10001, "d": 0b00010})
+        assert p.matches(word)
+        assert p.decode(word) == {"r": 0b10001, "d": 0b00010}
+
+    def test_split_field_msb_order(self):
+        # The 'r' field of the ALU group: bit 9 is the field's MSB.
+        p = BitPattern.compile("000011rdddddrrrr")
+        word = p.encode({"r": 0b10000, "d": 0})
+        assert word & (1 << 9)
+        assert word & 0xF == 0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            BitPattern.compile("0000")
+
+    def test_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            BitPattern.compile("000011rddddd rr!r")
+
+    def test_rejects_field_overflow(self):
+        p = BitPattern.compile("000011rdddddrrrr")
+        with pytest.raises(ValueError):
+            p.encode({"r": 32, "d": 0})
+
+    def test_missing_field(self):
+        p = BitPattern.compile("000011rdddddrrrr")
+        with pytest.raises(KeyError):
+            p.encode({"d": 0})
+
+    def test_specificity(self):
+        assert BitPattern.compile("0000000000000000").specificity == 16
+        assert BitPattern.compile("000011rdddddrrrr").specificity == 6
+
+
+class TestSignExtension:
+    def test_sign_extend(self):
+        assert sign_extend(0x7F, 7) == -1
+        assert sign_extend(0x3F, 7) == 63
+        assert sign_extend(0, 7) == 0
+
+    def test_twos_complement_roundtrip(self):
+        for bits in (7, 12):
+            for v in range(-(1 << (bits - 1)), 1 << (bits - 1)):
+                assert sign_extend(to_twos_complement(v, bits), bits) == v
+
+    def test_twos_complement_range(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(64, 7)
+        with pytest.raises(ValueError):
+            to_twos_complement(-65, 7)
+
+
+def _random_operands(spec, rng):
+    values = {}
+    for op in spec.operands:
+        if op.kind == "reg5":
+            values[op.name] = rng.randrange(32)
+        elif op.kind == "reg4":
+            values[op.name] = rng.randrange(16, 32)
+        elif op.kind == "reg3":
+            values[op.name] = rng.randrange(16, 24)
+        elif op.kind == "regpair":
+            values[op.name] = rng.randrange(16) * 2
+        elif op.kind == "regw":
+            values[op.name] = rng.choice([24, 26, 28, 30])
+        elif op.kind == "abs":
+            values[op.name] = rng.randrange(1 << 16)
+        elif op.kind == "rel":
+            width = spec.pattern.field_width(op.letter)
+            values[op.name] = rng.randrange(1 << width)
+        elif op.kind == "disp":
+            values[op.name] = rng.randrange(64)
+        elif op.kind == "io":
+            limit = 32 if spec.name in ("SBI", "CBI", "SBIC", "SBIS") else 64
+            values[op.name] = rng.randrange(limit)
+        elif op.kind in ("bit", "flag"):
+            values[op.name] = rng.randrange(8)
+        else:  # uimm
+            width = spec.pattern.field_width(op.letter)
+            values[op.name] = rng.randrange(1 << width)
+    return values
+
+
+class TestIsaRoundTrip:
+    def test_every_spec_roundtrips(self):
+        rng = random.Random(1234)
+        for spec in TABLE:
+            for _ in range(50):
+                values = _random_operands(spec, rng)
+                words = spec.encode(values)
+                assert len(words) == spec.words
+                decoded = decode_word(words[0])
+                assert decoded is not None, spec.name
+                assert decoded.name == spec.name, (
+                    f"{spec.name} decoded as {decoded.name}: {words[0]:#06x}"
+                )
+                ops = decoded.decode_operands(
+                    words[0], words[1] if len(words) > 1 else None
+                )
+                assert ops == values, spec.name
+
+    def test_no_pattern_overlap_on_fixed_encodings(self):
+        """Fixed-bit-only encodings decode to exactly one spec."""
+        for spec in TABLE:
+            if spec.pattern.specificity == 16:
+                word = spec.pattern.fixed_value
+                matches = [s.name for s in DECODE_ORDER
+                           if s.pattern.matches(word)
+                           and s.pattern.specificity == 16]
+                assert matches == [spec.name]
+
+    def test_decode_unknown_returns_none(self):
+        # 0xFF07 has no assigned encoding in our table (reserved space).
+        assert decode_word(0xFF0F) is None
+
+    def test_instruction_words(self):
+        from repro.avr.isa import BY_NAME
+
+        lds = BY_NAME["LDS"].encode({"d": 5, "k": 0x123})
+        assert instruction_words(lds[0]) == 2
+        nop = BY_NAME["NOP"].encode({})
+        assert instruction_words(nop[0]) == 1
+
+    def test_table_names_unique(self):
+        names = [s.name for s in TABLE]
+        assert len(names) == len(set(names))
+
+    def test_known_encodings(self):
+        """Spot-check against the AVR instruction-set manual."""
+        from repro.avr.isa import BY_NAME
+
+        assert BY_NAME["NOP"].encode({})[0] == 0x0000
+        assert BY_NAME["RET"].encode({})[0] == 0x9508
+        assert BY_NAME["RETI"].encode({})[0] == 0x9518
+        # ADD r1, r2 -> 0000 1100 0001 0010
+        assert BY_NAME["ADD"].encode({"d": 1, "r": 2})[0] == 0x0C12
+        # LDI r16, 0xFF -> 1110 1111 0000 1111
+        assert BY_NAME["LDI"].encode({"d": 16, "K": 0xFF})[0] == 0xEF0F
+        # MUL r2, r3 -> 1001 1100 0010 0011
+        assert BY_NAME["MUL"].encode({"d": 2, "r": 3})[0] == 0x9C23
+        # MOVW r0, r30 -> 0000 0001 0000 1111
+        assert BY_NAME["MOVW"].encode({"d": 0, "r": 30})[0] == 0x010F
+        # BREAK -> 1001 0101 1001 1000
+        assert BY_NAME["BREAK"].encode({})[0] == 0x9598

@@ -1,0 +1,339 @@
+"""Instruction semantics, one behaviour per test, via tiny programs."""
+
+import pytest
+
+from repro.avr import AvrCore, Mode, ProgramMemory, assemble
+from repro.avr.sreg import C, H, N, S, T, V, Z
+
+
+def run(source: str, mode: Mode = Mode.CA, setup=None, sram=4096):
+    core = AvrCore(ProgramMemory(), mode=mode, sram_size=sram)
+    assemble(source + "\n    break\n").load_into(core.program)
+    if setup:
+        setup(core)
+    core.run()
+    return core
+
+
+class TestArithmetic:
+    def test_add_basic(self):
+        core = run("ldi r16, 200\n ldi r17, 100\n add r16, r17")
+        assert core.data.reg(16) == 44  # 300 mod 256
+        assert core.sreg[C] == 1
+
+    def test_adc_chain_16bit(self):
+        core = run(
+            "ldi r16, 0xFF\n ldi r17, 0x00\n ldi r18, 0x01\n ldi r19, 0x00\n"
+            "add r16, r18\n adc r17, r19"
+        )
+        assert core.data.reg_pair(16) == 0x100
+
+    def test_sub_borrow(self):
+        core = run("ldi r16, 5\n ldi r17, 10\n sub r16, r17")
+        assert core.data.reg(16) == 251
+        assert core.sreg[C] == 1
+        assert core.sreg[N] == 1
+
+    def test_sbc_uses_carry(self):
+        core = run("ldi r16, 10\n ldi r17, 3\n sec\n sbc r16, r17")
+        assert core.data.reg(16) == 6
+
+    def test_subi_sbci(self):
+        core = run("ldi r16, 0x10\n ldi r17, 0x20\n subi r16, 0x11\n"
+                   " sbci r17, 0x00")
+        assert core.data.reg(16) == 0xFF
+        assert core.data.reg(17) == 0x1F
+
+    def test_adiw(self):
+        core = run("ldi r24, 0xFF\n ldi r25, 0x00\n adiw r24, 2")
+        assert core.data.reg_pair(24) == 0x101
+
+    def test_adiw_carry(self):
+        core = run("ldi r24, 0xFF\n ldi r25, 0xFF\n adiw r24, 1")
+        assert core.data.reg_pair(24) == 0
+        assert core.sreg[C] == 1 and core.sreg[Z] == 1
+
+    def test_sbiw(self):
+        core = run("ldi r26, 0x00\n ldi r27, 0x01\n sbiw r26, 1")
+        assert core.data.reg_pair(26) == 0xFF
+
+    def test_sbiw_borrow(self):
+        core = run("ldi r28, 0\n ldi r29, 0\n sbiw r28, 1")
+        assert core.data.reg_pair(28) == 0xFFFF
+        assert core.sreg[C] == 1
+
+    def test_inc_dec(self):
+        core = run("ldi r16, 0xFF\n inc r16")
+        assert core.data.reg(16) == 0 and core.sreg[Z] == 1
+        core = run("ldi r16, 0x80\n dec r16")
+        assert core.data.reg(16) == 0x7F and core.sreg[V] == 1
+
+    def test_inc_overflow_flag(self):
+        core = run("ldi r16, 0x7F\n inc r16")
+        assert core.data.reg(16) == 0x80 and core.sreg[V] == 1
+
+    def test_neg(self):
+        core = run("ldi r16, 1\n neg r16")
+        assert core.data.reg(16) == 0xFF
+        assert core.sreg[C] == 1
+        core = run("ldi r16, 0\n neg r16")
+        assert core.data.reg(16) == 0 and core.sreg[C] == 0
+
+    def test_com(self):
+        core = run("ldi r16, 0x55\n com r16")
+        assert core.data.reg(16) == 0xAA
+        assert core.sreg[C] == 1
+
+
+class TestLogic:
+    def test_and_or_eor(self):
+        core = run("ldi r16, 0xF0\n ldi r17, 0x3C\n and r16, r17")
+        assert core.data.reg(16) == 0x30
+        core = run("ldi r16, 0xF0\n ldi r17, 0x0F\n or r16, r17")
+        assert core.data.reg(16) == 0xFF
+        core = run("ldi r16, 0xFF\n ldi r17, 0x0F\n eor r16, r17")
+        assert core.data.reg(16) == 0xF0
+
+    def test_andi_ori(self):
+        core = run("ldi r20, 0xAA\n andi r20, 0x0F\n ori r20, 0x30")
+        assert core.data.reg(20) == 0x3A
+
+    def test_clr_alias_zero_flag(self):
+        core = run("ldi r16, 99\n clr r16")
+        assert core.data.reg(16) == 0 and core.sreg[Z] == 1
+
+    def test_ser_alias(self):
+        core = run("ser r16")
+        assert core.data.reg(16) == 0xFF
+
+    def test_cbr_alias(self):
+        core = run("ldi r16, 0xFF\n cbr r16, 0x0F")
+        assert core.data.reg(16) == 0xF0
+
+
+class TestShifts:
+    def test_lsr(self):
+        core = run("ldi r16, 0x81\n lsr r16")
+        assert core.data.reg(16) == 0x40 and core.sreg[C] == 1
+
+    def test_lsl_alias(self):
+        core = run("ldi r16, 0x81\n lsl r16")
+        assert core.data.reg(16) == 0x02 and core.sreg[C] == 1
+
+    def test_ror_through_carry(self):
+        core = run("ldi r16, 0x02\n sec\n ror r16")
+        assert core.data.reg(16) == 0x81 and core.sreg[C] == 0
+
+    def test_rol_alias(self):
+        core = run("ldi r16, 0x80\n sec\n rol r16")
+        assert core.data.reg(16) == 0x01 and core.sreg[C] == 1
+
+    def test_asr_preserves_sign(self):
+        core = run("ldi r16, 0x85\n asr r16")
+        assert core.data.reg(16) == 0xC2 and core.sreg[C] == 1
+
+    def test_swap(self):
+        core = run("ldi r16, 0xA5\n swap r16")
+        assert core.data.reg(16) == 0x5A
+
+
+class TestMultiplier:
+    def test_mul_unsigned(self):
+        core = run("ldi r16, 200\n ldi r17, 200\n mul r16, r17")
+        assert core.data.reg_pair(0) == 40000
+        assert core.sreg[C] == (40000 >> 15) & 1
+
+    def test_mul_zero_flag(self):
+        core = run("ldi r16, 0\n ldi r17, 99\n mul r16, r17")
+        assert core.data.reg_pair(0) == 0 and core.sreg[Z] == 1
+
+    def test_muls_signed(self):
+        core = run("ldi r16, 0xFF\n ldi r17, 2\n muls r16, r17")  # -1 * 2
+        assert core.data.reg_pair(0) == 0xFFFE
+
+    def test_mulsu(self):
+        core = run("ldi r16, 0xFF\n ldi r17, 3\n mulsu r16, r17")  # -1 * 3
+        assert core.data.reg_pair(0) == 0xFFFD
+
+    def test_fmul(self):
+        core = run("ldi r16, 0x40\n ldi r17, 0x40\n fmul r16, r17")
+        assert core.data.reg_pair(0) == (0x40 * 0x40) << 1
+
+    def test_all_register_products(self):
+        """MUL over a spread of operands equals Python multiplication."""
+        for a, b in [(0, 0), (1, 255), (255, 255), (170, 85), (13, 19)]:
+            core = run(f"ldi r16, {a}\n ldi r17, {b}\n mul r16, r17")
+            assert core.data.reg_pair(0) == a * b
+
+
+class TestDataTransfer:
+    def test_mov_movw(self):
+        core = run("ldi r16, 7\n ldi r17, 9\n mov r20, r16\n movw r18, r16")
+        assert core.data.reg(20) == 7
+        assert core.data.reg(18) == 7 and core.data.reg(19) == 9
+
+    def test_lds_sts(self):
+        core = run("ldi r16, 0x42\n sts 0x200, r16\n lds r17, 0x200")
+        assert core.data.reg(17) == 0x42
+
+    def test_ld_x_postinc_predec(self):
+        core = run(
+            "ldi r26, 0x00\n ldi r27, 0x02\n"
+            " ldi r16, 1\n st X+, r16\n ldi r16, 2\n st X, r16\n"
+            " ld r20, -X\n ld r21, X"
+        )
+        assert core.data.reg(20) == 1
+        assert core.data.reg(21) == 1
+        assert core.data.read(0x201) == 2
+
+    def test_ldd_std_displacement(self):
+        core = run(
+            "ldi r28, 0x00\n ldi r29, 0x02\n"
+            " ldi r16, 0x77\n std Y+5, r16\n ldd r17, Y+5"
+        )
+        assert core.data.reg(17) == 0x77
+        assert core.data.read(0x205) == 0x77
+
+    def test_ld_z_modes(self):
+        core = run(
+            "ldi r30, 0x10\n ldi r31, 0x02\n"
+            " ldi r16, 9\n st Z+, r16\n ldi r16, 8\n st Z, r16\n"
+            " ld r20, -Z\n ldd r21, Z+1"
+        )
+        assert core.data.reg(20) == 9
+        assert core.data.reg(21) == 8
+
+    def test_push_pop(self):
+        core = run("ldi r16, 0x5A\n push r16\n ldi r16, 0\n pop r17")
+        assert core.data.reg(17) == 0x5A
+
+    def test_stack_pointer_moves(self):
+        core = run("ldi r16, 1\n push r16\n push r16")
+        assert core.data.sp == core.data.size - 1 - 2
+
+    def test_in_out(self):
+        core = run("ldi r16, 0xAB\n out 0x15, r16\n in r17, 0x15")
+        assert core.data.reg(17) == 0xAB
+
+    def test_out_sreg(self):
+        core = run("ldi r16, 0x01\n out 0x3F, r16")
+        assert core.sreg[C] == 1
+
+    def test_lpm(self):
+        # Word 0 of flash holds the LDI opcode itself; read it back.
+        core = run("ldi r30, 0\n ldi r31, 0\n lpm r16, Z+\n lpm r17, Z")
+        word0 = core.program.fetch(0)
+        assert core.data.reg(16) == word0 & 0xFF
+        assert core.data.reg(17) == (word0 >> 8) & 0xFF
+
+
+class TestBitOps:
+    def test_bst_bld(self):
+        core = run("ldi r16, 0x08\n bst r16, 3\n clr r17\n bld r17, 0")
+        assert core.sreg[T] == 1
+        assert core.data.reg(17) == 1
+
+    def test_sbi_cbi(self):
+        core = run("sbi 0x10, 3\n sbi 0x10, 1\n cbi 0x10, 3")
+        assert core.data.io_read(0x10) == 0x02
+
+    def test_flag_aliases(self):
+        core = run("sec\n sez\n sen\n sev\n ses\n seh\n set\n sei")
+        assert core.sreg.value & 0xFF == 0xFF - 0  # all flags set
+        core = run("sec\n clc")
+        assert core.sreg[C] == 0
+
+
+class TestFlowControl:
+    def test_rjmp_skips_code(self):
+        core = run("ldi r16, 1\n rjmp done\n ldi r16, 2\ndone:")
+        assert core.data.reg(16) == 1
+
+    def test_branch_taken(self):
+        core = run("ldi r16, 5\n cpi r16, 5\n breq equal\n ldi r17, 1\n"
+                   " rjmp done\nequal:\n ldi r17, 2\ndone:")
+        assert core.data.reg(17) == 2
+
+    def test_branch_not_taken(self):
+        core = run("ldi r16, 4\n cpi r16, 5\n breq equal\n ldi r17, 1\n"
+                   " rjmp done\nequal:\n ldi r17, 2\ndone:")
+        assert core.data.reg(17) == 1
+
+    def test_loop_with_dec_brne(self):
+        core = run("ldi r16, 10\n clr r17\nloop:\n inc r17\n dec r16\n"
+                   " brne loop")
+        assert core.data.reg(17) == 10
+
+    def test_rcall_ret(self):
+        core = run("rcall sub\n ldi r17, 1\n rjmp done\nsub:\n ldi r16, 9\n"
+                   " ret\ndone:")
+        assert core.data.reg(16) == 9 and core.data.reg(17) == 1
+
+    def test_call_jmp_absolute(self):
+        core = run("call sub\n jmp done\nsub:\n ldi r16, 3\n ret\ndone:")
+        assert core.data.reg(16) == 3
+
+    def test_ijmp_icall(self):
+        core = run("ldi r30, lo8(target)\n ldi r31, hi8(target)\n ijmp\n"
+                   " ldi r16, 1\ntarget:\n ldi r17, 2")
+        assert core.data.reg(16) == 0 and core.data.reg(17) == 2
+
+    def test_cpse_skip(self):
+        core = run("ldi r16, 4\n ldi r17, 4\n cpse r16, r17\n ldi r18, 1")
+        assert core.data.reg(18) == 0
+
+    def test_cpse_skips_two_word_instruction(self):
+        core = run("ldi r16, 4\n ldi r17, 4\n cpse r16, r17\n"
+                   " sts 0x200, r16\n ldi r18, 7")
+        assert core.data.read(0x200) == 0
+        assert core.data.reg(18) == 7
+
+    def test_sbrc_sbrs(self):
+        core = run("ldi r16, 0x04\n sbrc r16, 2\n ldi r17, 1\n"
+                   " sbrs r16, 2\n ldi r18, 1")
+        assert core.data.reg(17) == 1   # SBRC does not skip: bit 2 is set
+        assert core.data.reg(18) == 0   # SBRS skips because bit 2 is set
+
+    def test_sbic_sbis(self):
+        core = run("sbi 0x10, 0\n sbic 0x10, 0\n ldi r16, 1\n"
+                   " sbis 0x10, 0\n ldi r17, 1")
+        assert core.data.reg(16) == 1   # SBIC does not skip: bit is set
+        assert core.data.reg(17) == 0   # SBIS skips
+
+    def test_multibyte_compare_cp_cpc(self):
+        """16-bit compare via CP/CPC sets Z only when both bytes match."""
+        core = run("ldi r16, 0x34\n ldi r17, 0x12\n"
+                   " ldi r18, 0x34\n ldi r19, 0x12\n"
+                   " cp r16, r18\n cpc r17, r19")
+        assert core.sreg[Z] == 1
+        core = run("ldi r16, 0x35\n ldi r17, 0x12\n"
+                   " ldi r18, 0x34\n ldi r19, 0x12\n"
+                   " cp r16, r18\n cpc r17, r19")
+        assert core.sreg[Z] == 0
+
+
+class TestExecutionErrors:
+    def test_illegal_opcode(self):
+        from repro.avr import ExecutionError
+
+        core = AvrCore(ProgramMemory())
+        core.program.load([0xFF0F])
+        with pytest.raises(ExecutionError):
+            core.run()
+
+    def test_step_budget(self):
+        from repro.avr import ExecutionError
+
+        core = AvrCore(ProgramMemory())
+        assemble("loop: rjmp loop").load_into(core.program)
+        with pytest.raises(ExecutionError):
+            core.run(max_steps=100)
+
+    def test_halted_core_refuses_steps(self):
+        from repro.avr import ExecutionError
+
+        core = AvrCore(ProgramMemory())
+        assemble("break").load_into(core.program)
+        core.run()
+        with pytest.raises(ExecutionError):
+            core.step()

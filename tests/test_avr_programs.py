@@ -1,0 +1,256 @@
+"""Larger AVR program integration tests: stacks, recursion, data movement."""
+
+import random
+
+import pytest
+
+from repro.avr import AvrCore, Mode, ProgramMemory, assemble, disassemble
+from repro.avr.memory import SRAM_BASE
+
+
+def run(source: str, mode: Mode = Mode.CA, sram: int = 4096,
+        max_steps: int = 2_000_000) -> AvrCore:
+    core = AvrCore(ProgramMemory(), mode=mode, sram_size=sram)
+    assemble(source).load_into(core.program)
+    core.run(max_steps=max_steps)
+    return core
+
+
+class TestCallStack:
+    def test_nested_calls(self):
+        src = """
+            rcall level1
+            ldi r20, 1
+            break
+        level1:
+            rcall level2
+            ldi r21, 1
+            ret
+        level2:
+            rcall level3
+            ldi r22, 1
+            ret
+        level3:
+            ldi r23, 1
+            ret
+        """
+        core = run(src)
+        assert all(core.data.reg(r) == 1 for r in (20, 21, 22, 23))
+        assert core.data.sp == core.data.size - 1  # balanced stack
+
+    def test_recursive_factorial(self):
+        """factorial(5) via genuine recursion (result mod 256)."""
+        src = """
+            ldi r24, 5          ; argument
+            rcall fact
+            break
+        fact:                   ; r25 = fact(r24), clobbers r24
+            cpi r24, 2
+            brlo base_case
+            push r24
+            subi r24, 1
+            rcall fact          ; r25 = fact(n-1)
+            pop r24
+            mul r24, r25
+            mov r25, r0
+            ret
+        base_case:
+            ldi r25, 1
+            ret
+        """
+        core = run(src)
+        assert core.data.reg(25) == 120
+
+    def test_recursive_fibonacci(self):
+        src = """
+            ldi r24, 10
+            rcall fib
+            break
+        fib:                    ; r25 = fib(r24)
+            cpi r24, 2
+            brlo fib_base
+            push r24
+            subi r24, 1
+            rcall fib
+            pop r24
+            push r24
+            push r25            ; save fib(n-1)
+            subi r24, 2
+            rcall fib           ; r25 = fib(n-2)
+            pop r24             ; r24 = fib(n-1)
+            add r25, r24
+            pop r24
+            ret
+        fib_base:
+            mov r25, r24
+            ret
+        """
+        core = run(src)
+        assert core.data.reg(25) == 55
+
+    def test_icall_dispatch_table(self):
+        src = """
+            ldi r30, lo8(handler_b)
+            ldi r31, hi8(handler_b)
+            icall
+            break
+        handler_a:
+            ldi r20, 0xAA
+            ret
+        handler_b:
+            ldi r20, 0xBB
+            ret
+        """
+        core = run(src)
+        assert core.data.reg(20) == 0xBB
+
+
+class TestDataMovement:
+    def test_memcpy_loop(self):
+        src = """
+            .equ SRC = 0x100
+            .equ DST = 0x200
+            .equ LEN = 64
+            ldi r26, lo8(SRC)
+            ldi r27, hi8(SRC)
+            ldi r30, lo8(DST)
+            ldi r31, hi8(DST)
+            ldi r16, LEN
+        copy:
+            ld r0, X+
+            st Z+, r0
+            dec r16
+            brne copy
+            break
+        """
+        core = AvrCore(ProgramMemory())
+        assemble(src).load_into(core.program)
+        payload = bytes(range(64))
+        core.data.load_bytes(0x100, payload)
+        core.run()
+        assert core.data.dump_bytes(0x200, 64) == payload
+
+    def test_memset_and_checksum(self):
+        src = """
+            clr r1              ; constant zero
+            ldi r30, 0x00
+            ldi r31, 0x03
+            ldi r16, 100
+            ldi r17, 0x5A
+        fill:
+            st Z+, r17
+            dec r16
+            brne fill
+            ; 16-bit checksum of the filled region
+            ldi r30, 0x00
+            ldi r31, 0x03
+            ldi r16, 100
+            clr r20
+            clr r21
+        sum:
+            ld r0, Z+
+            add r20, r0
+            adc r21, r1
+            dec r16
+            brne sum
+            break
+        """
+        core = run(src)
+        total = 100 * 0x5A
+        assert core.data.reg(20) == total & 0xFF
+        assert core.data.reg(21) == total >> 8
+
+    def test_table_lookup_via_lpm(self):
+        src = """
+            rjmp start
+        table:
+            .dw 0x2211, 0x4433
+        start:
+            ldi r30, lo8(table * 2)
+            ldi r31, hi8(table * 2)
+            lpm r16, Z+
+            lpm r17, Z+
+            lpm r18, Z+
+            lpm r19, Z
+            break
+        """
+        core = run(src)
+        assert [core.data.reg(r) for r in (16, 17, 18, 19)] \
+            == [0x11, 0x22, 0x33, 0x44]
+
+
+class TestMemoryEdges:
+    def test_sram_bounds_checked(self):
+        core = AvrCore(ProgramMemory(), sram_size=256)
+        with pytest.raises(IndexError):
+            core.data.read(SRAM_BASE + 256)
+        with pytest.raises(IndexError):
+            core.data.write(SRAM_BASE + 256, 1)
+
+    def test_bulk_bounds_checked(self):
+        core = AvrCore(ProgramMemory(), sram_size=256)
+        with pytest.raises(IndexError):
+            core.data.load_bytes(SRAM_BASE + 250, b"0123456789")
+        with pytest.raises(IndexError):
+            core.data.dump_bytes(SRAM_BASE + 250, 10)
+
+    def test_io_hooks_round_trip(self):
+        core = AvrCore(ProgramMemory())
+        seen = []
+        core.data.io_write_hooks[0x15] = seen.append
+        core.data.io_write(0x15, 0x42)
+        assert seen == [0x42]
+        core.data.io_read_hooks[0x16] = lambda: 0x99
+        assert core.data.io_read(0x16) == 0x99
+
+    def test_flash_bounds(self):
+        from repro.avr import ProgramMemory
+
+        mem = ProgramMemory(num_words=16)
+        with pytest.raises(IndexError):
+            mem.load([0] * 17)
+        with pytest.raises(IndexError):
+            mem.fetch(16)
+        with pytest.raises(ValueError):
+            mem.load([1 << 16])
+
+    def test_register_window_round_trip(self):
+        core = AvrCore(ProgramMemory())
+        core.data.set_reg_window(4, 6, 0xAABBCCDDEEFF)
+        assert core.data.reg_window(4, 6) == 0xAABBCCDDEEFF
+        assert core.data.reg(4) == 0xFF  # little-endian
+
+
+class TestDisassemblerFuzz:
+    def test_random_programs_round_trip(self):
+        """disassemble -> reassemble is the identity on encodable programs."""
+        rng = random.Random(0xD15)
+        fragments = [
+            "add r{a}, r{b}", "adc r{a}, r{b}", "sub r{a}, r{b}",
+            "and r{a}, r{b}", "or r{a}, r{b}", "eor r{a}, r{b}",
+            "mov r{a}, r{b}", "mul r{a}, r{b}", "cp r{a}, r{b}",
+            "ldi r{hi}, {k}", "subi r{hi}, {k}", "andi r{hi}, {k}",
+            "inc r{a}", "dec r{a}", "com r{a}", "swap r{a}",
+            "lsr r{a}", "ror r{a}", "asr r{a}", "push r{a}", "pop r{a}",
+            "ld r{a}, X+", "st Z+, r{a}", "ldd r{a}, Y+{q}",
+            "std Z+{q}, r{a}", "in r{a}, {io}", "out {io}, r{a}",
+            "movw r{even}, r{even2}", "adiw r24, {k6}", "nop",
+        ]
+        for _ in range(25):
+            lines = []
+            for _ in range(rng.randrange(5, 40)):
+                frag = rng.choice(fragments)
+                lines.append("    " + frag.format(
+                    a=rng.randrange(32), b=rng.randrange(32),
+                    hi=rng.randrange(16, 32), k=rng.randrange(256),
+                    q=rng.randrange(64), io=rng.randrange(64),
+                    even=rng.randrange(16) * 2,
+                    even2=rng.randrange(16) * 2,
+                    k6=rng.randrange(64),
+                ))
+            lines.append("    break")
+            program = assemble("\n".join(lines))
+            text = [line.split(":", 1)[1].strip()
+                    for line in disassemble(program.words)]
+            again = assemble("\n".join(text))
+            assert again.words == program.words

@@ -1,0 +1,120 @@
+"""Status-register flag equations against hand-computed vectors."""
+
+from hypothesis import given, strategies as st
+
+from repro.avr.sreg import (
+    C,
+    H,
+    N,
+    S,
+    StatusRegister,
+    V,
+    Z,
+    flags_add,
+    flags_logic,
+    flags_shift_right,
+    flags_sub,
+)
+
+byte = st.integers(min_value=0, max_value=255)
+
+
+class TestStatusRegister:
+    def test_set_get(self):
+        sreg = StatusRegister()
+        sreg[C] = 1
+        sreg[Z] = 1
+        assert sreg[C] == 1 and sreg[Z] == 1 and sreg[N] == 0
+        sreg[C] = 0
+        assert sreg[C] == 0
+        assert sreg.value == 1 << Z
+
+    def test_describe(self):
+        sreg = StatusRegister()
+        sreg[C] = 1
+        assert sreg.describe().endswith("C")
+        assert "z" in sreg.describe()
+
+    def test_sign_flag(self):
+        sreg = StatusRegister()
+        sreg[N] = 1
+        sreg[V] = 0
+        sreg.set_sign()
+        assert sreg[S] == 1
+        sreg[V] = 1
+        sreg.set_sign()
+        assert sreg[S] == 0
+
+
+class TestAddFlags:
+    @given(byte, byte, st.integers(min_value=0, max_value=1))
+    def test_carry_matches_overflow(self, a, b, cin):
+        sreg = StatusRegister()
+        result = (a + b + cin) & 0xFF
+        flags_add(sreg, a, b, result, cin)
+        assert sreg[C] == (1 if a + b + cin > 255 else 0)
+        assert sreg[Z] == (1 if result == 0 else 0)
+        assert sreg[N] == result >> 7
+
+    @given(byte, byte)
+    def test_signed_overflow(self, a, b):
+        sreg = StatusRegister()
+        result = (a + b) & 0xFF
+        flags_add(sreg, a, b, result)
+        signed = lambda v: v - 256 if v & 0x80 else v  # noqa: E731
+        true_sum = signed(a) + signed(b)
+        assert sreg[V] == (1 if not -128 <= true_sum <= 127 else 0)
+
+    def test_half_carry_example(self):
+        sreg = StatusRegister()
+        flags_add(sreg, 0x0F, 0x01, 0x10)
+        assert sreg[H] == 1
+        flags_add(sreg, 0x0E, 0x01, 0x0F)
+        assert sreg[H] == 0
+
+
+class TestSubFlags:
+    @given(byte, byte, st.integers(min_value=0, max_value=1))
+    def test_borrow(self, a, b, cin):
+        sreg = StatusRegister()
+        result = (a - b - cin) & 0xFF
+        flags_sub(sreg, a, b, result, cin)
+        assert sreg[C] == (1 if b + cin > a else 0)
+
+    @given(byte, byte)
+    def test_signed_overflow(self, a, b):
+        sreg = StatusRegister()
+        result = (a - b) & 0xFF
+        flags_sub(sreg, a, b, result)
+        signed = lambda v: v - 256 if v & 0x80 else v  # noqa: E731
+        diff = signed(a) - signed(b)
+        assert sreg[V] == (1 if not -128 <= diff <= 127 else 0)
+
+    def test_keep_z_semantics(self):
+        """SBC/CPC only ever *clear* Z — multi-byte compare support."""
+        sreg = StatusRegister()
+        sreg[Z] = 1
+        flags_sub(sreg, 5, 5, 0, keep_z=True)
+        assert sreg[Z] == 1  # stays set on zero result
+        flags_sub(sreg, 5, 3, 2, keep_z=True)
+        assert sreg[Z] == 0  # cleared on non-zero
+        sreg[Z] = 0
+        flags_sub(sreg, 5, 5, 0, keep_z=True)
+        assert sreg[Z] == 0  # never set
+
+
+class TestLogicAndShift:
+    @given(byte)
+    def test_logic_clears_v(self, r):
+        sreg = StatusRegister()
+        sreg[V] = 1
+        flags_logic(sreg, r)
+        assert sreg[V] == 0
+        assert sreg[Z] == (1 if r == 0 else 0)
+
+    @given(byte, st.integers(min_value=0, max_value=1))
+    def test_shift_v_is_n_xor_c(self, r, c_out):
+        sreg = StatusRegister()
+        flags_shift_right(sreg, r, c_out)
+        assert sreg[V] == sreg[N] ^ sreg[C]
+        assert sreg[C] == c_out

@@ -1,0 +1,36 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_single_table(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+
+    def test_multiple_tables(self, capsys):
+        assert main(["table4", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "Table V" in out
+
+    def test_duplicates_collapsed(self, capsys):
+        assert main(["table4", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Table IV") == 1
+
+    def test_leakage_report(self, capsys):
+        assert main(["leakage"]) == 0
+        out = capsys.readouterr().out
+        assert "constant-round" in out
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_measured_source(self, capsys):
+        assert main(["table2", "--source", "measured"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out

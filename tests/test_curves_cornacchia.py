@@ -1,0 +1,80 @@
+"""Cornacchia decomposition and exact j = 0 point counting."""
+
+import pytest
+
+from repro.curves import WeierstrassCurve, cornacchia_3, determine_j0_order, j0_order_candidates
+from repro.curves.enumerate import enumerate_weierstrass
+from repro.field import GenericPrimeField
+
+SMALL_1MOD3_PRIMES = [7, 13, 19, 31, 37, 43, 61, 67, 73, 79, 97, 103, 109,
+                      127, 139, 151, 157, 163, 181, 193, 199, 211]
+
+
+class TestCornacchia:
+    @pytest.mark.parametrize("p", SMALL_1MOD3_PRIMES)
+    def test_decomposition(self, p):
+        a, b = cornacchia_3(p)
+        assert a * a + 3 * b * b == p
+
+    def test_rejects_2_mod_3(self):
+        with pytest.raises(ValueError):
+            cornacchia_3(1013)
+
+    def test_1009(self):
+        a, b = cornacchia_3(1009)
+        assert a * a + 3 * b * b == 1009
+
+    def test_160_bit_prime(self):
+        p = 65361 * (1 << 144) + 1  # the GLV suite prime, ≡ 1 mod 3
+        a, b = cornacchia_3(p)
+        assert a * a + 3 * b * b == p
+
+
+class TestOrderCandidates:
+    def test_candidates_contain_true_orders_1009(self):
+        field = GenericPrimeField(1009)
+        candidates = set(j0_order_candidates(1009))
+        seen = set()
+        for b in range(1, 40):
+            try:
+                curve = WeierstrassCurve(field, 0, b)
+            except ValueError:
+                continue
+            true_order = len(enumerate_weierstrass(curve))
+            assert true_order in candidates, (b, true_order)
+            seen.add(true_order)
+        # All six twist classes appear among small b values.
+        assert len(seen) == 6
+
+    def test_hasse_bound(self):
+        import math
+
+        p = 1009
+        bound = 2 * math.isqrt(p)
+        for n in j0_order_candidates(p):
+            assert p + 1 - bound - 1 <= n <= p + 1 + bound + 1
+
+
+class TestDetermineOrder:
+    @pytest.mark.parametrize("b", [1, 2, 3, 5, 7, 11, 13, 17])
+    def test_matches_enumeration(self, b):
+        field = GenericPrimeField(1009)
+        curve = WeierstrassCurve(field, 0, b)
+        assert determine_j0_order(curve) \
+            == len(enumerate_weierstrass(curve))
+
+    def test_rejects_nonzero_a(self):
+        field = GenericPrimeField(1009)
+        curve = WeierstrassCurve(field, 1, 1)
+        with pytest.raises(ValueError):
+            determine_j0_order(curve)
+
+    def test_160_bit_glv_curve_order(self):
+        """Re-verify the frozen GLV parameters' order claim."""
+        from repro.curves.params import GLV_B, GLV_ORDER, GLV_P, make_glv
+
+        suite = make_glv(functional=True)
+        # The order annihilates the base point ...
+        assert suite.curve.affine_scalar_mult(GLV_ORDER, suite.base) is None
+        # ... and is among the Cornacchia candidates for this prime.
+        assert GLV_ORDER in j0_order_candidates(GLV_P)

@@ -1,0 +1,195 @@
+"""Twisted Edwards curves: completeness, extended coordinates, Niels form."""
+
+import pytest
+
+from repro.curves import TwistedEdwardsCurve
+from repro.curves.enumerate import enumerate_edwards
+from repro.curves.point import AffinePoint
+from repro.field import GenericPrimeField
+
+P = 1009
+
+
+@pytest.fixture(scope="module")
+def setup():
+    field = GenericPrimeField(P)
+    curve = TwistedEdwardsCurve(field, P - 1, 11)  # a = -1, d non-square
+    points = enumerate_edwards(curve)
+    return field, curve, points
+
+
+class TestConstruction:
+    def test_rejects_a_equal_d(self):
+        field = GenericPrimeField(P)
+        with pytest.raises(ValueError):
+            TwistedEdwardsCurve(field, 5, 5)
+
+    def test_rejects_zero_params(self):
+        field = GenericPrimeField(P)
+        with pytest.raises(ValueError):
+            TwistedEdwardsCurve(field, 0, 5)
+        with pytest.raises(ValueError):
+            TwistedEdwardsCurve(field, 5, 0)
+
+    def test_completeness_detection(self, setup):
+        _, curve, _ = setup
+        assert curve.is_complete()
+
+    def test_incomplete_curve_detected(self):
+        field = GenericPrimeField(P)
+        # d = 4 is a square: the law is not complete.
+        curve = TwistedEdwardsCurve(field, 1, 4)
+        assert not curve.is_complete()
+
+
+class TestAffineGroupLaw:
+    def test_identity_on_curve(self, setup):
+        _, curve, _ = setup
+        assert curve.is_on_curve(curve.affine_identity())
+
+    def test_identity_neutral(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(30):
+            p = rng.choice(points)
+            assert curve.affine_add(p, None) == p
+
+    def test_inverse(self, setup, rng):
+        _, curve, points = setup
+        identity = curve.affine_identity()
+        for _ in range(30):
+            p = rng.choice(points)
+            assert curve.affine_add(p, curve.affine_neg(p)) == identity
+
+    def test_commutative_and_associative(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(40):
+            p, q, r = (rng.choice(points) for _ in range(3))
+            assert curve.affine_add(p, q) == curve.affine_add(q, p)
+            assert curve.affine_add(curve.affine_add(p, q), r) \
+                == curve.affine_add(p, curve.affine_add(q, r))
+
+    def test_group_order_annihilates(self, setup, rng):
+        _, curve, points = setup
+        order = len(points)
+        identity = curve.affine_identity()
+        for _ in range(10):
+            assert curve.affine_scalar_mult(order, rng.choice(points)) \
+                == identity
+
+    def test_closure(self, setup, rng):
+        _, curve, points = setup
+        point_set = set(points)
+        for _ in range(50):
+            p, q = rng.choice(points), rng.choice(points)
+            assert curve.affine_add(p, q) in point_set
+
+
+class TestExtendedCoordinates:
+    def test_roundtrip(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(20):
+            p = rng.choice(points)
+            assert curve.to_affine(curve.from_affine(p)) == p
+
+    def test_unified_add_matches_affine(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p, q = rng.choice(points), rng.choice(points)
+            ext = curve.add(curve.from_affine(p), curve.from_affine(q))
+            assert curve.to_affine(ext) == curve.affine_add(p, q)
+
+    def test_unified_add_is_unified(self, setup, rng):
+        """The same formula doubles (P = Q) — the uniformity property."""
+        _, curve, points = setup
+        for _ in range(30):
+            p = rng.choice(points)
+            ext = curve.add(curve.from_affine(p), curve.from_affine(p))
+            assert curve.to_affine(ext) == curve.affine_add(p, p)
+
+    def test_unified_add_handles_identity(self, setup, rng):
+        _, curve, points = setup
+        p = rng.choice(points)
+        ext = curve.add(curve.from_affine(p), curve.identity)
+        assert curve.to_affine(ext) == p
+
+    def test_double_matches_affine(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p = rng.choice(points)
+            doubled = curve.double(curve.from_affine(p))
+            assert curve.to_affine(doubled) == curve.affine_add(p, p)
+
+    def test_double_without_t(self, setup, rng):
+        _, curve, points = setup
+        p = rng.choice(points)
+        out = curve.double(curve.from_affine(p), compute_t=False)
+        assert out.t is None
+        assert curve.to_affine(out) == curve.affine_add(p, p)
+
+    def test_tless_point_rejected_by_add(self, setup, rng):
+        _, curve, points = setup
+        p = curve.double(curve.from_affine(rng.choice(points)),
+                         compute_t=False)
+        with pytest.raises(ValueError):
+            curve.add(p, curve.identity)
+        with pytest.raises(ValueError):
+            curve.reextend(p)
+
+    def test_dedicated_am1_matches_unified(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p, q = rng.choice(points), rng.choice(points)
+            if p == q or p == curve.affine_neg(q):
+                continue
+            if p == curve.affine_identity() or q == curve.affine_identity():
+                continue
+            unified = curve.add(curve.from_affine(p), curve.from_affine(q))
+            dedicated = curve.add_dedicated_am1(curve.from_affine(p),
+                                                curve.from_affine(q))
+            assert curve.to_affine(unified) == curve.to_affine(dedicated)
+
+    def test_dedicated_requires_am1(self):
+        field = GenericPrimeField(P)
+        curve = TwistedEdwardsCurve(field, 1, 11)
+        p = curve.from_affine(curve.affine_identity())
+        with pytest.raises(ValueError):
+            curve.add_dedicated_am1(p, p)
+
+
+class TestNielsForm:
+    def test_precomputed_add_matches(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p, q = rng.choice(points), rng.choice(points)
+            if p in (q, curve.affine_neg(q), curve.affine_identity()):
+                continue
+            if q == curve.affine_identity():
+                continue
+            niels = curve.precompute(q)
+            got = curve.add_precomputed(curve.from_affine(p), niels)
+            assert curve.to_affine(got) == curve.affine_add(p, q)
+
+    def test_precompute_requires_am1(self):
+        field = GenericPrimeField(P)
+        curve = TwistedEdwardsCurve(field, 1, 11)
+        with pytest.raises(ValueError):
+            curve.precompute(curve.affine_identity())
+
+    def test_negated_niels(self, setup, rng):
+        _, curve, points = setup
+        p = rng.choice([pt for pt in points
+                        if pt != curve.affine_identity()])
+        q = rng.choice([pt for pt in points
+                        if pt not in (p, curve.affine_neg(p),
+                                      curve.affine_identity())])
+        niels_neg = curve.precompute(curve.affine_neg(q))
+        got = curve.add_precomputed(curve.from_affine(p), niels_neg)
+        assert curve.to_affine(got) \
+            == curve.affine_add(p, curve.affine_neg(q))
+
+
+class TestRandomPoint:
+    def test_on_curve(self, setup, rng):
+        _, curve, _ = setup
+        for _ in range(10):
+            assert curve.is_on_curve(curve.random_point(rng))

@@ -1,0 +1,141 @@
+"""GLV curves: endomorphism, lattice decomposition, cube roots of unity."""
+
+import pytest
+
+from repro.curves import GLVCurve, cube_roots_of_unity, glv_decompose, glv_lattice_basis
+from repro.curves.enumerate import enumerate_weierstrass
+from repro.field import GenericPrimeField
+
+P = 1009
+TOY = dict(b=11, beta=374, lam=824, n=967)
+
+
+@pytest.fixture(scope="module")
+def glv():
+    field = GenericPrimeField(P)
+    return GLVCurve(field, TOY["b"], TOY["beta"], TOY["lam"], TOY["n"])
+
+
+@pytest.fixture(scope="module")
+def base(glv):
+    import random
+
+    rng = random.Random(5)
+    while True:
+        point = glv.random_point(rng)
+        # Full order n = 967 (prime divisor of the group order 967).
+        if glv.affine_scalar_mult(TOY["n"], point) is None \
+                and glv.affine_scalar_mult(1, point) is not None:
+            return point
+
+
+class TestCubeRoots:
+    def test_values(self):
+        roots = cube_roots_of_unity(P)
+        assert len(roots) == 2
+        for beta in roots:
+            assert pow(beta, 3, P) == 1 and beta != 1
+
+    def test_requires_1_mod_3(self):
+        with pytest.raises(ValueError):
+            cube_roots_of_unity(1013)  # ≡ 2 mod 3
+
+
+class TestConstruction:
+    def test_rejects_wrong_field(self):
+        field = GenericPrimeField(1013)  # ≡ 2 mod 3
+        with pytest.raises(ValueError):
+            GLVCurve(field, 11, 374, 824, 967)
+
+    def test_rejects_bad_beta(self):
+        field = GenericPrimeField(P)
+        with pytest.raises(ValueError):
+            GLVCurve(field, 11, 2, TOY["lam"], TOY["n"])
+
+    def test_rejects_bad_lambda(self):
+        field = GenericPrimeField(P)
+        with pytest.raises(ValueError):
+            GLVCurve(field, 11, TOY["beta"], 5, TOY["n"])
+
+    def test_lambda_satisfies_characteristic_polynomial(self, glv):
+        assert (glv.lam ** 2 + glv.lam + 1) % glv.n == 0
+
+
+class TestEndomorphism:
+    def test_phi_maps_onto_curve(self, glv, rng):
+        for _ in range(30):
+            p = glv.random_point(rng)
+            assert glv.is_on_curve(glv.endomorphism(p))
+
+    def test_phi_is_lambda_mult(self, glv, base):
+        assert glv.endomorphism(base) \
+            == glv.affine_scalar_mult(glv.lam, base)
+
+    def test_phi_of_infinity(self, glv):
+        assert glv.endomorphism(None) is None
+
+    def test_phi_jacobian_agrees(self, glv, rng):
+        for _ in range(20):
+            p = glv.random_point(rng)
+            jac = glv.endomorphism_jacobian(glv.from_affine(p))
+            assert glv.to_affine(jac) == glv.endomorphism(p)
+
+    def test_phi_is_homomorphism(self, glv, rng):
+        for _ in range(30):
+            p, q = glv.random_point(rng), glv.random_point(rng)
+            left = glv.endomorphism(glv.affine_add(p, q))
+            right = glv.affine_add(glv.endomorphism(p), glv.endomorphism(q))
+            assert left == right
+
+
+class TestDecomposition:
+    def test_lattice_basis_vectors_in_lattice(self, glv):
+        v1, v2 = glv_lattice_basis(glv.n, glv.lam)
+        for (x, y) in (v1, v2):
+            assert (x + y * glv.lam) % glv.n == 0
+
+    def test_congruence(self, glv, rng):
+        for _ in range(200):
+            k = rng.randrange(glv.n)
+            k1, k2 = glv.decompose(k)
+            assert (k1 + k2 * glv.lam - k) % glv.n == 0
+
+    def test_components_are_short(self, glv, rng):
+        import math
+
+        bound = 2 * math.isqrt(glv.n) + 1
+        for _ in range(200):
+            k = rng.randrange(glv.n)
+            k1, k2 = glv.decompose(k)
+            assert abs(k1) <= bound and abs(k2) <= bound
+
+    def test_decompose_halves_bitlength_160(self):
+        """On the real 160-bit GLV curve the components are ~80 bits."""
+        from repro.curves.params import make_glv
+
+        suite = make_glv(functional=True)
+        curve = suite.curve
+        import random
+
+        rng = random.Random(3)
+        worst = 0
+        for _ in range(50):
+            k = rng.randrange(curve.n)
+            k1, k2 = curve.decompose(k)
+            assert (k1 + k2 * curve.lam - k) % curve.n == 0
+            worst = max(worst, abs(k1).bit_length(), abs(k2).bit_length())
+        assert worst <= 84  # ~half of 160, with lattice slack
+
+    def test_basis_errors(self):
+        with pytest.raises(ValueError):
+            glv_lattice_basis(967, 0)
+
+    def test_decompose_reduces_scalar(self, glv):
+        k1, k2 = glv_decompose(glv.n + 5, glv.n, glv.lam)
+        assert (k1 + k2 * glv.lam - 5) % glv.n == 0
+
+
+class TestAgainstEnumeration:
+    def test_group_structure(self, glv):
+        points = enumerate_weierstrass(glv)
+        assert len(points) == TOY["n"]  # the toy curve has prime order

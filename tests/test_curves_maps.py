@@ -1,0 +1,130 @@
+"""Birational maps between Montgomery, Edwards and Weierstraß forms."""
+
+import pytest
+
+from repro.curves import MontgomeryCurve
+from repro.curves.maps import (
+    edwards_curve_of,
+    edwards_point_to_montgomery,
+    edwards_to_montgomery_params,
+    montgomery_point_to_edwards,
+    montgomery_point_to_weierstrass,
+    montgomery_to_edwards_params,
+    weierstrass_curve_of,
+)
+from repro.field import GenericPrimeField
+
+P = 1009
+
+
+@pytest.fixture(scope="module")
+def mont():
+    field = GenericPrimeField(P)
+    return MontgomeryCurve(field, 6, 1)
+
+
+@pytest.fixture(scope="module")
+def edw(mont):
+    return edwards_curve_of(mont)
+
+
+@pytest.fixture(scope="module")
+def weier(mont):
+    return weierstrass_curve_of(mont)
+
+
+class TestParameterMaps:
+    def test_edwards_params_roundtrip(self, mont, edw):
+        back_a, back_b = edwards_to_montgomery_params(edw)
+        assert back_a == mont.a_int
+        assert back_b == mont.b_int
+
+    def test_edwards_params_formula(self, mont):
+        a, d = montgomery_to_edwards_params(mont)
+        b_inv = pow(mont.b_int, -1, P)
+        assert a == (mont.a_int + 2) * b_inv % P
+        assert d == (mont.a_int - 2) * b_inv % P
+
+    def test_forced_minus_one(self):
+        """B = -(A + 2) forces the Edwards a to -1 (the parameter trick)."""
+        field = GenericPrimeField(P)
+        mont = MontgomeryCurve(field, 10, (-(10 + 2)) % P)
+        a, _ = montgomery_to_edwards_params(mont)
+        assert a == P - 1
+
+
+class TestPointMaps:
+    def test_montgomery_edwards_bijection(self, mont, edw, rng):
+        count = 0
+        for _ in range(80):
+            p = mont.random_point(rng)
+            try:
+                e = montgomery_point_to_edwards(mont, edw, p)
+            except ValueError:
+                continue  # exceptional point
+            back = edwards_point_to_montgomery(edw, mont, e)
+            assert back == p
+            count += 1
+        assert count > 40
+
+    def test_map_is_homomorphism(self, mont, edw, rng):
+        for _ in range(40):
+            p = mont.random_point(rng)
+            q = mont.random_point(rng)
+            total = mont.affine_add(p, q)
+            try:
+                ep = montgomery_point_to_edwards(mont, edw, p)
+                eq = montgomery_point_to_edwards(mont, edw, q)
+                et = montgomery_point_to_edwards(mont, edw, total)
+            except ValueError:
+                continue
+            assert edw.affine_add(ep, eq) == et
+
+    def test_weierstrass_map_homomorphism(self, mont, weier, rng):
+        for _ in range(40):
+            p = mont.random_point(rng)
+            q = mont.random_point(rng)
+            total = mont.affine_add(p, q)
+            if total is None:
+                continue
+            wp = montgomery_point_to_weierstrass(mont, weier, p)
+            wq = montgomery_point_to_weierstrass(mont, weier, q)
+            wt = montgomery_point_to_weierstrass(mont, weier, total)
+            assert weier.affine_add(wp, wq) == wt
+
+    def test_exceptional_points_rejected(self, mont, edw):
+        field = mont.field
+        # v = 0 points are 2-torsion: (0, 0) is always on the curve.
+        from repro.curves.point import AffinePoint
+
+        two_torsion = AffinePoint(field.zero, field.zero)
+        assert mont.is_on_curve(two_torsion)
+        with pytest.raises(ValueError):
+            montgomery_point_to_edwards(mont, edw, two_torsion)
+
+
+class TestSuiteLink:
+    """The frozen 160-bit Montgomery and Edwards suites are linked."""
+
+    def test_linked_parameters(self):
+        from repro.curves.params import (
+            EDWARDS_A,
+            EDWARDS_D,
+            make_montgomery,
+        )
+
+        mont_suite = make_montgomery(functional=True)
+        a, d = montgomery_to_edwards_params(mont_suite.curve)
+        assert a == EDWARDS_A
+        assert d == EDWARDS_D
+
+    def test_linked_base_points(self):
+        from repro.curves.params import make_edwards, make_montgomery
+
+        mont_suite = make_montgomery(functional=True)
+        edw_suite = make_edwards(functional=True)
+        edw = edwards_curve_of(mont_suite.curve)
+        mapped = montgomery_point_to_edwards(mont_suite.curve, edw,
+                                             mont_suite.base)
+        assert mapped.x.to_int() == edw_suite.base.x.to_int()
+        assert mapped.y.to_int() == edw_suite.base.y.to_int()

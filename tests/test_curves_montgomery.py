@@ -1,0 +1,138 @@
+"""Montgomery curves: x-only differential arithmetic and y-recovery."""
+
+import pytest
+
+from repro.curves import MontgomeryCurve, XZPoint
+from repro.curves.enumerate import enumerate_montgomery
+from repro.field import GenericPrimeField
+
+P = 1009
+
+
+@pytest.fixture(scope="module")
+def setup():
+    field = GenericPrimeField(P)
+    curve = MontgomeryCurve(field, 6, 1)  # (A+2)/4 = 2, a short constant
+    points = enumerate_montgomery(curve)
+    return field, curve, points
+
+
+class TestConstruction:
+    def test_rejects_b_zero(self):
+        field = GenericPrimeField(P)
+        with pytest.raises(ValueError):
+            MontgomeryCurve(field, 6, 0)
+
+    def test_rejects_a_pm2(self):
+        field = GenericPrimeField(P)
+        with pytest.raises(ValueError):
+            MontgomeryCurve(field, 2, 1)
+        with pytest.raises(ValueError):
+            MontgomeryCurve(field, P - 2, 1)
+
+    def test_a24_small_detected(self, setup):
+        _, curve, _ = setup
+        assert curve.a24_small == 2
+
+    def test_a24_small_absent_for_odd_a(self):
+        field = GenericPrimeField(P)
+        curve = MontgomeryCurve(field, 5, 1)
+        assert curve.a24_small is None
+        # But the field-element a24 still works.
+        assert (curve.a24 * 4).to_int() == (5 + 2) % P
+
+
+class TestAffineLaw:
+    def test_commutative_associative(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(40):
+            p, q, r = (rng.choice(points) for _ in range(3))
+            assert curve.affine_add(p, q) == curve.affine_add(q, p)
+            assert curve.affine_add(curve.affine_add(p, q), r) \
+                == curve.affine_add(p, curve.affine_add(q, r))
+
+    def test_on_curve_closure(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(30):
+            p, q = rng.choice(points), rng.choice(points)
+            assert curve.is_on_curve(curve.affine_add(p, q))
+
+
+class TestXOnlyArithmetic:
+    def test_xdbl_matches_affine(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p = rng.choice(points[1:])
+            doubled_xz = curve.xdbl(curve.xz_from_affine(p))
+            doubled = curve.affine_add(p, p)
+            if doubled is None:
+                assert doubled_xz.is_infinity()
+            else:
+                assert curve.x_affine(doubled_xz) == doubled.x
+
+    def test_xadd_matches_affine(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(60):
+            p, q = rng.choice(points[1:]), rng.choice(points[1:])
+            diff = curve.affine_add(p, curve.affine_neg(q))
+            total = curve.affine_add(p, q)
+            if diff is None or total is None:
+                continue  # differential addition needs P != ±Q
+            if diff.y.is_zero() and p == q:
+                continue
+            out = curve.xadd(curve.xz_from_affine(p),
+                             curve.xz_from_affine(q),
+                             curve.xz_from_affine(diff))
+            assert curve.x_affine(out) == total.x
+
+    def test_xdbl_of_infinity(self, setup):
+        field, curve, _ = setup
+        inf = XZPoint(field.one, field.zero)
+        assert curve.xdbl(inf).is_infinity()
+
+    def test_x_affine_of_infinity_raises(self, setup):
+        field, curve, _ = setup
+        with pytest.raises(ValueError):
+            curve.x_affine(XZPoint(field.one, field.zero))
+
+    def test_a24_small_and_generic_paths_agree(self, rng):
+        field = GenericPrimeField(P)
+        small = MontgomeryCurve(field, 6, 1)
+        # Same curve, but force the generic a24 path.
+        generic = MontgomeryCurve(field, 6, 1)
+        generic.a24_small = None
+        for _ in range(30):
+            p = small.random_point(rng)
+            a = small.xdbl(small.xz_from_affine(p))
+            b = generic.xdbl(generic.xz_from_affine(p))
+            if a.is_infinity():
+                assert b.is_infinity()
+            else:
+                assert small.x_affine(a) == generic.x_affine(b)
+
+
+class TestYRecovery:
+    def test_okeya_sakurai(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(60):
+            base = rng.choice(points[1:])
+            k = rng.randrange(2, 500)
+            kp = curve.affine_scalar_mult(k, base)
+            k1p = curve.affine_scalar_mult(k + 1, base)
+            if kp is None or k1p is None or base.y.is_zero():
+                continue
+            recovered = curve.recover_y(base, kp.x, k1p.x)
+            assert recovered == kp
+
+
+class TestLiftAndRandom:
+    def test_lift_x(self, setup):
+        _, curve, points = setup
+        sample = points[1]
+        assert curve.lift_x(sample.x.to_int(),
+                            sample.y.to_int() % 2) == sample
+
+    def test_random_point_on_curve(self, setup, rng):
+        _, curve, _ = setup
+        for _ in range(10):
+            assert curve.is_on_curve(curve.random_point(rng))

@@ -1,0 +1,138 @@
+"""The frozen 160-bit parameter suite: every claim re-verified."""
+
+import pytest
+
+from repro.curves import params
+from repro.curves.paramgen import (
+    generate_montgomery_edwards_pair,
+    generate_weierstrass_curve,
+    is_probable_prime,
+)
+
+
+class TestPrimes:
+    def test_paper_prime(self):
+        assert params.OPF_P == 65356 * (1 << 144) + 1
+        assert is_probable_prime(params.OPF_P)
+        assert params.OPF_P.bit_length() == 160
+
+    def test_paper_prime_congruences(self):
+        # ≡ 1 mod 4 (so -1 is a square: needed for the a = -1 Edwards curve)
+        assert params.OPF_P % 4 == 1
+        # ≡ 2 mod 3: the reason the GLV curve needs its own prime.
+        assert params.OPF_P % 3 == 2
+
+    def test_glv_prime(self):
+        assert is_probable_prime(params.GLV_P)
+        assert params.GLV_P % 3 == 1
+        assert params.GLV_P.bit_length() == 160
+        assert 1 << 15 <= params.GLV_U < 1 << 16
+
+    def test_secp160r1_prime(self):
+        assert params.SECP160R1_P == (1 << 160) - (1 << 31) - 1
+        assert is_probable_prime(params.SECP160R1_P)
+        assert is_probable_prime(params.SECP160R1_N)
+
+
+class TestBasePoints:
+    @pytest.mark.parametrize("key", sorted(params.SUITE_FACTORIES))
+    def test_base_on_curve(self, key):
+        suite = params.make_suite(key, functional=True)
+        assert suite.curve.is_on_curve(suite.base)
+
+    def test_secp160r1_order(self):
+        suite = params.make_secp160r1(functional=True)
+        assert suite.curve.affine_scalar_mult(suite.order, suite.base) is None
+
+    def test_glv_order_prime_and_annihilating(self):
+        suite = params.make_glv(functional=True)
+        assert is_probable_prime(suite.order)
+        assert suite.curve.affine_scalar_mult(suite.order, suite.base) is None
+
+    def test_glv_beta_lambda_consistency(self):
+        suite = params.make_glv(functional=True)
+        curve = suite.curve
+        assert pow(params.GLV_BETA, 3, params.GLV_P) == 1
+        assert (params.GLV_LAMBDA ** 2 + params.GLV_LAMBDA + 1) \
+            % params.GLV_ORDER == 0
+        assert curve.endomorphism(suite.base) \
+            == curve.affine_scalar_mult(params.GLV_LAMBDA, suite.base)
+
+
+class TestMontgomeryEdwardsDesign:
+    def test_a24_is_short(self):
+        suite = params.make_montgomery(functional=True)
+        assert suite.curve.a24_small == (params.MONTGOMERY_A + 2) // 4
+        assert suite.curve.a24_small < (1 << 16)
+
+    def test_edwards_is_complete(self):
+        suite = params.make_edwards(functional=True)
+        assert suite.curve.is_complete()
+
+    def test_edwards_a_is_minus_one(self):
+        assert params.EDWARDS_A == params.OPF_P - 1
+
+
+class TestFactories:
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            params.make_suite("nonexistent")
+
+    def test_fresh_counters(self):
+        a = params.make_weierstrass()
+        a.field.from_int(7) * a.field.from_int(9)
+        b = params.make_weierstrass()
+        assert b.field.counter.mul == 0
+
+    def test_functional_flag_switches_field(self):
+        from repro.field import GenericPrimeField, OptimalPrimeField
+
+        assert isinstance(params.make_weierstrass().field, OptimalPrimeField)
+        assert isinstance(params.make_weierstrass(functional=True).field,
+                          GenericPrimeField)
+
+
+class TestParamgen:
+    def test_is_probable_prime(self):
+        assert is_probable_prime(2) and is_probable_prime(3)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(561)   # Carmichael
+        assert not is_probable_prime(65356)
+        assert is_probable_prime(2 ** 127 - 1)
+
+    def test_montgomery_pair_generator_reproduces_suite(self):
+        pair = generate_montgomery_edwards_pair(params.OPF_P)
+        assert pair.mont_a == params.MONTGOMERY_A
+        assert pair.mont_b == params.MONTGOMERY_B
+        assert pair.edwards_a == params.EDWARDS_A
+        assert pair.edwards_d == params.EDWARDS_D
+
+    def test_montgomery_pair_requires_1_mod_4(self):
+        with pytest.raises(ValueError):
+            generate_montgomery_edwards_pair(1019)  # ≡ 3 mod 4
+
+    def test_weierstrass_generator_small(self):
+        b, gx, gy = generate_weierstrass_curve(1009)
+        from repro.curves import WeierstrassCurve
+        from repro.curves.point import AffinePoint
+        from repro.field import GenericPrimeField
+
+        field = GenericPrimeField(1009)
+        curve = WeierstrassCurve(field, -3, b)
+        assert curve.is_on_curve(
+            AffinePoint(field.from_int(gx), field.from_int(gy))
+        )
+
+    def test_glv_generator_small(self):
+        """Full pipeline on a toy prime: order exact, (beta, lambda) valid."""
+        from repro.curves.paramgen import generate_glv_curve
+
+        glv = generate_glv_curve(1009)
+        from repro.curves import GLVCurve
+        from repro.field import GenericPrimeField
+
+        field = GenericPrimeField(1009)
+        curve = GLVCurve(field, glv.b, glv.beta, glv.lam, glv.order)
+        point = curve.lift_x(glv.gx, glv.gy % 2)
+        assert point.y.to_int() == glv.gy
+        assert curve.affine_scalar_mult(glv.order, point) is None

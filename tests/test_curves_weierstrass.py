@@ -1,0 +1,182 @@
+"""Weierstraß curves: group laws in affine and Jacobian coordinates."""
+
+import random
+
+import pytest
+
+from repro.curves import WeierstrassCurve
+from repro.curves.enumerate import enumerate_weierstrass, point_order
+from repro.curves.point import AffinePoint
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.field import GenericPrimeField
+
+    field = GenericPrimeField(1009)
+    curve = WeierstrassCurve(field, 3, 7)
+    points = enumerate_weierstrass(curve)
+    return field, curve, points
+
+
+class TestConstruction:
+    def test_singular_curve_rejected(self):
+        from repro.field import GenericPrimeField
+
+        field = GenericPrimeField(1009)
+        # 4a^3 + 27b^2 = 0 for a = -3, b = 2 over Q; find one mod p:
+        with pytest.raises(ValueError):
+            WeierstrassCurve(field, 0, 0)
+
+    def test_on_curve(self, setup):
+        _, curve, points = setup
+        for point in points[:50]:
+            assert curve.is_on_curve(point)
+
+    def test_off_curve_detected(self, setup):
+        field, curve, points = setup
+        pt = points[1]
+        bad = AffinePoint(pt.x, pt.y + 1)
+        if not curve.is_on_curve(bad):
+            assert True
+        else:  # pragma: no cover - astronomically unlikely
+            pytest.fail("mutated point still on curve")
+
+
+class TestAffineGroupLaw:
+    def test_identity(self, setup):
+        _, curve, points = setup
+        for point in points[:20]:
+            assert curve.affine_add(point, None) == point
+            assert curve.affine_add(None, point) == point
+
+    def test_inverse(self, setup):
+        _, curve, points = setup
+        for point in points[1:20]:
+            assert curve.affine_add(point, curve.affine_neg(point)) is None
+
+    def test_commutativity(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p, q = rng.choice(points), rng.choice(points)
+            assert curve.affine_add(p, q) == curve.affine_add(q, p)
+
+    def test_associativity(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(50):
+            p, q, r = (rng.choice(points) for _ in range(3))
+            left = curve.affine_add(curve.affine_add(p, q), r)
+            right = curve.affine_add(p, curve.affine_add(q, r))
+            assert left == right
+
+    def test_group_order_annihilates(self, setup, rng):
+        _, curve, points = setup
+        order = len(points)
+        for _ in range(10):
+            point = rng.choice(points[1:])
+            assert curve.affine_scalar_mult(order, point) is None
+
+    def test_lagrange(self, setup, rng):
+        _, curve, points = setup
+        order = len(points)
+        point = rng.choice(points[1:])
+        assert order % point_order(curve, point, order) == 0
+
+
+class TestJacobian:
+    def test_roundtrip(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(20):
+            point = rng.choice(points[1:])
+            assert curve.to_affine(curve.from_affine(point)) == point
+
+    def test_infinity_roundtrip(self, setup):
+        _, curve, _ = setup
+        assert curve.to_affine(curve.identity) is None
+        assert curve.from_affine(None).is_infinity()
+
+    def test_double_matches_affine(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(60):
+            point = rng.choice(points[1:])
+            jac = curve.double(curve.from_affine(point))
+            assert curve.to_affine(jac) == curve.affine_add(point, point)
+
+    def test_add_matches_affine(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(60):
+            p, q = rng.choice(points), rng.choice(points)
+            jac = curve.add(curve.from_affine(p), curve.from_affine(q))
+            assert curve.to_affine(jac) == curve.affine_add(p, q)
+
+    def test_add_handles_doubling_case(self, setup, rng):
+        _, curve, points = setup
+        point = rng.choice(points[1:])
+        jac = curve.from_affine(point)
+        assert curve.to_affine(curve.add(jac, jac)) \
+            == curve.affine_add(point, point)
+
+    def test_add_handles_inverse_case(self, setup, rng):
+        _, curve, points = setup
+        point = rng.choice(points[1:])
+        jac = curve.from_affine(point)
+        neg = curve.from_affine(curve.affine_neg(point))
+        assert curve.add(jac, neg).is_infinity()
+
+    def test_mixed_add_matches_full_add(self, setup, rng):
+        _, curve, points = setup
+        for _ in range(60):
+            p, q = rng.choice(points[1:]), rng.choice(points[1:])
+            full = curve.add(curve.from_affine(p), curve.from_affine(q))
+            mixed = curve.add_mixed(curve.from_affine(p), q)
+            assert curve.to_affine(full) == curve.to_affine(mixed)
+
+    def test_double_of_two_torsion(self, setup):
+        _, curve, points = setup
+        two_torsion = [p for p in points[1:] if p.y.is_zero()]
+        for point in two_torsion:
+            assert curve.double(curve.from_affine(point)).is_infinity()
+
+
+class TestDoublingVariants:
+    """The three M3 paths (a = 0, a = -3, general) agree with affine."""
+
+    @pytest.mark.parametrize("a", [0, 1009 - 3, 5])
+    def test_variant(self, a, rng):
+        from repro.field import GenericPrimeField
+
+        field = GenericPrimeField(1009)
+        try:
+            curve = WeierstrassCurve(field, a, 11)
+        except ValueError:
+            pytest.skip("singular combination")
+        for _ in range(40):
+            point = curve.random_point(rng)
+            jac = curve.double(curve.from_affine(point))
+            assert curve.to_affine(jac) == curve.affine_add(point, point)
+
+
+class TestPointHelpers:
+    def test_lift_x_parity(self, setup):
+        _, curve, points = setup
+        sample = points[1]
+        lifted = curve.lift_x(sample.x.to_int(), sample.y.to_int() % 2)
+        assert lifted == sample
+
+    def test_lift_x_rejects_nonresidue(self, setup):
+        _, curve, points = setup
+        xs = {p.x.to_int() for p in points[1:]}
+        missing = next(x for x in range(1009) if x not in xs)
+        with pytest.raises(ValueError):
+            curve.lift_x(missing)
+
+    def test_random_point_is_on_curve(self, setup, rng):
+        _, curve, _ = setup
+        for _ in range(10):
+            assert curve.is_on_curve(curve.random_point(rng))
+
+    def test_scalar_mult_negative(self, setup, rng):
+        _, curve, points = setup
+        point = rng.choice(points[1:])
+        assert curve.affine_scalar_mult(-3, point) \
+            == curve.affine_neg(curve.affine_scalar_mult(3, point))

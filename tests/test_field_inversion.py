@@ -1,0 +1,119 @@
+"""Inversion algorithms: binary Euclid, Kaliski, Fermat, Tonelli-Shanks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field.inversion import (
+    binary_euclid_inverse,
+    fermat_inverse,
+    kaliski_almost_inverse,
+    kaliski_montgomery_inverse,
+    tonelli_shanks_sqrt,
+)
+
+P160 = 65356 * (1 << 144) + 1
+PRIMES = [13, 1009, 3329, 65537, P160]
+
+nonzero_1009 = st.integers(min_value=1, max_value=1008)
+
+
+class TestBinaryEuclid:
+    @given(nonzero_1009)
+    def test_inverse_property(self, a):
+        inv = binary_euclid_inverse(a, 1009)
+        assert a * inv % 1009 == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            binary_euclid_inverse(0, 1009)
+
+    def test_large_prime(self):
+        a = 0xDEADBEEFCAFE
+        assert a * binary_euclid_inverse(a, P160) % P160 == 1
+
+    def test_all_primes(self):
+        for p in PRIMES:
+            for a in (1, 2, p - 1, p // 2):
+                assert a * binary_euclid_inverse(a, p) % p == 1
+
+
+class TestKaliski:
+    @given(nonzero_1009)
+    def test_almost_inverse_relation(self, a):
+        r, k = kaliski_almost_inverse(a, 1009)
+        # r = a^-1 * 2^k mod p
+        assert r % 1009 == pow(a, -1, 1009) * pow(2, k, 1009) % 1009
+
+    @given(nonzero_1009)
+    def test_phase1_bounds(self, a):
+        _, k = kaliski_almost_inverse(a, 1009)
+        n = 1009 .bit_length()
+        assert n <= k <= 2 * n
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            kaliski_almost_inverse(0, 1009)
+
+    @given(st.integers(min_value=1, max_value=P160 - 1))
+    @settings(max_examples=30)
+    def test_montgomery_inverse_160(self, a):
+        result, k = kaliski_montgomery_inverse(a, P160, 160)
+        assert result == pow(a, -1, P160) * pow(2, 160, P160) % P160
+        assert 160 <= k <= 320
+
+    def test_iteration_count_is_operand_dependent(self):
+        """The residual leakage the paper acknowledges: k varies with a."""
+        counts = {kaliski_almost_inverse(a, P160)[1]
+                  for a in range(1, 200, 7)}
+        assert len(counts) > 1
+
+
+class TestFermat:
+    @given(nonzero_1009)
+    def test_matches_euclid(self, a):
+        assert fermat_inverse(a, 1009) == binary_euclid_inverse(a, 1009)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            fermat_inverse(0, 1009)
+
+    def test_custom_mul_hook_counts(self):
+        calls = []
+
+        def mul(x, y):
+            calls.append(None)
+            return x * y % 1009
+
+        result = fermat_inverse(123, 1009, mul=mul)
+        assert result == pow(123, -1, 1009)
+        # Square-and-multiply over a 10-bit exponent: at most ~2n mults.
+        assert 9 <= len(calls) <= 20
+
+
+class TestTonelliShanks:
+    def test_square_roots_small(self):
+        for p in (13, 1009, 3329):
+            for a in range(p):
+                square = a * a % p
+                root = tonelli_shanks_sqrt(square, p)
+                assert root * root % p == square
+
+    def test_nonresidue_rejected(self):
+        with pytest.raises(ValueError):
+            tonelli_shanks_sqrt(3, 7)  # 3 is a non-residue mod 7
+
+    def test_zero(self):
+        assert tonelli_shanks_sqrt(0, 1009) == 0
+
+    def test_p_equals_3_mod_4_path(self):
+        p = 1019  # ≡ 3 mod 4
+        for a in (4, 9, 100):
+            root = tonelli_shanks_sqrt(a, p)
+            assert root * root % p == a
+
+    @given(st.integers(min_value=1, max_value=P160 - 1))
+    @settings(max_examples=20)
+    def test_large_prime(self, a):
+        square = a * a % P160
+        root = tonelli_shanks_sqrt(square, P160)
+        assert root * root % P160 == square

@@ -1,0 +1,87 @@
+"""The in-assembly co-Z ladder (Weierstraß constant-round rows)."""
+
+import random
+
+import pytest
+
+from repro.avr.timing import Mode
+from repro.curves.params import make_weierstrass
+from repro.kernels import CozLadderKernel, OpfConstants
+
+CONSTANTS = OpfConstants(u=65356, k=144)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return make_weierstrass(functional=True)
+
+
+@pytest.fixture(scope="module")
+def ladder_ca():
+    return CozLadderKernel(CONSTANTS, Mode.CA, curve_a=-3, scalar_bytes=2)
+
+
+def _expected(suite, k):
+    ref = suite.curve.affine_scalar_mult(k, suite.base)
+    return ref.x.to_int(), ref.y.to_int()
+
+
+class TestCorrectness:
+    def test_random_16bit_scalars(self, ladder_ca, suite):
+        rng = random.Random(3)
+        bx, by = suite.base.x.to_int(), suite.base.y.to_int()
+        for _ in range(5):
+            k = rng.getrandbits(16) | 0x8000
+            state, _ = ladder_ca.run(k, bx, by)
+            assert ladder_ca.affine_consistency(state, _expected(suite, k))
+
+    def test_ise_mode(self, suite):
+        ladder = CozLadderKernel(CONSTANTS, Mode.ISE, curve_a=-3,
+                                 scalar_bytes=2)
+        bx, by = suite.base.x.to_int(), suite.base.y.to_int()
+        for k in (0x8001, 0xBEEF, 0xFFFF):
+            state, _ = ladder.run(k, bx, by)
+            assert ladder.affine_consistency(state, _expected(suite, k))
+
+    def test_requires_full_length_scalar(self, ladder_ca, suite):
+        with pytest.raises(ValueError):
+            ladder_ca.run(0x7FFF, suite.base.x.to_int(),
+                          suite.base.y.to_int())
+
+    def test_consistency_check_rejects_wrong_point(self, ladder_ca, suite):
+        bx, by = suite.base.x.to_int(), suite.base.y.to_int()
+        state, _ = ladder_ca.run(0x8765, bx, by)
+        wrong = _expected(suite, 0x8766)
+        assert not ladder_ca.affine_consistency(state, wrong)
+
+
+class TestTiming:
+    def test_constant_cycles(self, ladder_ca, suite):
+        bx, by = suite.base.x.to_int(), suite.base.y.to_int()
+        cycles = {ladder_ca.run(k, bx, by)[1]
+                  for k in (0x8000, 0xFFFF, 0xA5A5, 0xC001)}
+        assert len(cycles) == 1
+
+    def test_per_bit_cost_matches_paper_zone(self, ladder_ca, suite):
+        """Paper Table II: Weierstraß 'Mon' = 8,824 kCycles for ~159 rungs
+        -> ~55.5k cycles per bit; ours must land within ±20%."""
+        bx, by = suite.base.x.to_int(), suite.base.y.to_int()
+        _, cycles = ladder_ca.run(0x8001, bx, by)
+        per_bit = cycles / 15
+        assert 0.8 * 55_500 < per_bit < 1.2 * 55_500
+
+    def test_costlier_than_x_only_ladder(self, suite):
+        """Table II's structure: the Weierstraß 'Mon' row (co-Z, 9M+5S/bit)
+        costs more than the Montgomery curve's x-only ladder (5.3M+4S)."""
+        from repro.kernels import LadderKernel
+
+        xonly = LadderKernel(CONSTANTS, Mode.CA, scalar_bytes=2)
+        mont_suite = __import__("repro.curves.params",
+                                fromlist=["make_montgomery"])
+        msuite = mont_suite.make_montgomery(functional=True)
+        _, _, x_cycles = xonly.run(0x8001, msuite.base.x.to_int())
+        coz = CozLadderKernel(CONSTANTS, Mode.CA, curve_a=-3,
+                              scalar_bytes=2)
+        _, coz_cycles = coz.run(0x8001, suite.base.x.to_int(),
+                                suite.base.y.to_int())
+        assert coz_cycles > 1.3 * x_cycles

@@ -1,0 +1,240 @@
+"""Cycle, area, power and SARP models against the paper's own data."""
+
+import pytest
+
+from repro.avr.timing import Mode
+from repro.field.counters import FieldOpCounter
+from repro.model import (
+    AreaModel,
+    CONSTANT_METHODS,
+    HIGHSPEED_METHODS,
+    PowerModel,
+    calibration_report,
+    costs_for,
+    energy_uj,
+    measure_point_mult,
+    measured_costs,
+    paper_costs,
+    paper_energy_range,
+    paper_sarp_check,
+    price,
+    sarp,
+    sarp_table,
+)
+from repro.model.paper_data import TABLE2, TABLE3, table3_row
+
+
+class TestCosts:
+    def test_paper_costs_values(self):
+        ca = paper_costs(Mode.CA)
+        assert ca.add == 240 and ca.mul == 3314 and ca.inv == 189_000
+        ise = paper_costs(Mode.ISE)
+        assert ise.mul == 552
+
+    def test_squaring_priced_as_mul(self):
+        for mode in Mode:
+            c = paper_costs(mode)
+            assert c.sqr == c.mul
+
+    def test_mul_small_ratio(self):
+        c = paper_costs(Mode.CA)
+        assert 0.25 * c.mul <= c.mul_small <= 0.30 * c.mul
+
+    def test_secp_profile_scales_mul_only(self):
+        opf = paper_costs(Mode.CA)
+        secp = paper_costs(Mode.CA, "secp160r1")
+        assert secp.mul > opf.mul
+        assert secp.add == opf.add
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            paper_costs(Mode.CA, "weird")
+
+    def test_measured_costs_are_cached_and_sane(self):
+        a = measured_costs(Mode.CA)
+        b = measured_costs(Mode.CA)
+        assert a.mul == b.mul
+        assert 3000 <= a.mul <= 4400
+        assert measured_costs(Mode.ISE).mul < measured_costs(Mode.FAST).mul
+
+    def test_costs_for_dispatch(self):
+        assert costs_for(Mode.CA, "paper").source == "paper"
+        assert costs_for(Mode.CA, "measured").source == "measured"
+        with pytest.raises(ValueError):
+            costs_for(Mode.CA, "guessed")
+
+
+class TestPrice:
+    def test_weighted_sum(self):
+        counter = FieldOpCounter(add=2, sub=1, mul=3, sqr=4, inv=1)
+        costs = paper_costs(Mode.CA)
+        expected = (2 * 240 + 1 * 240 + 3 * 3314 + 4 * 3314 + 189000)
+        assert price(counter, costs) == expected
+
+    def test_empty_counter_is_free(self):
+        assert price(FieldOpCounter(), paper_costs(Mode.CA)) == 0
+
+
+class TestTable2Reproduction:
+    """The headline check: every Table II cell within 10% of the paper."""
+
+    @pytest.mark.parametrize("row", TABLE2, ids=lambda r: r.curve)
+    def test_highspeed_within_tolerance(self, row):
+        m = measure_point_mult(row.curve, HIGHSPEED_METHODS[row.curve])
+        delta = m.kcycles["CA"] / row.highspeed_kcycles - 1
+        assert abs(delta) < 0.10, f"{row.curve}: {delta:+.1%}"
+
+    @pytest.mark.parametrize("row", TABLE2, ids=lambda r: r.curve)
+    def test_constant_within_tolerance(self, row):
+        m = measure_point_mult(row.curve, CONSTANT_METHODS[row.curve])
+        delta = m.kcycles["CA"] / row.constant_kcycles - 1
+        assert abs(delta) < 0.10, f"{row.curve}: {delta:+.1%}"
+
+    def test_glv_is_fastest_highspeed(self):
+        cycles = {
+            row.curve: measure_point_mult(
+                row.curve, HIGHSPEED_METHODS[row.curve]).cycles["CA"]
+            for row in TABLE2
+        }
+        assert cycles["glv"] == min(cycles.values())
+
+    def test_montgomery_is_fastest_constant_time(self):
+        cycles = {
+            row.curve: measure_point_mult(
+                row.curve, CONSTANT_METHODS[row.curve]).cycles["CA"]
+            for row in TABLE2
+        }
+        assert cycles["montgomery"] == min(cycles.values())
+
+    def test_montgomery_highspeed_equals_constant(self):
+        """Table II's unique property of the Montgomery curve."""
+        hs = measure_point_mult("montgomery", "ladder", scalar=(1 << 159) + 7)
+        ct = measure_point_mult("montgomery", "ladder", scalar=(1 << 159) + 7)
+        assert hs.cycles == ct.cycles
+
+    def test_relative_slowdowns_match_section_vb(self):
+        """Mon/Edw/Wei/secp160r1 are ~41/42/77/82% slower than GLV."""
+        cycles = {
+            row.curve: measure_point_mult(
+                row.curve, HIGHSPEED_METHODS[row.curve]).cycles["CA"]
+            for row in TABLE2
+        }
+        glv = cycles["glv"]
+        paper_ratios = {"montgomery": 1.41, "edwards": 1.42,
+                        "weierstrass": 1.77, "secp160r1": 1.82}
+        for curve, expected in paper_ratios.items():
+            got = cycles[curve] / glv
+            assert abs(got - expected) < 0.25, (curve, got)
+
+
+class TestModeScaling:
+    def test_ise_speedup_of_point_mult(self):
+        """Paper Section V-C: point mults improve 3.9x-4.5x from CA to ISE."""
+        for curve in ("weierstrass", "edwards", "glv"):
+            m = measure_point_mult(curve, HIGHSPEED_METHODS[curve])
+            ratio = m.cycles["CA"] / m.cycles["ISE"]
+            assert 3.5 <= ratio <= 5.0, (curve, ratio)
+
+    def test_fast_speedup_about_33_percent(self):
+        for curve in ("weierstrass", "montgomery"):
+            method = HIGHSPEED_METHODS[curve]
+            m = measure_point_mult(curve, method)
+            improvement = 1 - m.cycles["FAST"] / m.cycles["CA"]
+            assert 0.18 <= improvement <= 0.40, (curve, improvement)
+
+
+class TestAreaModel:
+    def test_calibration_within_tolerance(self):
+        report = calibration_report()
+        for row in report:
+            assert abs(row["error_pct"]) < 5.0, row
+
+    def test_decomposition_components(self):
+        model = AreaModel.calibrated()
+        est = model.estimate_row("weierstrass", Mode.CA, 6224)
+        assert est["jaavr_ge"] == 6166
+        assert 8000 < est["rom_ge"] < 10000
+        assert 4000 < est["ram_ge"] < 5000
+
+    def test_mode_area_ordering(self):
+        model = AreaModel.calibrated()
+        ca = model.total_ge(Mode.CA, 6000, 500)
+        fast = model.total_ge(Mode.FAST, 6000, 500)
+        ise = model.total_ge(Mode.ISE, 6000, 500)
+        assert ca < fast < ise
+
+    def test_mac_unit_area_increment(self):
+        """ISE adds ~1.5 kGE over FAST (Section V-A: +23%)."""
+        model = AreaModel.calibrated()
+        assert model.core_ge(Mode.ISE) - model.core_ge(Mode.FAST) == 1544
+
+
+class TestPowerAndEnergy:
+    def test_paper_rows_returned_verbatim(self):
+        pm = PowerModel()
+        est = pm.estimate("weierstrass", Mode.CA)
+        assert est.source == "paper"
+        assert est.total_uw == 138.8
+
+    def test_regression_fallback(self):
+        pm = PowerModel()
+        est = pm.estimate("weierstrass", Mode.CA, rom_bytes=10_000)
+        assert est.source == "regression"
+        assert est.total_uw > 0
+
+    def test_energy_reproduces_section_vc_range(self):
+        low, high = paper_energy_range()
+        assert round(low) == 455    # GLV curve
+        assert round(high) == 969   # Weierstraß curve
+
+    def test_energy_formula(self):
+        assert energy_uj(100.0, 1_000_000) == pytest.approx(100.0)
+
+
+class TestSarp:
+    def test_recomputation_matches_printed_values(self):
+        for (curve, mode), (recomputed, printed) in paper_sarp_check().items():
+            assert recomputed == pytest.approx(printed, abs=0.02), (
+                curve, mode)
+
+    def test_reference_is_unity(self):
+        values = paper_sarp_check()
+        rec, printed = values[("weierstrass", "CA")]
+        assert rec == pytest.approx(1.0)
+
+    def test_glv_wins_ca_and_fast(self):
+        values = {k: v[0] for k, v in paper_sarp_check().items()}
+        for mode in ("CA", "FAST"):
+            best = max((v for (c, m), v in values.items() if m == mode))
+            assert values[("glv", mode)] == best
+
+    def test_edwards_wins_ise(self):
+        """Section V-C: in ISE mode the Edwards curve has the best SARP."""
+        values = {k: v[0] for k, v in paper_sarp_check().items()}
+        best = max((v for (c, m), v in values.items() if m == "ISE"))
+        assert values[("edwards", "ISE")] == best
+
+    def test_sarp_table_requires_reference(self):
+        with pytest.raises(KeyError):
+            sarp_table({("glv", "ISE"): (20000.0, 1e6)})
+
+    def test_sarp_positive_inputs(self):
+        with pytest.raises(ValueError):
+            sarp(0, 100, 1, 1)
+
+
+class TestMeasurePointMult:
+    def test_fresh_counters_per_measurement(self):
+        a = measure_point_mult("weierstrass", "naf", scalar=12345)
+        b = measure_point_mult("weierstrass", "naf", scalar=12345)
+        assert a.counts.snapshot() == b.counts.snapshot()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            measure_point_mult("weierstrass", "comb")
+
+    def test_measured_source(self):
+        m = measure_point_mult("montgomery", "ladder", source="measured")
+        assert m.cost_source == "measured"
+        p = measure_point_mult("montgomery", "ladder", source="paper")
+        assert m.cycles["CA"] > p.cycles["CA"]  # our kernels are slower

@@ -1,0 +1,63 @@
+"""The traced Kaliski inversion cycle model."""
+
+import pytest
+
+from repro.avr.timing import Mode
+from repro.model.inversion_model import (
+    estimate_inversion_cycles,
+    fermat_inversion_cycles,
+    inversion_cycle_spread,
+    price_trace,
+    trace_kaliski,
+)
+
+P160 = 65356 * (1 << 144) + 1
+
+
+class TestTrace:
+    def test_step_mix_sums(self):
+        trace = trace_kaliski(0xDEADBEEF, P160)
+        assert trace.even_steps + trace.odd_steps == trace.iterations
+
+    def test_iteration_bounds(self):
+        for a in (2, 3, 0xFFFF, P160 - 1, P160 // 2):
+            trace = trace_kaliski(a, P160)
+            assert 160 <= trace.iterations <= 320
+
+    def test_phase2_complements_phase1(self):
+        trace = trace_kaliski(12345, P160)
+        assert trace.iterations + trace.phase2_doublings == 2 * 160
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            trace_kaliski(0, P160)
+
+    def test_trace_is_operand_dependent(self):
+        traces = {trace_kaliski(a, P160).iterations
+                  for a in range(2, 200, 7)}
+        assert len(traces) > 3
+
+
+class TestPricing:
+    def test_mode_ordering(self):
+        trace = trace_kaliski(999, P160)
+        ca = price_trace(trace, Mode.CA)
+        fast = price_trace(trace, Mode.FAST)
+        assert fast < ca
+        assert price_trace(trace, Mode.ISE) == fast  # MAC doesn't help
+
+    def test_magnitude_vs_paper(self):
+        """Within 2x of Table I's 189k — same algorithm class."""
+        estimate = estimate_inversion_cycles(P160, Mode.CA)
+        assert 90_000 < estimate < 250_000
+
+    def test_fermat_is_excluded_by_magnitude(self):
+        """The paper's 189k rules out a Fermat inversion (~740k)."""
+        fermat = fermat_inversion_cycles(Mode.CA, 3314)
+        assert fermat > 3 * 189_000
+
+    def test_spread_quantifies_the_leak(self):
+        lo, hi, values = inversion_cycle_spread(P160, Mode.CA, samples=24)
+        assert lo < hi                     # operand-dependent, as the paper
+        assert (hi - lo) / lo < 0.15       # ... but a bounded leak
+        assert len(values) == 24

@@ -1,0 +1,115 @@
+"""Word-level addition/subtraction and incomplete-reduction properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpa import (
+    WordOpCounter,
+    add_words,
+    lowweight_conditional_subtract,
+    modadd_incomplete,
+    modsub_incomplete,
+    sub_scaled_words,
+    sub_words,
+    to_words,
+    from_words,
+)
+
+P = 65356 * (1 << 144) + 1
+PW = to_words(P, 5)
+R160 = 1 << 160
+
+u160 = st.integers(min_value=0, max_value=R160 - 1)
+
+
+class TestAddSubWords:
+    @given(u160, u160)
+    def test_add_matches_bigint(self, a, b):
+        out, carry = add_words(to_words(a, 5), to_words(b, 5))
+        assert from_words(out) + (carry << 160) == a + b
+
+    @given(u160, u160)
+    def test_sub_matches_bigint(self, a, b):
+        out, borrow = sub_words(to_words(a, 5), to_words(b, 5))
+        assert from_words(out) - (borrow << 160) == a - b
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            add_words([1], [1, 2])
+        with pytest.raises(ValueError):
+            sub_words([1], [1, 2])
+
+    @given(u160, u160, st.integers(min_value=0, max_value=1))
+    def test_scaled_subtract(self, a, b, scale):
+        out, borrow = sub_scaled_words(to_words(a, 5), to_words(b, 5), scale)
+        assert from_words(out) - (borrow << 160) == a - scale * b
+
+    def test_scaled_subtract_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            sub_scaled_words([0] * 5, [0] * 5, 2)
+
+
+class TestIncompleteReduction:
+    @given(u160, u160)
+    @settings(max_examples=300)
+    def test_modadd_congruent_and_bounded(self, a, b):
+        out = from_words(modadd_incomplete(to_words(a, 5), to_words(b, 5), PW))
+        assert out < R160
+        assert out % P == (a + b) % P
+
+    @given(u160, u160)
+    @settings(max_examples=300)
+    def test_modsub_congruent_and_bounded(self, a, b):
+        out = from_words(modsub_incomplete(to_words(a, 5), to_words(b, 5), PW))
+        assert out < R160
+        assert out % P == (a - b) % P
+
+    def test_modadd_accepts_incompletely_reduced_inputs(self):
+        # Both inputs above p but below 2^160.
+        a, b = P + 5, P + 7
+        out = from_words(modadd_incomplete(to_words(a, 5), to_words(b, 5), PW))
+        assert out < R160 and out % P == (a + b) % P
+
+    def test_worst_case_double_subtraction(self):
+        # Maximal inputs force the second subtraction of p.
+        a = b = R160 - 1
+        out = from_words(modadd_incomplete(to_words(a, 5), to_words(b, 5), PW))
+        assert out < R160 and out % P == (a + b) % P
+
+    def test_counts_loads_and_stores(self):
+        counter = WordOpCounter()
+        modadd_incomplete(to_words(1, 5), to_words(2, 5), PW, counter=counter)
+        assert counter.add == 5       # one 5-word addition
+        assert counter.sub == 10      # two branch-less 5-word subtractions
+        assert counter.load > 0 and counter.store > 0
+
+
+class TestLowWeightShortcut:
+    def test_normally_touches_only_two_words(self):
+        t = to_words(P + 123, 5)
+        out, borrow, slow = lowweight_conditional_subtract(t, PW, 1)
+        assert not slow
+        assert borrow == 0
+        assert from_words(out) == 123
+
+    def test_condition_zero_is_identity(self):
+        t = to_words(12345, 5)
+        out, borrow, slow = lowweight_conditional_subtract(t, PW, 0)
+        assert from_words(out) == 12345 and borrow == 0 and not slow
+
+    def test_borrow_ripple_path(self):
+        # LSW == 0 and condition == 1: the rare 2^-32 case.
+        value = 5 << 32
+        t = to_words(value, 5)
+        out, borrow, slow = lowweight_conditional_subtract(t, PW, 1)
+        assert slow
+        assert (from_words(out) - (value - P)) % R160 == 0
+
+    def test_rejects_non_lowweight_modulus(self):
+        bad = to_words((1 << 160) - (1 << 31) - 1, 5)
+        with pytest.raises(ValueError):
+            lowweight_conditional_subtract(to_words(0, 5), bad, 1)
+
+    def test_rejects_bad_condition(self):
+        with pytest.raises(ValueError):
+            lowweight_conditional_subtract(to_words(0, 5), PW, 2)

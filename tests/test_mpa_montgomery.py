@@ -1,0 +1,132 @@
+"""Montgomery multiplication: SOS/CIOS/FIPS/OPF-FIPS equivalence and counts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpa import (
+    MontgomeryContext,
+    WordOpCounter,
+    cios_montgomery,
+    fips_montgomery,
+    fips_montgomery_opf,
+    from_words,
+    inverse_mod_word,
+    sos_montgomery,
+    to_words,
+)
+
+P = 65356 * (1 << 144) + 1
+CTX = MontgomeryContext.create(P)
+R160 = 1 << 160
+
+u160 = st.integers(min_value=0, max_value=R160 - 1)
+
+ALL_METHODS = (fips_montgomery, fips_montgomery_opf, sos_montgomery,
+               cios_montgomery)
+
+
+class TestContext:
+    def test_basic_constants(self):
+        assert CTX.num_words == 5
+        assert CTX.r == R160
+        assert CTX.n0_prime == 0xFFFFFFFF  # p ≡ 1 mod 2^32
+        assert CTX.is_low_weight()
+
+    def test_n0_prime_property(self):
+        assert (CTX.n0_prime * P + 1) % (1 << 32) == 0
+
+    def test_r2(self):
+        assert CTX.r2 == (R160 * R160) % P
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext.create(100)
+
+    def test_secp_prime_not_low_weight(self):
+        ctx = MontgomeryContext.create((1 << 160) - (1 << 31) - 1)
+        assert not ctx.is_low_weight()
+
+    def test_inverse_mod_word(self):
+        for v in (1, 3, 0xFFFFFFFF, 0x12345679):
+            assert (v * inverse_mod_word(v)) % (1 << 32) == 1
+        with pytest.raises(ValueError):
+            inverse_mod_word(2)
+
+    def test_mont_domain_roundtrip(self):
+        for a in (0, 1, 2, P - 1, 0xDEADBEEF):
+            assert CTX.from_mont(CTX.to_mont(a)) == a
+
+
+class TestEquivalence:
+    @given(u160, u160)
+    @settings(max_examples=150)
+    def test_all_methods_agree_and_are_congruent(self, a, b):
+        expect = (a * b * pow(R160, -1, P)) % P
+        aw, bw = to_words(a, 5), to_words(b, 5)
+        for fn in ALL_METHODS:
+            out = from_words(fn(aw, bw, CTX))
+            assert out < R160
+            assert out % P == expect, fn.__name__
+
+    def test_identity_element(self):
+        one_m = to_words(CTX.to_mont(1), 5)
+        x = to_words(CTX.to_mont(0x1234), 5)
+        out = from_words(fips_montgomery_opf(x, one_m, CTX))
+        assert CTX.from_mont(out) == 0x1234
+
+    def test_zero_absorbing(self):
+        z = to_words(0, 5)
+        x = to_words(R160 - 1, 5)
+        for fn in ALL_METHODS:
+            assert from_words(fn(x, z, CTX)) % P == 0
+
+    def test_opf_variant_requires_opf_modulus(self):
+        ctx = MontgomeryContext.create((1 << 160) - (1 << 31) - 1)
+        with pytest.raises(ValueError):
+            fips_montgomery_opf(to_words(1, 5), to_words(1, 5), ctx)
+
+    def test_operand_length_checked(self):
+        with pytest.raises(ValueError):
+            fips_montgomery([1], [1], CTX)
+
+
+class TestWordMulCounts:
+    """The paper's headline counts: 2s^2 + s generic, s^2 + s for OPF."""
+
+    def _count(self, fn):
+        counter = WordOpCounter()
+        fn(to_words(3, 5), to_words(5, 5), CTX, counter)
+        return counter.mul
+
+    def test_generic_fips_count(self):
+        assert self._count(fips_montgomery) == 2 * 25 + 5
+
+    def test_opf_fips_count(self):
+        assert self._count(fips_montgomery_opf) == 25 + 5
+
+    def test_sos_count(self):
+        assert self._count(sos_montgomery) == 2 * 25 + 5
+
+    def test_cios_count(self):
+        assert self._count(cios_montgomery) == 2 * 25 + 5
+
+    def test_opf_reduction_overhead_is_linear(self):
+        """Reduction adds exactly s word muls on top of the s^2 product."""
+        assert self._count(fips_montgomery_opf) - 25 == 5
+
+
+class TestToyOpf8Bit:
+    def test_exhaustive_small_field(self):
+        p = 13 * (1 << 8) + 1  # 3329
+        ctx = MontgomeryContext.create(p, word_bits=8)
+        assert ctx.is_low_weight()
+        r = ctx.r
+        r_inv = pow(r, -1, p)
+        for a in range(0, p, 101):
+            for b in range(0, p, 97):
+                out = from_words(
+                    fips_montgomery_opf(to_words(a, ctx.num_words, 8),
+                                        to_words(b, ctx.num_words, 8), ctx),
+                    8,
+                )
+                assert out % p == (a * b * r_inv) % p

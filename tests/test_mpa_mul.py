@@ -1,0 +1,100 @@
+"""Multiplication/squaring organisations and their operation counts."""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.mpa import (
+    WordOpCounter,
+    byte_muls_per_word_mul,
+    from_words,
+    mul_hybrid,
+    mul_operand_scanning,
+    mul_product_scanning,
+    mul_small_constant,
+    sqr_product_scanning,
+    to_words,
+)
+
+u160 = st.integers(min_value=0, max_value=(1 << 160) - 1)
+
+
+class TestCorrectness:
+    @given(u160, u160)
+    @settings(max_examples=200)
+    def test_operand_scanning(self, a, b):
+        out = mul_operand_scanning(to_words(a, 5), to_words(b, 5))
+        assert from_words(out) == a * b
+
+    @given(u160, u160)
+    @settings(max_examples=200)
+    def test_product_scanning(self, a, b):
+        out = mul_product_scanning(to_words(a, 5), to_words(b, 5))
+        assert from_words(out) == a * b
+
+    @given(u160)
+    @settings(max_examples=200)
+    def test_squaring(self, a):
+        out = sqr_product_scanning(to_words(a, 5))
+        assert from_words(out) == a * a
+
+    @given(u160, u160)
+    @settings(max_examples=50)
+    def test_hybrid_equals_product_scanning(self, a, b):
+        assert (mul_hybrid(to_words(a, 5), to_words(b, 5))
+                == mul_product_scanning(to_words(a, 5), to_words(b, 5)))
+
+    @given(u160, st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=200)
+    def test_small_constant(self, a, c):
+        out = mul_small_constant(to_words(a, 5), c)
+        assert from_words(out) == a * c
+
+    def test_small_constant_range_check(self):
+        with pytest.raises(ValueError):
+            mul_small_constant(to_words(1, 5), 1 << 32)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mul_operand_scanning([1], [1, 2])
+        with pytest.raises(ValueError):
+            mul_product_scanning([1], [1, 2])
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1))
+    @settings(max_examples=100)
+    def test_8bit_words(self, a, b):
+        out = mul_product_scanning(to_words(a, 3, 8), to_words(b, 3, 8), 8)
+        assert from_words(out, 8) == a * b
+
+
+class TestOperationCounts:
+    def test_schoolbook_is_s_squared(self):
+        for fn in (mul_operand_scanning, mul_product_scanning):
+            counter = WordOpCounter()
+            fn(to_words(1, 5), to_words(1, 5), counter=counter)
+            assert counter.mul == 25
+
+    def test_squaring_count(self):
+        counter = WordOpCounter()
+        sqr_product_scanning(to_words((1 << 160) - 1, 5), counter=counter)
+        assert counter.mul == (25 + 5) // 2  # (s^2 + s) / 2
+
+    def test_small_constant_is_linear(self):
+        counter = WordOpCounter()
+        mul_small_constant(to_words(1, 5), 3, counter=counter)
+        assert counter.mul == 5
+
+    def test_byte_muls_per_word(self):
+        assert byte_muls_per_word_mul(32) == 16
+        assert byte_muls_per_word_mul(8) == 1
+        with pytest.raises(ValueError):
+            byte_muls_per_word_mul(12)
+
+    def test_hybrid_counts_byte_muls(self):
+        word_counter = WordOpCounter()
+        byte_counter = WordOpCounter()
+        mul_hybrid(to_words(1, 5), to_words(1, 5),
+                   counter=word_counter, byte_counter=byte_counter)
+        # 25 word muls x 16 byte muls each = 400 AVR MUL instructions,
+        # the figure behind Gura et al.'s hybrid method on 160-bit operands.
+        assert byte_counter.mul == 400

@@ -1,0 +1,79 @@
+"""Word-array conversion tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpa import (
+    from_bytes_le,
+    from_words,
+    hamming_weight_words,
+    num_words,
+    to_bytes_le,
+    to_words,
+    word_mask,
+)
+
+
+class TestWordMask:
+    def test_mask_32(self):
+        assert word_mask(32) == 0xFFFFFFFF
+
+    def test_mask_8(self):
+        assert word_mask(8) == 0xFF
+
+    def test_mask_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            word_mask(0)
+
+
+class TestNumWords:
+    def test_exact_multiple(self):
+        assert num_words(160, 32) == 5
+
+    def test_rounds_up(self):
+        assert num_words(161, 32) == 6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            num_words(0)
+
+
+class TestToFromWords:
+    def test_known_split(self):
+        assert to_words(0x1_00000002, 2) == [2, 1]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            to_words(-1, 2)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            to_words(1 << 64, 2)
+
+    def test_from_words_rejects_bad_word(self):
+        with pytest.raises(ValueError):
+            from_words([1 << 32])
+
+    @given(st.integers(min_value=0, max_value=(1 << 160) - 1))
+    def test_roundtrip_160(self, value):
+        assert from_words(to_words(value, 5)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_roundtrip_8bit_words(self, value):
+        assert from_words(to_words(value, 3, 8), 8) == value
+
+
+class TestBytesLe:
+    @given(st.integers(min_value=0, max_value=(1 << 160) - 1))
+    def test_roundtrip(self, value):
+        assert from_bytes_le(to_bytes_le(value, 20)) == value
+
+
+class TestHammingWeight:
+    def test_opf_prime_has_two_nonzero_words(self):
+        p = 65356 * (1 << 144) + 1
+        assert hamming_weight_words(to_words(p, 5)) == 2
+
+    def test_secp_prime_is_not_low_weight(self):
+        p = (1 << 160) - (1 << 31) - 1
+        assert hamming_weight_words(to_words(p, 5)) == 5

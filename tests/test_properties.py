@@ -1,0 +1,156 @@
+"""Cross-cutting hypothesis property tests over the whole stack.
+
+These tie layers together: scalar-multiplication linearity through every
+algorithm, Montgomery-domain transparency, the ladder-vs-NAF equivalence on
+the word-level OPF field, and homomorphism through the birational maps.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.curves import MontgomeryCurve, TwistedEdwardsCurve, WeierstrassCurve
+from repro.field import GenericPrimeField, OptimalPrimeField
+from repro.scalarmult import (
+    adapter_for,
+    montgomery_ladder_full,
+    scalar_mult_binary,
+    scalar_mult_daaa,
+    scalar_mult_naf,
+    scalar_mult_wnaf,
+)
+
+P = 1009
+small_scalars = st.integers(min_value=0, max_value=5000)
+
+
+def _weierstrass():
+    return WeierstrassCurve(GenericPrimeField(P), 3, 7)
+
+
+def _base(curve, seed=11):
+    import random
+
+    return curve.random_point(random.Random(seed))
+
+
+class TestScalarLinearity:
+    @given(small_scalars, small_scalars)
+    @settings(max_examples=40, deadline=None)
+    def test_additivity(self, k1, k2):
+        """(k1 + k2) * P == k1 * P + k2 * P through the NAF algorithm."""
+        curve = _weierstrass()
+        base = _base(curve)
+        left = scalar_mult_naf(adapter_for(curve, base), k1 + k2)
+        right = curve.affine_add(
+            scalar_mult_naf(adapter_for(curve, base), k1),
+            scalar_mult_naf(adapter_for(curve, base), k2),
+        )
+        assert left == right
+
+    @given(small_scalars, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplicativity(self, k, m):
+        """m * (k * P) == (m * k) * P."""
+        curve = _weierstrass()
+        base = _base(curve)
+        kp = scalar_mult_naf(adapter_for(curve, base), k)
+        left = curve.affine_scalar_mult(m, kp)
+        right = scalar_mult_naf(adapter_for(curve, base), m * k)
+        assert left == right
+
+
+class TestAlgorithmEquivalence:
+    @given(small_scalars)
+    @settings(max_examples=60, deadline=None)
+    def test_all_weierstrass_algorithms_agree(self, k):
+        curve = _weierstrass()
+        base = _base(curve)
+        reference = curve.affine_scalar_mult(k, base)
+        assert scalar_mult_binary(adapter_for(curve, base), k) == reference
+        assert scalar_mult_naf(adapter_for(curve, base), k) == reference
+        assert scalar_mult_daaa(adapter_for(curve, base), k,
+                                bits=13) == reference
+        if k > 0:
+            assert scalar_mult_wnaf(curve, k, base, 4) == reference
+
+    @given(small_scalars)
+    @settings(max_examples=60, deadline=None)
+    def test_edwards_vs_weierstrass_structure(self, k):
+        """Same scalar, same group structure: orders divide consistently."""
+        field = GenericPrimeField(P)
+        curve = TwistedEdwardsCurve(field, P - 1, 11)
+        base = _base(curve, seed=13)
+        out = scalar_mult_naf(adapter_for(curve, base), k)
+        ref = curve.affine_scalar_mult(k, base)
+        assert out == ref
+
+
+class TestMontgomeryDomainTransparency:
+    @given(st.integers(min_value=0, max_value=(1 << 160) - 1),
+           st.integers(min_value=0, max_value=(1 << 160) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_opf_field_is_isomorphic_to_generic(self, a, b):
+        """Any arithmetic expression evaluates identically in the
+        Montgomery-domain OPF field and the plain generic field."""
+        opf = OptimalPrimeField(65356, 144)
+        ref = GenericPrimeField(opf.p)
+        ax, bx = opf.from_int(a), opf.from_int(b)
+        ar, br = ref.from_int(a), ref.from_int(b)
+        expr_opf = (ax + bx) * (ax - bx) + ax.square() * bx
+        expr_ref = (ar + br) * (ar - br) + ar.square() * br
+        assert expr_opf.to_int() == expr_ref.to_int()
+
+
+class TestLadderProperties:
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_ladder_matches_full_arithmetic(self, k):
+        field = GenericPrimeField(P)
+        curve = MontgomeryCurve(field, 6, 1)
+        base = _base(curve, seed=17)
+        assert montgomery_ladder_full(curve, k, base, bits=11) \
+            == curve.affine_scalar_mult(k, base)
+
+    @given(st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_ladder_x_is_sign_invariant(self, k):
+        """x(k * P) == x(k * (-P)) — the x-only property."""
+        from repro.scalarmult import montgomery_ladder_x
+
+        field = GenericPrimeField(P)
+        curve = MontgomeryCurve(field, 6, 1)
+        base = _base(curve, seed=19)
+        neg = curve.affine_neg(base)
+        out1 = montgomery_ladder_x(curve, k, base, bits=10)
+        out2 = montgomery_ladder_x(curve, k, neg, bits=10)
+        if out1.is_infinity() or out2.is_infinity():
+            assert out1.is_infinity() == out2.is_infinity()
+        else:
+            assert curve.x_affine(out1) == curve.x_affine(out2)
+
+
+class TestGlvProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 9))
+    @settings(max_examples=60, deadline=None)
+    def test_decomposition_always_congruent(self, k):
+        from repro.curves.glv import glv_decompose
+
+        n, lam = 967, 824
+        k1, k2 = glv_decompose(k, n, lam)
+        assert (k1 + k2 * lam - k) % n == 0
+
+    @given(st.integers(min_value=1, max_value=966))
+    @settings(max_examples=40, deadline=None)
+    def test_glv_equals_naf(self, k):
+        from repro.curves import GLVCurve
+        from repro.scalarmult import glv_scalar_mult
+
+        field = GenericPrimeField(P)
+        curve = GLVCurve(field, 11, beta=374, lam=824, n=967)
+        import random
+
+        rng = random.Random(23)
+        base = curve.random_point(rng)
+        assume(curve.affine_scalar_mult(967, base) is None)
+        assert glv_scalar_mult(curve, k, base) \
+            == scalar_mult_naf(adapter_for(curve, base), k)

@@ -1,0 +1,185 @@
+"""Protocol layer: ECDH agreement, ECDSA/Schnorr sign-verify-tamper."""
+
+import random
+
+import pytest
+
+from repro.curves.params import (
+    make_glv,
+    make_montgomery,
+    make_secp160r1,
+    make_weierstrass,
+)
+from repro.protocols import (
+    Ecdsa,
+    FullPointEcdh,
+    Schnorr,
+    XOnlyEcdh,
+    deterministic_nonce,
+)
+
+
+@pytest.fixture(scope="module")
+def secp():
+    return make_secp160r1(functional=True)
+
+
+class TestXOnlyEcdh:
+    def test_agreement(self):
+        suite = make_montgomery()
+        ecdh = XOnlyEcdh(suite.curve, suite.base)
+        rng = random.Random(100)
+        alice = ecdh.generate_keypair(rng)
+        bob = ecdh.generate_keypair(rng)
+        assert ecdh.shared_secret(alice, bob.public_x) \
+            == ecdh.shared_secret(bob, alice.public_x)
+
+    def test_distinct_parties_distinct_secrets(self):
+        suite = make_montgomery()
+        ecdh = XOnlyEcdh(suite.curve, suite.base)
+        rng = random.Random(101)
+        alice = ecdh.generate_keypair(rng)
+        bob = ecdh.generate_keypair(rng)
+        carol = ecdh.generate_keypair(rng)
+        assert ecdh.shared_secret(alice, bob.public_x) \
+            != ecdh.shared_secret(alice, carol.public_x)
+
+    def test_public_key_is_20_bytes_of_information(self):
+        suite = make_montgomery()
+        ecdh = XOnlyEcdh(suite.curve, suite.base)
+        pair = ecdh.generate_keypair(random.Random(102))
+        assert pair.public_x < (1 << 160)
+
+    def test_rejects_off_curve_base(self):
+        suite = make_montgomery()
+        from repro.curves.point import AffinePoint
+
+        bad = AffinePoint(suite.base.x, suite.base.y + 1)
+        if suite.curve.is_on_curve(bad):  # pragma: no cover
+            pytest.skip("mutation landed on the curve")
+        with pytest.raises(ValueError):
+            XOnlyEcdh(suite.curve, bad)
+
+
+class TestFullPointEcdh:
+    @pytest.mark.parametrize("factory", [make_weierstrass, make_glv],
+                             ids=["weierstrass", "glv"])
+    def test_agreement(self, factory):
+        suite = factory()
+        ecdh = FullPointEcdh(suite.curve, suite.base, suite.order)
+        rng = random.Random(103)
+        alice = ecdh.generate_keypair(rng)
+        bob = ecdh.generate_keypair(rng)
+        s1 = ecdh.shared_secret(alice, bob.public)
+        s2 = ecdh.shared_secret(bob, alice.public)
+        assert s1.x.to_int() == s2.x.to_int()
+        assert s1.y.to_int() == s2.y.to_int()
+
+    def test_glv_backend(self):
+        """ECDH through the GLV multiplier (the paper's use case for it)."""
+        from repro.scalarmult import glv_scalar_mult
+
+        suite = make_glv()
+        ecdh = FullPointEcdh(
+            suite.curve, suite.base, suite.order,
+            mult=lambda k, p: glv_scalar_mult(suite.curve, k, p),
+        )
+        rng = random.Random(104)
+        alice = ecdh.generate_keypair(rng)
+        bob = ecdh.generate_keypair(rng)
+        s1 = ecdh.shared_secret(alice, bob.public)
+        s2 = ecdh.shared_secret(bob, alice.public)
+        assert s1.x.to_int() == s2.x.to_int()
+
+
+class TestEcdsa:
+    def test_sign_verify(self, secp):
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        private = 0xFEEDFACE0123
+        public = dsa.public_key(private)
+        sig = dsa.sign(private, b"attestation payload")
+        assert dsa.verify(public, b"attestation payload", sig)
+
+    def test_tampered_message_rejected(self, secp):
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        private = 0xFEEDFACE0123
+        public = dsa.public_key(private)
+        sig = dsa.sign(private, b"original")
+        assert not dsa.verify(public, b"tampered", sig)
+
+    def test_tampered_signature_rejected(self, secp):
+        from repro.protocols import Signature
+
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        private = 0x1234567
+        public = dsa.public_key(private)
+        sig = dsa.sign(private, b"msg")
+        assert not dsa.verify(public, b"msg",
+                              Signature(sig.r, sig.s ^ 1))
+        assert not dsa.verify(public, b"msg",
+                              Signature(sig.r ^ 1, sig.s))
+
+    def test_wrong_public_key_rejected(self, secp):
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        sig = dsa.sign(0x1111, b"msg")
+        other_public = dsa.public_key(0x2222)
+        assert not dsa.verify(other_public, b"msg", sig)
+
+    def test_out_of_range_signature_rejected(self, secp):
+        from repro.protocols import Signature
+
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        public = dsa.public_key(0x1111)
+        assert not dsa.verify(public, b"m", Signature(0, 5))
+        assert not dsa.verify(public, b"m", Signature(5, secp.order))
+
+    def test_deterministic_signatures(self, secp):
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        assert dsa.sign(0x77, b"m") == dsa.sign(0x77, b"m")
+
+    def test_explicit_nonce(self, secp):
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        public = dsa.public_key(0x77)
+        sig = dsa.sign(0x77, b"m", nonce=12345)
+        assert dsa.verify(public, b"m", sig)
+
+    def test_private_key_range_checked(self, secp):
+        dsa = Ecdsa(secp.curve, secp.base, secp.order)
+        with pytest.raises(ValueError):
+            dsa.sign(0, b"m")
+        with pytest.raises(ValueError):
+            dsa.public_key(secp.order)
+
+    def test_nonce_derivation_in_range(self, secp):
+        for i in range(20):
+            k = deterministic_nonce(0x42 + i, b"\x01" * 32, secp.order)
+            assert 1 <= k < secp.order
+
+
+class TestSchnorr:
+    def test_sign_verify(self, secp):
+        schnorr = Schnorr(secp.curve, secp.base, secp.order)
+        public = schnorr.public_key(0xABCDEF)
+        sig = schnorr.sign(0xABCDEF, b"sensor reading 42")
+        assert schnorr.verify(public, b"sensor reading 42", sig)
+
+    def test_tamper_rejected(self, secp):
+        schnorr = Schnorr(secp.curve, secp.base, secp.order)
+        public = schnorr.public_key(0xABCDEF)
+        sig = schnorr.sign(0xABCDEF, b"a")
+        assert not schnorr.verify(public, b"b", sig)
+
+    def test_wrong_key_rejected(self, secp):
+        schnorr = Schnorr(secp.curve, secp.base, secp.order)
+        sig = schnorr.sign(0x1, b"m")
+        assert not schnorr.verify(schnorr.public_key(0x2), b"m", sig)
+
+    def test_range_checks(self, secp):
+        from repro.protocols import SchnorrSignature
+
+        schnorr = Schnorr(secp.curve, secp.base, secp.order)
+        public = schnorr.public_key(0x9)
+        assert not schnorr.verify(public, b"m",
+                                  SchnorrSignature(secp.order, 1))
+        with pytest.raises(ValueError):
+            schnorr.sign(0, b"m")

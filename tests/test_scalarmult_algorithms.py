@@ -1,0 +1,134 @@
+"""Generic scalar-multiplication algorithms against affine ground truth."""
+
+import pytest
+
+from repro.scalarmult import (
+    adapter_for,
+    scalar_mult_binary,
+    scalar_mult_daaa,
+    scalar_mult_naf,
+)
+
+
+def _check_all(curve, base, reference_mult, ks, bits=13):
+    for k in ks:
+        ref = reference_mult(k, base)
+        assert scalar_mult_binary(adapter_for(curve, base), k) == ref, k
+        assert scalar_mult_naf(adapter_for(curve, base), k) == ref, k
+        assert scalar_mult_daaa(adapter_for(curve, base), k,
+                                bits=bits) == ref, k
+
+
+class TestWeierstrass:
+    def test_small_scalars(self, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        _check_all(toy_weierstrass, base,
+                   toy_weierstrass.affine_scalar_mult, range(30))
+
+    def test_random_scalars(self, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        ks = [rng.randrange(1, 8000) for _ in range(80)]
+        _check_all(toy_weierstrass, base,
+                   toy_weierstrass.affine_scalar_mult, ks)
+
+    def test_zero_scalar(self, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        assert scalar_mult_binary(
+            adapter_for(toy_weierstrass, base), 0) is None
+        assert scalar_mult_naf(adapter_for(toy_weierstrass, base), 0) is None
+
+    def test_negative_rejected(self, toy_weierstrass, rng):
+        adapter = adapter_for(toy_weierstrass,
+                              toy_weierstrass.random_point(rng))
+        for fn in (scalar_mult_binary, scalar_mult_naf, scalar_mult_daaa):
+            with pytest.raises(ValueError):
+                fn(adapter, -1)
+
+
+class TestEdwards:
+    def _ref(self, curve):
+        def mult(k, base):
+            result = curve.affine_scalar_mult(k, base)
+            return result
+
+        return mult
+
+    def test_small_scalars(self, toy_edwards, rng):
+        base = toy_edwards.random_point(rng)
+        ref = self._ref(toy_edwards)
+        for k in range(30):
+            expected = ref(k, base)
+            assert scalar_mult_naf(adapter_for(toy_edwards, base), k) \
+                == expected
+            assert scalar_mult_daaa(adapter_for(toy_edwards, base), k,
+                                    bits=13) == expected
+
+    def test_random_scalars(self, toy_edwards, rng):
+        base = toy_edwards.random_point(rng)
+        ref = self._ref(toy_edwards)
+        for _ in range(80):
+            k = rng.randrange(1, 8000)
+            assert scalar_mult_naf(adapter_for(toy_edwards, base), k) \
+                == ref(k, base)
+            assert scalar_mult_daaa(adapter_for(toy_edwards, base), k,
+                                    bits=13) == ref(k, base)
+
+    def test_daaa_fixed_length_rejects_oversized(self, toy_edwards, rng):
+        base = toy_edwards.random_point(rng)
+        with pytest.raises(ValueError):
+            scalar_mult_daaa(adapter_for(toy_edwards, base), 1 << 14,
+                             bits=13)
+
+
+class TestDaaaRegularity:
+    """DAAA performs the same operation pattern for every scalar."""
+
+    def test_operation_counts_independent_of_scalar(self):
+        from repro.curves.params import make_edwards
+
+        counts = set()
+        for k in (0x5555, 0xFFFF, 0x8001, 0xCAFE):
+            suite = make_edwards()
+            scalar_mult_daaa(adapter_for(suite.curve, suite.base),
+                             k | 0x8000, bits=16)
+            snap = suite.field.counter.snapshot()
+            counts.add((snap["mul"], snap["sqr"], snap["add"], snap["sub"]))
+        assert len(counts) == 1
+
+    def test_naf_counts_vary_with_scalar(self):
+        """Contrast: the high-speed NAF method is operand-dependent."""
+        from repro.curves.params import make_edwards
+
+        counts = set()
+        for k in (0x5555, 0xFFFF, 0x8001, 0xCAFE):
+            suite = make_edwards()
+            scalar_mult_naf(adapter_for(suite.curve, suite.base), k)
+            snap = suite.field.counter.snapshot()
+            counts.add((snap["mul"], snap["sqr"], snap["add"], snap["sub"]))
+        assert len(counts) > 1
+
+
+class TestCrossFamilyConsistency:
+    """160-bit consistency between word-level OPF and functional fields."""
+
+    def test_weierstrass_opf_vs_functional(self):
+        from repro.curves.params import make_weierstrass
+
+        k = 0xA5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5
+        opf = make_weierstrass()
+        ref = make_weierstrass(functional=True)
+        got = scalar_mult_naf(adapter_for(opf.curve, opf.base), k)
+        expect = ref.curve.affine_scalar_mult(k, ref.base)
+        assert got.x.to_int() == expect.x.to_int()
+        assert got.y.to_int() == expect.y.to_int()
+
+    def test_edwards_opf_vs_functional(self):
+        from repro.curves.params import make_edwards
+
+        k = 0x1234567890ABCDEF1234567890ABCDEF12345678
+        opf = make_edwards()
+        ref = make_edwards(functional=True)
+        got = scalar_mult_naf(adapter_for(opf.curve, opf.base), k)
+        expect = ref.curve.affine_scalar_mult(k, ref.base)
+        assert got.x.to_int() == expect.x.to_int()
+        assert got.y.to_int() == expect.y.to_int()

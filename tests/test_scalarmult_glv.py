@@ -1,0 +1,116 @@
+"""GLV scalar multiplication and Shamir's trick."""
+
+import pytest
+
+from repro.scalarmult import glv_precompute, glv_scalar_mult, shamir_scalar_mult
+
+
+@pytest.fixture
+def toy_base(toy_glv, rng):
+    while True:
+        point = toy_glv.random_point(rng)
+        if toy_glv.affine_scalar_mult(toy_glv.n, point) is None:
+            return point
+
+
+class TestGlvScalarMult:
+    def test_matches_reference(self, toy_glv, toy_base, rng):
+        for k in list(range(1, 25)) + [rng.randrange(1, toy_glv.n)
+                                       for _ in range(120)]:
+            ref = toy_glv.affine_scalar_mult(k % toy_glv.n, toy_base)
+            assert glv_scalar_mult(toy_glv, k, toy_base) == ref, k
+
+    def test_zero_scalar(self, toy_glv, toy_base):
+        assert glv_scalar_mult(toy_glv, 0, toy_base) is None
+        assert glv_scalar_mult(toy_glv, toy_glv.n, toy_base) is None
+
+    def test_negative_rejected(self, toy_glv, toy_base):
+        with pytest.raises(ValueError):
+            glv_scalar_mult(toy_glv, -1, toy_base)
+
+    def test_scalar_reduction_mod_n(self, toy_glv, toy_base, rng):
+        k = rng.randrange(1, toy_glv.n)
+        assert glv_scalar_mult(toy_glv, k, toy_base) \
+            == glv_scalar_mult(toy_glv, k + toy_glv.n, toy_base)
+
+    def test_160_bit_curve(self, rng):
+        from repro.curves.params import make_glv
+
+        suite = make_glv()
+        ref_suite = make_glv(functional=True)
+        for _ in range(3):
+            k = rng.randrange(1, suite.order)
+            got = glv_scalar_mult(suite.curve, k, suite.base)
+            expect = ref_suite.curve.affine_scalar_mult(k, ref_suite.base)
+            assert got.x.to_int() == expect.x.to_int()
+            assert got.y.to_int() == expect.y.to_int()
+
+    def test_doubling_count_is_halved(self):
+        """The GLV point of Section II-D: n/2 doublings instead of n."""
+        from repro.curves.params import make_glv
+        from repro.scalarmult import adapter_for, scalar_mult_naf
+
+        k = (1 << 159) + 0x777
+        glv_suite = make_glv()
+        glv_scalar_mult(glv_suite.curve, k % glv_suite.order, glv_suite.base)
+        glv_sqr = glv_suite.field.counter.sqr
+
+        naf_suite = make_glv()
+        scalar_mult_naf(adapter_for(naf_suite.curve, naf_suite.base),
+                        k % naf_suite.order)
+        naf_sqr = naf_suite.field.counter.sqr
+        # Doublings dominate squarings; GLV should show roughly half.
+        assert glv_sqr < 0.75 * naf_sqr
+
+
+class TestPrecomputeTable:
+    def test_table_entries_consistent(self, toy_glv, toy_base):
+        k1, k2 = 5, -3
+        table = glv_precompute(toy_glv, toy_base, k1, k2)
+        p1 = toy_base  # k1 >= 0
+        phi = toy_glv.endomorphism(toy_base)
+        p2 = toy_glv.affine_neg(phi)  # k2 < 0
+        assert table[(1, 0)] == p1
+        assert table[(0, 1)] == p2
+        assert table[(1, 1)] == toy_glv.affine_add(p1, p2)
+        assert table[(-1, -1)] == toy_glv.affine_neg(
+            toy_glv.affine_add(p1, p2))
+        assert table[(1, -1)] == toy_glv.affine_add(
+            p1, toy_glv.affine_neg(p2))
+
+    def test_all_entries_on_curve(self, toy_glv, toy_base):
+        table = glv_precompute(toy_glv, toy_base, 7, 9)
+        for entry in table.values():
+            assert toy_glv.is_on_curve(entry)
+
+
+class TestShamir:
+    def test_double_scalar(self, toy_weierstrass, rng):
+        p1 = toy_weierstrass.random_point(rng)
+        p2 = toy_weierstrass.random_point(rng)
+        for _ in range(60):
+            k1, k2 = rng.randrange(2000), rng.randrange(2000)
+            expect = toy_weierstrass.affine_add(
+                toy_weierstrass.affine_scalar_mult(k1, p1),
+                toy_weierstrass.affine_scalar_mult(k2, p2),
+            )
+            assert shamir_scalar_mult(toy_weierstrass, k1, p1, k2, p2) \
+                == expect
+
+    def test_degenerate_pairs(self, toy_weierstrass, rng):
+        p1 = toy_weierstrass.random_point(rng)
+        p2 = toy_weierstrass.affine_neg(p1)
+        # k1*P - k1*P = O for equal scalars on negated points.
+        assert shamir_scalar_mult(toy_weierstrass, 7, p1, 7, p2) is None
+
+    def test_zero_scalars(self, toy_weierstrass, rng):
+        p1 = toy_weierstrass.random_point(rng)
+        p2 = toy_weierstrass.random_point(rng)
+        assert shamir_scalar_mult(toy_weierstrass, 0, p1, 0, p2) is None
+        assert shamir_scalar_mult(toy_weierstrass, 5, p1, 0, p2) \
+            == toy_weierstrass.affine_scalar_mult(5, p1)
+
+    def test_negative_rejected(self, toy_weierstrass, rng):
+        p = toy_weierstrass.random_point(rng)
+        with pytest.raises(ValueError):
+            shamir_scalar_mult(toy_weierstrass, -1, p, 1, p)

@@ -1,0 +1,153 @@
+"""Ladders: x-only Montgomery ladder and the co-Z Weierstraß ladders."""
+
+import pytest
+
+from repro.curves.enumerate import enumerate_montgomery
+from repro.scalarmult import (
+    coz_ladder,
+    coz_ladder_xy,
+    montgomery_ladder_full,
+    montgomery_ladder_x,
+)
+
+
+class TestXOnlyLadder:
+    def test_matches_reference(self, toy_montgomery, rng):
+        base = toy_montgomery.random_point(rng)
+        for k in list(range(30)) + [rng.randrange(1, 5000) for _ in range(60)]:
+            ref = toy_montgomery.affine_scalar_mult(k, base)
+            out = montgomery_ladder_x(toy_montgomery, k, base, bits=14)
+            if ref is None:
+                assert out.is_infinity()
+            else:
+                assert toy_montgomery.x_affine(out) == ref.x
+
+    def test_full_ladder_recovers_y(self, toy_montgomery, rng):
+        base = toy_montgomery.random_point(rng)
+        for k in list(range(20)) + [rng.randrange(1, 5000) for _ in range(60)]:
+            ref = toy_montgomery.affine_scalar_mult(k, base)
+            out = montgomery_ladder_full(toy_montgomery, k, base, bits=14)
+            assert out == ref, k
+
+    def test_fixed_length_scalar_check(self, toy_montgomery, rng):
+        base = toy_montgomery.random_point(rng)
+        with pytest.raises(ValueError):
+            montgomery_ladder_x(toy_montgomery, 1 << 20, base, bits=14)
+
+    def test_negative_rejected(self, toy_montgomery, rng):
+        base = toy_montgomery.random_point(rng)
+        with pytest.raises(ValueError):
+            montgomery_ladder_x(toy_montgomery, -2, base)
+        with pytest.raises(ValueError):
+            montgomery_ladder_full(toy_montgomery, -2, base)
+
+    def test_regular_execution_profile(self):
+        """Same field-operation counts for every (fixed-length) scalar."""
+        from repro.curves.params import make_montgomery
+
+        counts = set()
+        for k in (0x8001, 0xFFFF, 0xA5A5, 0xC3C3):
+            suite = make_montgomery()
+            montgomery_ladder_x(suite.curve, k, suite.base, bits=16)
+            snap = suite.field.counter.snapshot()
+            counts.add(tuple(sorted(snap.items())))
+        assert len(counts) == 1
+
+    def test_per_bit_cost_is_paper_formula(self):
+        """5M + 4S + 1 small-constant mul per bit (paper Section II-B)."""
+        from repro.curves.params import make_montgomery
+
+        suite = make_montgomery()
+        bits = 160
+        montgomery_ladder_x(suite.curve, (1 << 159) + 5, suite.base,
+                            bits=bits)
+        c = suite.field.counter
+        assert abs(c.mul / bits - 5.0) < 0.1
+        assert abs(c.sqr / bits - 4.0) < 0.1
+        assert c.mul_small == bits
+
+
+class TestCozLadders:
+    @staticmethod
+    def _full_order_base(curve, rng, order_hint):
+        """A base point whose order exceeds the tested scalar range.
+
+        The co-Z ladder's precondition is k < order(base); on the toy curve
+        we pick a point of near-maximal order.
+        """
+        from repro.curves.enumerate import (
+            enumerate_weierstrass,
+            point_order,
+        )
+
+        points = enumerate_weierstrass(curve)
+        group_order = len(points)
+        best, best_order = None, 0
+        for _ in range(60):
+            candidate = curve.random_point(rng)
+            o = point_order(curve, candidate, group_order)
+            if o > best_order:
+                best, best_order = candidate, o
+        return best, best_order
+
+    @pytest.mark.parametrize("ladder", [coz_ladder, coz_ladder_xy])
+    def test_matches_reference(self, ladder, toy_weierstrass, rng):
+        base, order = self._full_order_base(toy_weierstrass, rng, None)
+        ks = list(range(2, 20)) + [rng.randrange(2, order)
+                                   for _ in range(80)]
+        for k in ks:
+            if k >= order:
+                continue
+            ref = toy_weierstrass.affine_scalar_mult(k, base)
+            assert ladder(toy_weierstrass, k, base) == ref, k
+
+    @pytest.mark.parametrize("ladder", [coz_ladder, coz_ladder_xy])
+    def test_edge_scalars(self, ladder, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        assert ladder(toy_weierstrass, 0, base) is None
+        assert ladder(toy_weierstrass, 1, base) == base
+        with pytest.raises(ValueError):
+            ladder(toy_weierstrass, -1, base)
+
+    @pytest.mark.parametrize("ladder", [coz_ladder, coz_ladder_xy])
+    def test_a0_curve(self, ladder, toy_weierstrass_j0, rng):
+        base, order = self._full_order_base(toy_weierstrass_j0, rng, None)
+        for _ in range(50):
+            k = rng.randrange(2, order)
+            ref = toy_weierstrass_j0.affine_scalar_mult(k, base)
+            assert ladder(toy_weierstrass_j0, k, base) == ref, k
+
+    def test_xy_variant_is_cheaper(self):
+        """9M + 5S per bit vs 11M + 5S with explicit Z."""
+        from repro.curves.params import make_weierstrass
+
+        k = (1 << 159) + 0x1234
+        with_z = make_weierstrass()
+        coz_ladder(with_z.curve, k, with_z.base)
+        xy = make_weierstrass()
+        coz_ladder_xy(xy.curve, k, xy.base)
+        assert xy.field.counter.mul < with_z.field.counter.mul
+        bits = 159
+        assert abs(xy.field.counter.mul / bits - 9.0) < 0.2
+        assert abs(xy.field.counter.sqr / bits - 5.0) < 0.2
+
+    def test_regular_profile(self):
+        """co-Z ladder: identical op counts for same-length scalars."""
+        from repro.curves.params import make_weierstrass
+
+        counts = set()
+        for k in (0x8001, 0xFFFF, 0xA5A5, 0xC3C3):
+            suite = make_weierstrass()
+            coz_ladder_xy(suite.curve, k | 0x8000, suite.base)
+            counts.add(tuple(sorted(suite.field.counter.snapshot().items())))
+        assert len(counts) == 1
+
+
+class TestLadderAgainstEnumeration:
+    def test_exhaustive_small_orders(self, toy_montgomery):
+        points = enumerate_montgomery(toy_montgomery)
+        base = next(p for p in points[1:] if not p.y.is_zero())
+        for k in range(1, 60):
+            ref = toy_montgomery.affine_scalar_mult(k, base)
+            out = montgomery_ladder_full(toy_montgomery, k, base)
+            assert out == ref

@@ -1,0 +1,144 @@
+"""Scalar recodings: NAF, width-w NAF, JSF — value and density properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scalarmult import (
+    binary_digits,
+    hamming_weight,
+    jsf_digits,
+    joint_weight,
+    naf_digits,
+    naf_value,
+    width_w_naf_digits,
+)
+
+scalars = st.integers(min_value=0, max_value=(1 << 192) - 1)
+
+
+class TestBinary:
+    @given(scalars)
+    def test_value(self, k):
+        assert naf_value(binary_digits(k)) == k
+
+    def test_zero(self):
+        assert binary_digits(0) == [0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            binary_digits(-1)
+
+
+class TestNaf:
+    @given(scalars)
+    def test_value_preserved(self, k):
+        assert naf_value(naf_digits(k)) == k
+
+    @given(scalars)
+    def test_digits_in_range(self, k):
+        assert set(naf_digits(k)) <= {-1, 0, 1}
+
+    @given(scalars)
+    def test_non_adjacency(self, k):
+        digits = naf_digits(k)
+        for i in range(len(digits) - 1):
+            assert not (digits[i] != 0 and digits[i + 1] != 0)
+
+    @given(st.integers(min_value=1, max_value=(1 << 160) - 1))
+    def test_length_bound(self, k):
+        assert len(naf_digits(k)) <= k.bit_length() + 1
+
+    def test_average_density_one_third(self):
+        import random
+
+        rng = random.Random(42)
+        total = weight = 0
+        for _ in range(200):
+            k = rng.getrandbits(160)
+            digits = naf_digits(k)
+            weight += hamming_weight(digits)
+            total += len(digits)
+        density = weight / total
+        assert 0.30 <= density <= 0.37  # expectation 1/3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            naf_digits(-5)
+
+    def test_known_example(self):
+        # 7 = 8 - 1 -> digits (-1, 0, 0, 1)
+        assert naf_digits(7) == [-1, 0, 0, 1]
+
+
+class TestWidthWNaf:
+    @given(scalars, st.integers(min_value=2, max_value=6))
+    @settings(max_examples=200)
+    def test_value_preserved(self, k, w):
+        assert naf_value(width_w_naf_digits(k, w)) == k
+
+    @given(scalars, st.integers(min_value=2, max_value=6))
+    @settings(max_examples=200)
+    def test_digit_bounds(self, k, w):
+        for d in width_w_naf_digits(k, w):
+            assert d == 0 or (d % 2 == 1 and abs(d) < (1 << (w - 1)))
+
+    def test_width2_equals_naf(self):
+        for k in range(500):
+            assert width_w_naf_digits(k, 2) == naf_digits(k)
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            width_w_naf_digits(5, 1)
+
+
+class TestJsf:
+    @given(st.integers(min_value=0, max_value=(1 << 96) - 1),
+           st.integers(min_value=0, max_value=(1 << 96) - 1))
+    @settings(max_examples=300)
+    def test_values_preserved(self, k0, k1):
+        digits = jsf_digits(k0, k1)
+        assert sum(d0 << i for i, (d0, _) in enumerate(digits)) == k0
+        assert sum(d1 << i for i, (_, d1) in enumerate(digits)) == k1
+
+    @given(st.integers(min_value=0, max_value=(1 << 96) - 1),
+           st.integers(min_value=0, max_value=(1 << 96) - 1))
+    @settings(max_examples=300)
+    def test_digits_in_range(self, k0, k1):
+        for (d0, d1) in jsf_digits(k0, k1):
+            assert d0 in (-1, 0, 1) and d1 in (-1, 0, 1)
+
+    def test_joint_density_half(self):
+        """The JSF's defining property: joint weight ≈ len/2 on average."""
+        import random
+
+        rng = random.Random(7)
+        total = weight = 0
+        for _ in range(200):
+            k0, k1 = rng.getrandbits(80), rng.getrandbits(80)
+            digits = jsf_digits(k0, k1)
+            weight += joint_weight(digits)
+            total += len(digits)
+        assert 0.47 <= weight / total <= 0.54
+
+    def test_jsf_beats_independent_naf(self):
+        """Joint weight below the two NAFs' combined column weight."""
+        import random
+
+        rng = random.Random(9)
+        jsf_total = naf_total = 0
+        for _ in range(100):
+            k0, k1 = rng.getrandbits(80), rng.getrandbits(80)
+            jsf_total += joint_weight(jsf_digits(k0, k1))
+            d0, d1 = naf_digits(k0), naf_digits(k1)
+            length = max(len(d0), len(d1))
+            d0 += [0] * (length - len(d0))
+            d1 += [0] * (length - len(d1))
+            naf_total += sum(1 for a, b in zip(d0, d1) if a or b)
+        assert jsf_total < naf_total
+
+    def test_zero_pair(self):
+        assert jsf_digits(0, 0) == [(0, 0)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jsf_digits(-1, 0)

@@ -1,0 +1,111 @@
+"""Width-w NAF window method and Montgomery batch inversion."""
+
+import pytest
+
+from repro.field import GenericPrimeField
+from repro.scalarmult.window import (
+    batch_invert,
+    precompute_odd_multiples,
+    scalar_mult_wnaf,
+    wnaf_table_ram_bytes,
+)
+
+
+class TestBatchInvert:
+    def test_matches_individual_inversions(self, toy_field, rng):
+        elements = [toy_field.from_int(rng.randrange(1, 1009))
+                    for _ in range(10)]
+        inverses = batch_invert(elements)
+        for e, inv in zip(elements, inverses):
+            assert (e * inv).is_one()
+
+    def test_single_element(self, toy_field):
+        e = toy_field.from_int(7)
+        assert (batch_invert([e])[0] * e).is_one()
+
+    def test_empty(self):
+        assert batch_invert([]) == []
+
+    def test_zero_rejected(self, toy_field):
+        with pytest.raises(ZeroDivisionError):
+            batch_invert([toy_field.from_int(0), toy_field.from_int(3)])
+
+    def test_uses_single_field_inversion(self):
+        from repro.curves.params import make_weierstrass
+
+        suite = make_weierstrass()
+        elements = [suite.field.from_int(v) for v in range(2, 12)]
+        suite.field.counter.reset()
+        batch_invert(elements)
+        assert suite.field.counter.inv == 1
+        assert suite.field.counter.mul == 3 * (len(elements) - 1)
+
+
+class TestPrecompute:
+    def test_table_contents(self, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        for width in (2, 3, 4):
+            table = precompute_odd_multiples(toy_weierstrass, base, width)
+            assert len(table) == 1 << (width - 2)
+            for i, point in enumerate(table):
+                expected = toy_weierstrass.affine_scalar_mult(2 * i + 1, base)
+                assert point == expected
+
+    def test_width_validation(self, toy_weierstrass, rng):
+        with pytest.raises(ValueError):
+            precompute_odd_multiples(
+                toy_weierstrass, toy_weierstrass.random_point(rng), 1
+            )
+
+
+class TestWnafMult:
+    def test_matches_reference(self, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        for width in (2, 3, 4, 5):
+            for k in list(range(25)) + [rng.randrange(1, 6000)
+                                        for _ in range(30)]:
+                ref = toy_weierstrass.affine_scalar_mult(k, base)
+                assert scalar_mult_wnaf(toy_weierstrass, k, base,
+                                        width) == ref, (width, k)
+
+    def test_zero_and_negative(self, toy_weierstrass, rng):
+        base = toy_weierstrass.random_point(rng)
+        assert scalar_mult_wnaf(toy_weierstrass, 0, base) is None
+        with pytest.raises(ValueError):
+            scalar_mult_wnaf(toy_weierstrass, -1, base)
+
+    def test_160_bit(self):
+        from repro.curves.params import make_weierstrass
+
+        k = 0x5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A
+        suite = make_weierstrass()
+        got = scalar_mult_wnaf(suite.curve, k, suite.base, 4)
+        ref_suite = make_weierstrass(functional=True)
+        expect = ref_suite.curve.affine_scalar_mult(k, ref_suite.base)
+        assert got.x.to_int() == expect.x.to_int()
+
+
+class TestMemorySpeedTradeoff:
+    def test_ram_doubles_per_width_bit(self):
+        assert wnaf_table_ram_bytes(3) == 2 * wnaf_table_ram_bytes(2)
+        assert wnaf_table_ram_bytes(6) == 16 * wnaf_table_ram_bytes(2)
+        with pytest.raises(ValueError):
+            wnaf_table_ram_bytes(1)
+
+    def test_wider_windows_fewer_additions(self):
+        """For random (dense) scalars, additions drop with window width."""
+        import random
+
+        from repro.curves.params import make_weierstrass
+
+        rng = random.Random(6)
+        k = rng.getrandbits(160) | (1 << 159)
+        adds = {}
+        for width in (2, 4, 6):
+            suite = make_weierstrass()
+            scalar_mult_wnaf(suite.curve, k, suite.base, width)
+            # Additions are the mixed adds: count via mul after removing
+            # the doubling share is noisy; compare total muls instead,
+            # which fall once the table amortises (w=4 vs w=2).
+            adds[width] = suite.field.counter.mul
+        assert adds[4] < adds[2]
