@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-bench bench bench-smoke tables
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-bench:
+	$(PYTHON) -m pytest -q --run-bench tests/test_analysis_bench.py
+
+bench:
+	$(PYTHON) -m repro bench
+
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke
+
+tables:
+	$(PYTHON) -m repro all

@@ -5,6 +5,8 @@
     python -m repro all               # everything
     python -m repro leakage           # the timing-leakage extension report
     python -m repro table2 --source measured   # price with our kernels
+    python -m repro bench             # ISS throughput (fast vs reference)
+    python -m repro bench --smoke     # ~30 s benchmark subset
 """
 
 from __future__ import annotations
@@ -45,6 +47,12 @@ def _render_leakage() -> str:
 
 
 def main(argv: List[str] = None) -> int:
+    args_in = sys.argv[1:] if argv is None else argv
+    if args_in and args_in[0] == "bench":
+        # The bench harness has its own flag set (--smoke/--jobs/...),
+        # incompatible with the table parser's nargs="+" choices.
+        from .analysis import bench
+        return bench.main(args_in[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables (paper vs measured).",

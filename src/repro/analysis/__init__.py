@@ -1,5 +1,14 @@
 """Table regeneration (paper-vs-measured) shared by benches and examples."""
 
+from .bench import (
+    ENGINE_MIN_SPEEDUP,
+    append_record,
+    compute_speedups,
+    measure_speedup,
+    run_bench,
+    validate_entry,
+    validate_run_record,
+)
 from .leakage import (
     TraceSample,
     collect_traces,
@@ -22,6 +31,13 @@ from .tables import (
 )
 
 __all__ = [
+    "ENGINE_MIN_SPEEDUP",
+    "append_record",
+    "compute_speedups",
+    "measure_speedup",
+    "run_bench",
+    "validate_entry",
+    "validate_run_record",
     "TraceSample",
     "collect_traces",
     "fixed_vs_random_t",

@@ -6,12 +6,15 @@
   assembler and disassembler over the shared encoding table.
 * :class:`~repro.avr.mac.MacUnit` — the paper's (32 x 4)-bit MAC extension
   with both trigger mechanisms (SWAP re-interpretation and R24 loads).
+* :class:`~repro.avr.engine.FastEngine` — the block-compiling fast engine
+  behind ``AvrCore.run()`` (the ``step()`` interpreter stays the reference).
 * :class:`~repro.avr.profiler.Profiler` — instruction-mix reporting.
 """
 
 from .assembler import Assembler, AssemblyError, Program, assemble
 from .core import AvrCore, ExecutionError
 from .disasm import disassemble, disassemble_one
+from .engine import FastEngine
 from .mac import (
     MACCR_IO_ADDR,
     MACCR_LOAD_ENABLE,
@@ -31,6 +34,7 @@ __all__ = [
     "AvrCore",
     "DataSpace",
     "ExecutionError",
+    "FastEngine",
     "MACCR_IO_ADDR",
     "MACCR_LOAD_ENABLE",
     "MACCR_RESET_COUNTER",

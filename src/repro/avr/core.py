@@ -6,13 +6,30 @@ modes (:class:`~repro.avr.timing.Mode`): CA (ATmega128 cycle timing), FAST
 unit of :mod:`repro.avr.mac`).
 
 Decoded instructions are cached per flash address, so repeated kernel
-executions pay the Python decode cost only once.  A program halts by
-executing ``BREAK`` (the convention all kernels in :mod:`repro.kernels`
-follow) or when :meth:`run` hits its step budget (an error).
+executions pay the Python decode cost only once; the cache is keyed to
+:attr:`ProgramMemory.version` and is dropped whenever the flash image
+changes.  A program halts by executing ``BREAK`` (the convention all kernels
+in :mod:`repro.kernels` follow) or when :meth:`run` hits its step budget (an
+error).
+
+Two execution engines share this architectural state:
+
+* :meth:`step` — the reference interpreter: one fetch/decode/execute per
+  call, the simplest possible statement of the semantics.
+* :mod:`repro.avr.engine` — the block-compiling fast engine used by
+  :meth:`run` by default: flash is predecoded into basic blocks and each
+  block is compiled to a specialised Python closure with identical
+  observable behaviour (registers, SRAM, SREG, PC, cycle count).
+
+``AvrCore(engine="reference")`` or the environment variable
+``REPRO_AVR_ENGINE=reference`` forces the interpreter (e.g. for debugging a
+suspected engine bug); attaching a profiler also falls back to it, because
+only the interpreter reports per-instruction events.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Tuple
 
 from .instructions import EXECUTORS
@@ -37,9 +54,13 @@ class AvrCore:
 
     def __init__(self, program: Optional[ProgramMemory] = None,
                  mode: Mode = Mode.CA, sram_size: int = 4096,
-                 hazard_policy: str = "error"):
+                 hazard_policy: str = "error", engine: Optional[str] = None):
         if hazard_policy not in ("error", "stall", "ignore"):
             raise ValueError(f"unknown hazard policy {hazard_policy!r}")
+        if engine is None:
+            engine = os.environ.get("REPRO_AVR_ENGINE", "fast")
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown execution engine {engine!r}")
         self.program = program or ProgramMemory()
         self.mode = mode
         self.hazard_policy = hazard_policy
@@ -61,8 +82,14 @@ class AvrCore:
             self.data.io_write_hooks[MACCR_IO_ADDR] = self.mac.control_write
         # Stack pointer: top of SRAM.
         self.data.sp = self.data.size - 1
-        # Decode cache: word address -> (spec, ops, words).
+        # Decode cache: word address -> (spec, ops, words); valid only for
+        # the flash image identified by ``_decode_version``.
         self._decode_cache: Dict[int, Tuple[InstructionSpec, dict, int]] = {}
+        self._decode_version = self.program.version
+        #: Which engine :meth:`run` uses: "fast" (block compiler) or
+        #: "reference" (the :meth:`step` interpreter).
+        self.engine = engine
+        self._fast_engine = None  # lazily constructed repro.avr.engine
         #: Optional profiler (attach with :meth:`attach_profiler`).
         self.profiler = None
 
@@ -75,7 +102,12 @@ class AvrCore:
         self.profiler = profiler
 
     def reset(self, pc: int = 0) -> None:
-        """Reset PC, cycle counter and MAC state (data space is preserved)."""
+        """Reset PC, cycle counter, MAC state and the stack pointer.
+
+        The stack pointer is restored to top-of-SRAM, exactly as after
+        construction; the rest of the data space is preserved so operands
+        staged for a kernel survive the reset.
+        """
         self.pc = pc
         self.cycles = 0
         self.instructions_retired = 0
@@ -83,6 +115,7 @@ class AvrCore:
         self.mac.counter = 0
         self.mac.pending.clear()
         self.mac.mac_ops = 0
+        self.data.sp = self.data.size - 1
 
     # -- MAC notifications (called from instruction semantics) -------------------
 
@@ -97,6 +130,9 @@ class AvrCore:
     # -- execution --------------------------------------------------------------
 
     def decode_at(self, word_address: int) -> Tuple[InstructionSpec, dict, int]:
+        if self._decode_version != self.program.version:
+            self._decode_cache.clear()
+            self._decode_version = self.program.version
         cached = self._decode_cache.get(word_address)
         if cached is not None:
             return cached
@@ -169,7 +205,22 @@ class AvrCore:
         return cycles
 
     def run(self, max_steps: int = 50_000_000) -> int:
-        """Run until ``BREAK``; returns total cycles since the last reset."""
+        """Run until ``BREAK``; returns total cycles since the last reset.
+
+        Dispatches to the block-compiling fast engine unless the core was
+        built with ``engine="reference"`` or a profiler is attached (the
+        per-instruction profiler hooks only exist in :meth:`step`).
+        """
+        if self.engine == "fast" and self.profiler is None:
+            from .engine import FastEngine
+
+            if self._fast_engine is None:
+                self._fast_engine = FastEngine(self)
+            return self._fast_engine.run(max_steps)
+        return self.run_reference(max_steps)
+
+    def run_reference(self, max_steps: int = 50_000_000) -> int:
+        """Run on the reference :meth:`step` interpreter until ``BREAK``."""
         steps = 0
         while not self.halted:
             self.step()

@@ -133,12 +133,21 @@ class DataSpace:
 
 
 class ProgramMemory:
-    """Flash: an array of 16-bit instruction words."""
+    """Flash: an array of 16-bit instruction words.
+
+    Every mutation (a bulk :meth:`load` or a single-word :meth:`write_word`)
+    bumps :attr:`version`.  Consumers that cache decoded or compiled views of
+    the flash image — the core's decode cache, the block-compiling fast
+    engine — compare against this counter and invalidate when it moves, so a
+    reloaded or self-modified program never executes stale decodes.
+    """
 
     def __init__(self, num_words: int = 65536):
         self.num_words = num_words
         self.words: List[int] = [0] * num_words
         self.used_words = 0
+        #: Monotonic modification counter (decode/compile cache invalidation).
+        self.version = 0
 
     def load(self, words: Sequence[int], origin: int = 0) -> None:
         if origin < 0 or origin + len(words) > self.num_words:
@@ -148,6 +157,19 @@ class ProgramMemory:
                 raise ValueError(f"flash word {i} out of range: {w:#x}")
             self.words[origin + i] = w
         self.used_words = max(self.used_words, origin + len(words))
+        self.version += 1
+
+    def write_word(self, word_address: int, value: int) -> None:
+        """Write a single flash word (the SELF_MODIFY/reload hook)."""
+        if not 0 <= word_address < self.num_words:
+            raise IndexError(
+                f"flash write out of range: {word_address:#06x}"
+            )
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"flash word out of range: {value:#x}")
+        self.words[word_address] = value
+        self.used_words = max(self.used_words, word_address + 1)
+        self.version += 1
 
     def fetch(self, word_address: int) -> int:
         if not 0 <= word_address < self.num_words:

@@ -139,7 +139,7 @@ class CozLadderKernel:
     """Run the in-assembly co-Z ladder over the OPF Weierstraß curve."""
 
     def __init__(self, constants: OpfConstants, mode: Mode, curve_a: int,
-                 scalar_bytes: int = 20):
+                 scalar_bytes: int = 20, engine: Optional[str] = None):
         self.constants = constants
         self.mode = mode
         self.curve_a = curve_a % constants.p
@@ -148,7 +148,7 @@ class CozLadderKernel:
             generate_coz_ladder_program(constants, mode, scalar_bytes)
         )
         self.core = AvrCore(ProgramMemory(num_words=65536), mode=mode,
-                            sram_size=4096)
+                            sram_size=4096, engine=engine)
         self.program.load_into(self.core.program)
 
     @property
@@ -189,8 +189,7 @@ class CozLadderKernel:
                             (value * r % p).to_bytes(20, "little"))
         data.load_bytes(COZ_ADDR_SCALAR,
                         k.to_bytes(self.scalar_bytes, "little"))
-        self.core.reset(pc=0)
-        data.sp = data.size - 1
+        self.core.reset(pc=0)  # also restores SP to top-of-SRAM
         cycles = self.core.run(max_steps=max_steps)
         r_inv = pow(r, -1, p)
         state = tuple(

@@ -239,7 +239,7 @@ class LadderKernel:
     """Assemble once, run full scalar multiplications on the simulator."""
 
     def __init__(self, constants: OpfConstants, mode: Mode,
-                 scalar_bytes: int = 20):
+                 scalar_bytes: int = 20, engine: Optional[str] = None):
         self.constants = constants
         self.mode = mode
         self.scalar_bytes = scalar_bytes
@@ -247,7 +247,7 @@ class LadderKernel:
             generate_ladder_program(constants, mode, scalar_bytes)
         )
         self.core = AvrCore(ProgramMemory(num_words=65536), mode=mode,
-                            sram_size=4096)
+                            sram_size=4096, engine=engine)
         self.program.load_into(self.core.program)
 
     @property
@@ -278,8 +278,7 @@ class LadderKernel:
         data.load_bytes(SLOTS["BASEX"], base_m.to_bytes(20, "little"))
         data.load_bytes(ADDR_SCALAR,
                         k.to_bytes(self.scalar_bytes, "little"))
-        self.core.reset(pc=0)
-        data.sp = data.size - 1
+        self.core.reset(pc=0)  # also restores SP to top-of-SRAM
         cycles = self.core.run(max_steps=max_steps)
         x_out = int.from_bytes(data.dump_bytes(SLOTS["X1"], 20), "little")
         z_out = int.from_bytes(data.dump_bytes(SLOTS["Z1"], 20), "little")

@@ -23,13 +23,14 @@ class KernelRunner:
     """Assemble once, run many times with fresh operands."""
 
     def __init__(self, source: str, mode: Mode = Mode.CA,
-                 hazard_policy: str = "error", sram_size: int = 8192):
+                 hazard_policy: str = "error", sram_size: int = 8192,
+                 engine: Optional[str] = None):
         self.source = source
         self.mode = mode
         self.program = assemble(source)
         self.core = AvrCore(ProgramMemory(), mode=mode,
                             hazard_policy=hazard_policy,
-                            sram_size=sram_size)
+                            sram_size=sram_size, engine=engine)
         self.program.load_into(self.core.program)
         self.profiler: Optional[Profiler] = None
 
@@ -56,8 +57,7 @@ class KernelRunner:
             core.data.load_bytes(ADDR_B, b.to_bytes(operand_bytes, "little"))
         if self.profiler is not None:
             self.profiler.reset()
-        core.reset(pc=0)
-        core.data.sp = core.data.size - 1
+        core.reset(pc=0)  # also restores SP to top-of-SRAM
         cycles = core.run()
         result = int.from_bytes(
             core.data.dump_bytes(ADDR_R, operand_bytes), "little"

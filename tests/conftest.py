@@ -17,6 +17,22 @@ from repro.field import GenericPrimeField, OptimalPrimeField
 TOY_P = 1009  # prime, ≡ 1 mod 3, ≡ 1 mod 4
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-bench", action="store_true", default=False,
+        help="run the opt-in ISS throughput benchmarks (~30 s)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-bench"):
+        return
+    skip_bench = pytest.mark.skip(reason="needs --run-bench")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip_bench)
+
+
 @pytest.fixture
 def rng():
     return random.Random(0xDEADBEEF)

@@ -1,0 +1,179 @@
+"""The parallel benchmark harness: schema, wiring and the speedup floor."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.bench import (
+    DEFAULT_OUTPUT,
+    ENGINE_MIN_SPEEDUP,
+    append_record,
+    bench_worker,
+    compute_speedups,
+    measure_speedup,
+    render,
+    run_bench,
+    validate_entry,
+    validate_run_record,
+)
+from repro.avr.timing import Mode
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _entry(**overrides):
+    entry = {
+        "name": "opf_mul_mac/ISE/fast", "family": "field",
+        "kernel": "opf_mul_mac", "mode": "ISE", "engine": "fast",
+        "reps": 10, "instructions": 619, "cycles_per_run": 620,
+        "wall_s": 0.01, "ips": 619000.0,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _record(**overrides):
+    record = {
+        "schema": 1, "timestamp": "2026-08-05T00:00:00+00:00",
+        "label": "test", "python": "3.11.0", "platform": "test",
+        "jobs": 1, "entries": [_entry()], "speedups": {},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSchema:
+    def test_valid_entry_and_record_pass(self):
+        validate_entry(_entry())
+        validate_run_record(_record())
+
+    @pytest.mark.parametrize("breakage", [
+        {"engine": "turbo"},
+        {"mode": "WARP"},
+        {"reps": 0},
+        {"instructions": 0},
+        {"ips": -1.0},
+        {"name": "mismatched/name/fast"},
+        {"wall_s": "fast"},
+        {"reps": True},
+    ])
+    def test_broken_entries_rejected(self, breakage):
+        with pytest.raises(ValueError):
+            validate_entry(_entry(**breakage))
+
+    def test_missing_entry_field_rejected(self):
+        entry = _entry()
+        del entry["ips"]
+        with pytest.raises(ValueError):
+            validate_entry(entry)
+
+    @pytest.mark.parametrize("breakage", [
+        {"schema": 2},
+        {"jobs": 0},
+        {"entries": []},
+        {"timestamp": 12345},
+        {"speedups": [1.0]},
+    ])
+    def test_broken_records_rejected(self, breakage):
+        with pytest.raises(ValueError):
+            validate_run_record(_record(**breakage))
+
+    def test_speedups_from_engine_pairs(self):
+        entries = [
+            _entry(ips=1000.0),
+            _entry(name="opf_mul_mac/ISE/reference", engine="reference",
+                   ips=100.0),
+        ]
+        assert compute_speedups(entries) == {"opf_mul_mac/ISE": 10.0}
+
+    def test_measure_speedup_missing_key(self):
+        with pytest.raises(ValueError):
+            measure_speedup(_record(), "no/such")
+
+
+class TestAppendRecord:
+    def test_round_trip_and_append(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        append_record(_record(label="one"), path)
+        append_record(_record(label="two"), path)
+        with open(path) as fh:
+            records = json.load(fh)
+        assert [r["label"] for r in records] == ["one", "two"]
+        for record in records:
+            validate_run_record(record)
+
+    def test_invalid_record_never_written(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        with pytest.raises(ValueError):
+            append_record(_record(entries=[]), path)
+        assert not os.path.exists(path)
+
+
+class TestCommittedRunRecord:
+    """BENCH_iss.json at the repo root is a real, schema-valid run with the
+    documented >= 10x speedup on the ISE multiplication kernel."""
+
+    @pytest.fixture
+    def committed(self):
+        path = os.path.join(REPO_ROOT, DEFAULT_OUTPUT)
+        if not os.path.exists(path):
+            pytest.skip(f"{DEFAULT_OUTPUT} not present")
+        with open(path) as fh:
+            return json.load(fh)
+
+    def test_committed_records_validate(self, committed):
+        assert isinstance(committed, list) and committed
+        for record in committed:
+            validate_run_record(record)
+
+    def test_committed_speedup_meets_documented_target(self, committed):
+        best = max(measure_speedup(r) for r in committed
+                   if "opf_mul_mac/ISE" in r["speedups"])
+        assert best >= 10.0
+
+
+class TestLiveThroughput:
+    def test_fast_engine_beats_reference_by_documented_floor(self):
+        """The headline acceptance check, run live on the ISE mul kernel.
+
+        The documented floor (ENGINE_MIN_SPEEDUP) sits far below the ~10x
+        measured on idle hardware so CI timing noise cannot produce a
+        false failure; best-of-3 absorbs scheduler hiccups.
+        """
+        spec = {"family": "field", "kernel": "opf_mul_mac",
+                "mode": Mode.ISE.value}
+        best = 0.0
+        for _ in range(3):
+            fast = bench_worker({**spec, "engine": "fast", "reps": 60})
+            ref = bench_worker({**spec, "engine": "reference", "reps": 6})
+            validate_entry(fast)
+            validate_entry(ref)
+            # Cross-engine determinism: identical per-run work.
+            assert (fast["instructions"], fast["cycles_per_run"]) \
+                == (ref["instructions"], ref["cycles_per_run"])
+            best = max(best, fast["ips"] / ref["ips"])
+        assert best >= ENGINE_MIN_SPEEDUP, (
+            f"fast engine only {best:.1f}x over the reference "
+            f"(floor {ENGINE_MIN_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.bench
+class TestBenchSmoke:
+    """Opt-in (--run-bench): the real harness end to end, ~30 s."""
+
+    def test_smoke_run_produces_valid_record(self, tmp_path):
+        record = run_bench(smoke=True, jobs=1)
+        validate_run_record(record)
+        assert record["label"] == "smoke"
+        assert "opf_mul_mac/ISE" in record["speedups"]
+        assert record["speedups"]["opf_mul_mac/ISE"] >= ENGINE_MIN_SPEEDUP
+        path = str(tmp_path / "smoke.json")
+        append_record(record, path)
+        assert "fast-engine speedup" in render(record)
+
+    def test_parallel_jobs_path(self):
+        record = run_bench(smoke=True, jobs=2)
+        validate_run_record(record)
+        assert record["jobs"] == 2
