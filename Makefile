@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-bench bench bench-smoke tables
+.PHONY: test test-bench bench bench-smoke bench-check profile-smoke tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,18 @@ bench:
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke
+
+# Fresh smoke run vs the last committed BENCH_iss.json record; exits
+# non-zero on a >30% throughput regression (writes nothing).
+bench-check:
+	$(PYTHON) -m repro bench --check
+
+# Fast profiling sanity pass: ISS group/hotspot/routine attribution plus
+# the traced Python mirror op, on small inputs.
+profile-smoke:
+	$(PYTHON) -m repro profile --smoke
+	$(PYTHON) -m repro profile ladder --smoke --format chrome --out /dev/null
+	$(PYTHON) -m repro profile scalarmult --smoke --format jsonl > /dev/null
 
 tables:
 	$(PYTHON) -m repro all

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any of the paper's tables.
+"""Command-line interface: tables, benchmarks and profiles.
 
     python -m repro table1            # field-operation runtimes
     python -m repro table2 table3     # several at once
@@ -7,6 +7,17 @@
     python -m repro table2 --source measured   # price with our kernels
     python -m repro bench             # ISS throughput (fast vs reference)
     python -m repro bench --smoke     # ~30 s benchmark subset
+    python -m repro bench --check     # compare a fresh smoke run against
+                                      # the last committed record; exits
+                                      # non-zero on a >30% regression
+    python -m repro profile mul --mode ise     # Fig.-1-style breakdown
+    python -m repro profile ladder --format chrome --out trace.json
+    python -m repro profile scalarmult --format jsonl
+    python -m repro profile --smoke   # fast default (mul, small inputs)
+
+``bench`` and ``profile`` own their flag sets; run them with ``--help``
+for the full list (``bench``: --smoke/--check/--jobs/--output/--label;
+``profile``: target, --mode/--format/--reps/--out/--smoke).
 """
 
 from __future__ import annotations
@@ -49,13 +60,19 @@ def _render_leakage() -> str:
 def main(argv: List[str] = None) -> int:
     args_in = sys.argv[1:] if argv is None else argv
     if args_in and args_in[0] == "bench":
-        # The bench harness has its own flag set (--smoke/--jobs/...),
+        # The bench harness has its own flag set (--smoke/--check/...),
         # incompatible with the table parser's nargs="+" choices.
         from .analysis import bench
         return bench.main(args_in[1:])
+    if args_in and args_in[0] == "profile":
+        from .analysis import profile
+        return profile.main(args_in[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables (paper vs measured).",
+        epilog="subcommands: table1 table2 table3 table4 table5 all "
+               "leakage | bench (ISS throughput; --smoke/--check) | "
+               "profile (ISS + span profiling; see 'profile --help')",
     )
     parser.add_argument(
         "targets", nargs="+",

@@ -319,6 +319,81 @@ def render(record: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+#: Throughput-regression tolerance for ``--check``: a fresh smoke entry
+#: may fall this far below the last committed record before the check
+#: fails.  Generous on purpose — shared hosts jitter; a real engine
+#: regression (a de-optimised block compiler) loses far more than 30%.
+CHECK_THRESHOLD = 0.30
+
+
+def compare_records(fresh: Dict[str, Any], baseline: Dict[str, Any],
+                    threshold: float = CHECK_THRESHOLD
+                    ) -> List[Dict[str, Any]]:
+    """Per-entry throughput comparison of two run records.
+
+    Returns one row per benchmark name present in *both* records:
+    ``{"name", "baseline_ips", "fresh_ips", "ratio", "regressed"}``
+    where ``regressed`` marks a fresh throughput below
+    ``(1 - threshold) * baseline``.
+    """
+    base_ips = {e["name"]: e["ips"] for e in baseline["entries"]}
+    rows: List[Dict[str, Any]] = []
+    for entry in fresh["entries"]:
+        old = base_ips.get(entry["name"])
+        if not old:
+            continue
+        ratio = entry["ips"] / old
+        rows.append({
+            "name": entry["name"],
+            "baseline_ips": old,
+            "fresh_ips": entry["ips"],
+            "ratio": ratio,
+            "regressed": ratio < 1.0 - threshold,
+        })
+    return rows
+
+
+def check_against_baseline(path: str = DEFAULT_OUTPUT,
+                           jobs: Optional[int] = None,
+                           threshold: float = CHECK_THRESHOLD) -> int:
+    """Run a fresh smoke benchmark and compare it to the last record at
+    *path*; returns a shell exit code (1 on any >threshold regression).
+
+    Nothing is appended to the record file — the check is read-only.
+    """
+    if not os.path.exists(path):
+        print(f"bench --check: no baseline at {path}; nothing to compare")
+        return 1
+    with open(path, "r", encoding="utf-8") as fh:
+        records = json.load(fh)
+    if not isinstance(records, list) or not records:
+        print(f"bench --check: {path} holds no run records")
+        return 1
+    baseline = records[-1]
+    validate_run_record(baseline)
+    fresh = run_bench(smoke=True, jobs=jobs, label="check")
+    rows = compare_records(fresh, baseline, threshold)
+    if not rows:
+        print("bench --check: no overlapping benchmark names with the "
+              f"baseline ({baseline['label']} @ {baseline['timestamp']})")
+        return 1
+    print(f"bench --check vs {baseline['label']} run of "
+          f"{baseline['timestamp']} (tolerance -{threshold:.0%})\n")
+    print(f"{'benchmark':<34}{'baseline Mips':>14}{'fresh Mips':>12}"
+          f"{'ratio':>8}")
+    print("-" * 68)
+    failed = False
+    for row in rows:
+        flag = "  REGRESSED" if row["regressed"] else ""
+        failed = failed or row["regressed"]
+        print(f"{row['name']:<34}{row['baseline_ips'] / 1e6:>14.2f}"
+              f"{row['fresh_ips'] / 1e6:>12.2f}{row['ratio']:>8.2f}{flag}")
+    print()
+    print("FAIL: throughput regressed beyond tolerance" if failed
+          else "OK: throughput within tolerance of the last record")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -327,15 +402,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--smoke", action="store_true",
                         help="~30 s subset (2 kernels, reduced reps)")
+    parser.add_argument("--check", action="store_true",
+                        help="run a fresh smoke benchmark and compare it "
+                             "against the last committed record; exit "
+                             "non-zero on a >30%% throughput regression "
+                             "(appends nothing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: min(specs, cpus))")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"run-record JSON file (default {DEFAULT_OUTPUT};"
-                             " 'none' disables writing)")
+                             " 'none' disables writing; with --check this "
+                             "is the baseline to compare against)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored in the run record")
     args = parser.parse_args(argv)
 
+    if args.check:
+        path = DEFAULT_OUTPUT if args.output == "none" else args.output
+        return check_against_baseline(path, jobs=args.jobs)
     record = run_bench(smoke=args.smoke, jobs=args.jobs, label=args.label)
     print(render(record))
     if args.output != "none":

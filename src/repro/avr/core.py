@@ -23,8 +23,11 @@ Two execution engines share this architectural state:
 
 ``AvrCore(engine="reference")`` or the environment variable
 ``REPRO_AVR_ENGINE=reference`` forces the interpreter (e.g. for debugging a
-suspected engine bug); attaching a profiler also falls back to it, because
-only the interpreter reports per-instruction events.
+suspected engine bug).  Profiling works on both engines: the interpreter
+records every retired instruction directly, while the fast engine compiles
+per-block tally bookkeeping into its closures and folds the raw counts into
+the profiler when the run ends — the parity tests assert both producers
+yield identical tallies.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from .instructions import EXECUTORS
 from .isa import BY_NAME, InstructionSpec, decode_word
 from .mac import MACCR_IO_ADDR, MacHazardError, MacUnit, conflicts_with_mac
 from .memory import IO_SREG, DataSpace, ProgramMemory
+from .profiler import CALL_SEMS, RET_SEMS
 from .sreg import StatusRegister
 from .timing import Mode, dynamic_cycles
 
@@ -92,6 +96,9 @@ class AvrCore:
         self._fast_engine = None  # lazily constructed repro.avr.engine
         #: Optional profiler (attach with :meth:`attach_profiler`).
         self.profiler = None
+        #: Raw per-block tallies while the fast engine runs profiled
+        #: (:class:`repro.avr.profiler.EngineProfile`; lazily created).
+        self._engine_profile = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -99,6 +106,13 @@ class AvrCore:
         self.sreg.value = value & 0xFF
 
     def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.avr.profiler.Profiler`.
+
+        Works with both engines.  The fast engine keeps its speed: profiled
+        runs dispatch to a parallel cache of closures that carry the tally
+        bookkeeping inline (a couple of integer increments per *block*) and
+        fold into the profiler at run end.
+        """
         self.profiler = profiler
 
     def reset(self, pc: int = 0) -> None:
@@ -153,7 +167,8 @@ class AvrCore:
         """Execute one instruction; returns the cycles it consumed."""
         if self.halted:
             raise ExecutionError("core is halted")
-        spec, ops, words = self.decode_at(self.pc)
+        pc = self.pc
+        spec, ops, words = self.decode_at(pc)
 
         # MAC hazard handling: nibble MACs scheduled by a previous load are
         # still in flight during this instruction's cycles.
@@ -201,23 +216,33 @@ class AvrCore:
         self.cycles += cycles
         self.instructions_retired += 1
         if self.profiler is not None:
-            self.profiler.record(spec, cycles)
+            self.profiler.record(spec, cycles, pc)
+            sem = spec.semantics
+            if sem in CALL_SEMS:
+                self.profiler.on_call(self.pc, pc + words, self.cycles)
+            elif sem in RET_SEMS:
+                self.profiler.on_ret(self.cycles)
         return cycles
 
     def run(self, max_steps: int = 50_000_000) -> int:
         """Run until ``BREAK``; returns total cycles since the last reset.
 
         Dispatches to the block-compiling fast engine unless the core was
-        built with ``engine="reference"`` or a profiler is attached (the
-        per-instruction profiler hooks only exist in :meth:`step`).
+        built with ``engine="reference"``.  An attached profiler rides
+        along on either engine; frames still open when the program halts
+        are closed at the final cycle count.
         """
-        if self.engine == "fast" and self.profiler is None:
+        if self.engine == "fast":
             from .engine import FastEngine
 
             if self._fast_engine is None:
                 self._fast_engine = FastEngine(self)
-            return self._fast_engine.run(max_steps)
-        return self.run_reference(max_steps)
+            cycles = self._fast_engine.run(max_steps)
+        else:
+            cycles = self.run_reference(max_steps)
+        if self.profiler is not None and self.halted:
+            self.profiler.finish(self.cycles)
+        return cycles
 
     def run_reference(self, max_steps: int = 50_000_000) -> int:
         """Run on the reference :meth:`step` interpreter until ``BREAK``."""

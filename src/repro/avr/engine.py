@@ -52,12 +52,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import METRICS
 from .encoding import sign_extend
 from .isa import InstructionSpec, instruction_words
 from .mac import MacHazardError, conflicts_with_mac
+from .profiler import BlockStatic, EngineProfile, group_of
 from .timing import Mode, base_cycles
 
 __all__ = ["FastEngine", "compile_block", "MAX_BLOCK_INSTRUCTIONS"]
+
+_M_COMPILED = METRICS.counter(
+    "avr_blocks_compiled", "basic blocks compiled to closures")
+_M_CACHE_HITS = METRICS.counter(
+    "avr_block_cache_hits", "compiled blocks served from the global cache")
 
 #: Block-length cap: bounds single-closure size (and compile latency) while
 #: keeping the fully unrolled multiplication kernels to a handful of blocks.
@@ -151,11 +158,18 @@ _CACHE_MAX = 4096
 class _Gen:
     """Source accumulator with indentation tracking."""
 
-    def __init__(self, mode: Mode, policy: str, size: int):
+    def __init__(self, mode: Mode, policy: str, size: int,
+                 profiled: bool = False):
         self.mode = mode
         self.ise = mode is Mode.ISE
         self.policy = policy
         self.size = size
+        self.profiled = profiled
+        #: Dynamic-extra sites in emission order; each entry is the index
+        #: of the instruction the site's cycles belong to (see
+        #: :class:`repro.avr.profiler.BlockStatic`).
+        self.sites: List[int] = []
+        self.cur_ic = 0
         self.lines: List[str] = []
         self.ind = 2  # 4-space units; the body sits inside ``def`` + ``try``
         #: Whether the current instruction took the ``pp`` pending snapshot.
@@ -173,6 +187,20 @@ class _Gen:
 
     def mark(self, ic: int) -> None:
         self.marks.append((len(self.lines), ic))
+        self.cur_ic = ic
+
+    def extra(self, amount: str) -> None:
+        """Emit a dynamic-extra cycle update (``x += amount``).
+
+        In profiled blocks the same amount is also accumulated into this
+        site's slot of the block's tally list, so the profiler can later
+        attribute the extra cycles to the owning instruction's group/PC.
+        """
+        self.w(f"x += {amount}")
+        if self.profiled:
+            slot = len(self.sites) + 1  # slot 0 is the block hit counter
+            self.sites.append(self.cur_ic)
+            self.w(f"bp[{slot}] += {amount}")
 
     def ptr_use(self, base: int) -> str:
         var = f"p{base}"
@@ -692,7 +720,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
     stalled = g.hazards(pc, spec, ops)
     if stalled and sem in _CONDITIONAL:
         # Condition evaluation cannot raise, so the stall cycles are final.
-        g.w("x += sx")
+        g.extra("sx")
         stalled = False
     if g.ise and any(v <= 8 for v in _touched_regs(sem, ops)):
         # The instruction reads or writes accumulator registers directly:
@@ -805,7 +833,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
         cond = f"sreg >> {ops['s']} & 1"
         g.w(f"if {cond}:" if sem == "brbs" else f"if not ({cond}):")
         g.ind += 1
-        g.w("x += 1")
+        g.extra("1")
         g.w(f"npc = {target}")
         g.drains(2)
         g.ind -= 1
@@ -832,7 +860,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
             g.w(f"prog.fetch({pc + 1})")
             g.w("raise AssertionError('unreachable')")
         else:
-            g.w(f"x += {skip_lookahead}")
+            g.extra(str(skip_lookahead))
             g.w(f"npc = {pc + 1 + skip_lookahead}")
             g.drains(1 + skip_lookahead)
         g.ind -= 1
@@ -857,13 +885,21 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
             if 26 <= v <= 31:
                 g.ptrs[v & ~1] = False
     if stalled:
-        g.w("x += sx")
+        g.extra("sx")
     if sem not in _CONDITIONAL:
         g.drains(cyc)
 
 
-def compile_block(core, start_pc: int):
-    """Compile (or fetch from the global cache) the block at *start_pc*."""
+def compile_block(core, start_pc: int, profiled: bool = False):
+    """Compile (or fetch from the global cache) the block at *start_pc*.
+
+    With *profiled*, the closure additionally bumps its hit counter and
+    dynamic-extra site slots in ``core._engine_profile`` (one integer
+    increment per block plus one per taken branch/skip/stall), records
+    partial executions on exceptions, and stamps call/return events —
+    everything :meth:`repro.avr.profiler.EngineProfile.fold_into` needs to
+    reproduce the reference interpreter's tallies exactly.
+    """
     instrs, next_pc, illegal, key_words = _scan(core, start_pc)
     mode, policy, size = core.mode, core.hazard_policy, core.data.size
 
@@ -875,6 +911,7 @@ def compile_block(core, start_pc: int):
             raise AssertionError(  # pragma: no cover - decode_at must raise
                 f"stale illegal block at {start_pc:#06x}")
 
+        _illegal_block._prof_static = None
         return _illegal_block
 
     # Skip terminators need the skipped instruction's word count; at the
@@ -890,12 +927,13 @@ def compile_block(core, start_pc: int):
             skip_lookahead = instruction_words(word)
             key_words.append(word)
 
-    key = (start_pc, mode, policy, size, illegal, tuple(key_words))
+    key = (start_pc, mode, policy, size, illegal, profiled, tuple(key_words))
     fn = _CACHE.get(key)
     if fn is not None:
+        _M_CACHE_HITS.inc()
         return fn
 
-    g = _Gen(mode, policy, size)
+    g = _Gen(mode, policy, size, profiled)
     cycles = [base_cycles(spec, mode) for _, spec, _ in instrs]
     cyc_before = [0]
     for c in cycles:
@@ -904,7 +942,19 @@ def compile_block(core, start_pc: int):
 
     for i, (pc, spec, ops) in enumerate(instrs):
         _emit_instruction(g, i, pc, spec, ops, cycles[i], skip_lookahead)
-    if instrs[-1][1].semantics not in _ENDERS:
+    last_sem = instrs[-1][1].semantics
+    if profiled and last_sem in ("rcall", "call", "icall", "ret", "reti"):
+        # Call/return terminators stamp a frame event with the core's cycle
+        # count *after* this block retires — exactly the value the reference
+        # interpreter passes to on_call/on_ret (both paths stamp post-retire,
+        # so the attribution is cycle-identical).
+        stamp = f"core.cycles + {cyc_before[-1]} + x"
+        if last_sem in ("ret", "reti"):
+            g.w(f"ep.events.append((1, 0, 0, {stamp}))")
+        else:
+            ret_pc = last_pc + (2 if last_sem == "call" else 1)
+            g.w(f"ep.events.append((0, npc, {ret_pc}, {stamp}))")
+    if last_sem not in _ENDERS:
         # Length-capped block or an illegal decode just past it.
         g.w(f"npc = {next_pc}")
         if illegal:
@@ -941,6 +991,8 @@ def compile_block(core, start_pc: int):
            "    mops = 0\n"
            "    dirty = False\n"
            "    mok = False\n" if ise else "")
+        + ("    ep = core._engine_profile\n"
+           f"    bp = ep.counts[{start_pc}]\n" if profiled else "")
         + "    x = 0\n"
     )
     # Instruction bodies carry no index bookkeeping; the exception sync
@@ -960,12 +1012,15 @@ def compile_block(core, start_pc: int):
         "    except Exception as e:\n"
         f"        ic = _L2I[e.__traceback__.tb_lineno - {base_line}]\n"
         + (mac_sync if ise else "")
+        + ("        ep.partials.append((" f"{start_pc}" ", ic))\n"
+           if profiled else "")
         + "        sregobj.value = sreg\n"
         "        core.pc = _PCS[ic]\n"
         "        core.cycles += _CYC[ic] + x\n"
         "        core.instructions_retired += ic\n"
         "        raise\n"
         + (mac_sync.replace("        ", "    ") if ise else "")
+        + ("    bp[0] += 1\n" if profiled else "")
         + "    sregobj.value = sreg\n"
         "    core.pc = npc\n"
         f"    core.cycles += {cyc_before[-1]} + x\n"
@@ -982,6 +1037,14 @@ def compile_block(core, start_pc: int):
     fn = gbl["_block"]
     fn._source = src
     fn._n_instructions = len(instrs)
+    if profiled:
+        fn._prof_static = BlockStatic(
+            tuple((pc, group_of(spec.name), cycles[i])
+                  for i, (pc, spec, _) in enumerate(instrs)),
+            tuple(g.sites))
+    else:
+        fn._prof_static = None
+    _M_COMPILED.inc()
     if len(_CACHE) >= _CACHE_MAX:
         _CACHE.clear()
     _CACHE[key] = fn
@@ -989,37 +1052,61 @@ def compile_block(core, start_pc: int):
 
 
 class FastEngine:
-    """Per-core block dispatcher with version-keyed invalidation."""
+    """Per-core block dispatcher with version-keyed invalidation.
+
+    With a profiler attached to the core, dispatch switches to a separate
+    cache of *profiled* closures (same semantics, plus tally bookkeeping)
+    and folds the raw block counts into the profiler when the run ends —
+    including on exceptions, so a faulted run still reports every retired
+    instruction.
+    """
 
     def __init__(self, core):
         self.core = core
         self.blocks: Dict[int, object] = {}
+        self.profiled_blocks: Dict[int, object] = {}
         self.version = -1
 
     def invalidate(self) -> None:
         """Drop all compiled blocks (flash changed under us)."""
         self.blocks.clear()
+        self.profiled_blocks.clear()
 
     def run(self, max_steps: int = 50_000_000) -> int:
         core = self.core
         if core.program.version != self.version:
             self.invalidate()
             self.version = core.program.version
-        blocks = self.blocks
+        profiler = core.profiler
+        profiled = profiler is not None
+        if profiled:
+            ep = core._engine_profile
+            if ep is None:
+                ep = core._engine_profile = EngineProfile()
+            blocks = self.profiled_blocks
+        else:
+            ep = None
+            blocks = self.blocks
         blocks_get = blocks.get
         retired_start = core.instructions_retired
-        while not core.halted:
-            pc = core.pc
-            fn = blocks_get(pc)
-            if fn is None:
-                fn = compile_block(core, pc)
-                blocks[pc] = fn
-            fn(core)
-            if core.instructions_retired - retired_start > max_steps:
-                from .core import ExecutionError
+        try:
+            while not core.halted:
+                pc = core.pc
+                fn = blocks_get(pc)
+                if fn is None:
+                    fn = compile_block(core, pc, profiled)
+                    if profiled and fn._prof_static is not None:
+                        ep.register(pc, fn._prof_static)
+                    blocks[pc] = fn
+                fn(core)
+                if core.instructions_retired - retired_start > max_steps:
+                    from .core import ExecutionError
 
-                raise ExecutionError(
-                    f"step budget of {max_steps} exceeded"
-                    f" at pc={core.pc:#06x}"
-                )
+                    raise ExecutionError(
+                        f"step budget of {max_steps} exceeded"
+                        f" at pc={core.pc:#06x}"
+                    )
+        finally:
+            if profiled:
+                ep.fold_into(profiler)
         return core.cycles

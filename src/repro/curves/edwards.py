@@ -16,7 +16,11 @@ from typing import Optional
 
 from ..field.element import FpElement
 from ..field.prime_field import PrimeField
+from ..obs.trace import traced
 from .point import AffinePoint, MaybePoint
+
+#: Resolves the tracing counter from a bound point-op call.
+_curve_counter = lambda self, *a, **k: self.field.counter  # noqa: E731
 
 
 @dataclass(frozen=True)
@@ -129,6 +133,7 @@ class TwistedEdwardsCurve:
     def affine_neg(self, point: AffinePoint) -> AffinePoint:
         return AffinePoint(-point.x, point.y)
 
+    @traced("double", kind="point", counter=_curve_counter)
     def double(self, point: ExtendedPoint,
                compute_t: bool = True) -> ExtendedPoint:
         """Extended-coordinate doubling.
@@ -155,6 +160,7 @@ class TwistedEdwardsCurve:
         t3 = e * h if compute_t else None
         return ExtendedPoint(x3, y3, z3, t3)
 
+    @traced("add", kind="point", counter=_curve_counter)
     def add(self, p: ExtendedPoint, q: ExtendedPoint,
             compute_t: bool = True) -> ExtendedPoint:
         """Unified extended addition (works for P = Q, handles identity).

@@ -18,7 +18,11 @@ from typing import Optional, Tuple
 
 from ..field.element import FpElement
 from ..field.prime_field import PrimeField
+from ..obs.trace import traced
 from .point import AffinePoint, MaybePoint
+
+#: Resolves the tracing counter from a bound point-op call.
+_curve_counter = lambda self, *a, **k: self.field.counter  # noqa: E731
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,7 @@ class MontgomeryCurve:
 
     # -- differential arithmetic ---------------------------------------------
 
+    @traced("xdbl", kind="point", counter=_curve_counter)
     def xdbl(self, p: XZPoint) -> XZPoint:
         """x-only doubling: 2M + 2S + 1 small-constant multiplication."""
         s = (p.x + p.z).square()
@@ -103,6 +108,7 @@ class MontgomeryCurve:
         z2 = c * (d + t)
         return XZPoint(x2, z2)
 
+    @traced("xadd", kind="point", counter=_curve_counter)
     def xadd(self, p: XZPoint, q: XZPoint, diff: XZPoint) -> XZPoint:
         """Differential addition: x(P + Q) from x(P), x(Q) and x(P - Q).
 

@@ -15,7 +15,11 @@ from typing import Optional
 
 from ..field.element import FpElement
 from ..field.prime_field import PrimeField
+from ..obs.trace import traced
 from .point import AffinePoint, MaybePoint
+
+#: Resolves the tracing counter from a bound point-op call.
+_curve_counter = lambda self, *a, **k: self.field.counter  # noqa: E731
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,7 @@ class WeierstrassCurve:
     def neg(self, point: JacobianPoint) -> JacobianPoint:
         return JacobianPoint(point.x, -point.y, point.z)
 
+    @traced("double", kind="point", counter=_curve_counter)
     def double(self, point: JacobianPoint) -> JacobianPoint:
         """Jacobian doubling; the half-trace term depends on ``a``:
 
@@ -128,6 +133,7 @@ class WeierstrassCurve:
         z3 = z3 + z3
         return JacobianPoint(x3, y3, z3)
 
+    @traced("add", kind="point", counter=_curve_counter)
     def add(self, p: JacobianPoint, q: JacobianPoint) -> JacobianPoint:
         """Full Jacobian-Jacobian addition (12M + 4S)."""
         if p.is_infinity():
@@ -154,6 +160,7 @@ class WeierstrassCurve:
         z3 = p.z * q.z * h
         return JacobianPoint(x3, y3, z3)
 
+    @traced("add_mixed", kind="point", counter=_curve_counter)
     def add_mixed(self, p: JacobianPoint, q: MaybePoint) -> JacobianPoint:
         """Mixed Jacobian-affine addition (8M + 3S), the paper's workhorse."""
         if q is None:

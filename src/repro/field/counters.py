@@ -70,7 +70,12 @@ class FieldOpCounter:
         )
 
     def delta(self, earlier: "FieldOpCounter") -> "FieldOpCounter":
-        """Tallies accumulated since *earlier* (a snapshot copy)."""
+        """Tallies accumulated since *earlier* (a snapshot copy).
+
+        Carries the embedded word-level delta as well, so a delta of an
+        OPF field counter prices both the field ops and the word ops
+        they decomposed into.
+        """
         return FieldOpCounter(
             add=self.add - earlier.add,
             sub=self.sub - earlier.sub,
@@ -79,10 +84,11 @@ class FieldOpCounter:
             sqr=self.sqr - earlier.sqr,
             mul_small=self.mul_small - earlier.mul_small,
             inv=self.inv - earlier.inv,
+            words=self.words.delta(earlier.words),
         )
 
     def copy(self) -> "FieldOpCounter":
-        """Shallow copy of the field-level tallies (word tallies excluded)."""
+        """Independent copy of the field- and word-level tallies."""
         return FieldOpCounter(
             add=self.add,
             sub=self.sub,
@@ -91,4 +97,5 @@ class FieldOpCounter:
             sqr=self.sqr,
             mul_small=self.mul_small,
             inv=self.inv,
+            words=self.words.copy(),
         )

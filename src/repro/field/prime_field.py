@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from ..obs import trace as _trace
 from .counters import FieldOpCounter
 from .element import FpElement
 from .inversion import binary_euclid_inverse, tonelli_shanks_sqrt
@@ -107,24 +108,55 @@ class PrimeField:
         return [self.from_int(v) for v in range(self.p)]
 
     # -- counted operations -------------------------------------------------
+    #
+    # Each operation is individually traceable: when a tracer is installed
+    # *and* opted into per-field-op spans (``Tracer(field_ops=True)``), the
+    # whole counted body runs under a span so the counter delta captures
+    # the op itself plus the word-level work it decomposed into.  The
+    # untraced path pays one global load and one comparison.
 
     def add(self, a: FpElement, b: FpElement) -> FpElement:
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("add", kind="field", counter=self.counter):
+                self.counter.add += 1
+                return FpElement(self, self._add(a.internal, b.internal))
         self.counter.add += 1
         return FpElement(self, self._add(a.internal, b.internal))
 
     def sub(self, a: FpElement, b: FpElement) -> FpElement:
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("sub", kind="field", counter=self.counter):
+                self.counter.sub += 1
+                return FpElement(self, self._sub(a.internal, b.internal))
         self.counter.sub += 1
         return FpElement(self, self._sub(a.internal, b.internal))
 
     def neg(self, a: FpElement) -> FpElement:
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("neg", kind="field", counter=self.counter):
+                self.counter.neg += 1
+                return FpElement(self, self._neg(a.internal))
         self.counter.neg += 1
         return FpElement(self, self._neg(a.internal))
 
     def mul(self, a: FpElement, b: FpElement) -> FpElement:
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("mul", kind="field", counter=self.counter):
+                self.counter.mul += 1
+                return FpElement(self, self._mul(a.internal, b.internal))
         self.counter.mul += 1
         return FpElement(self, self._mul(a.internal, b.internal))
 
     def sqr(self, a: FpElement) -> FpElement:
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("sqr", kind="field", counter=self.counter):
+                self.counter.sqr += 1
+                return FpElement(self, self._sqr(a.internal))
         self.counter.sqr += 1
         return FpElement(self, self._sqr(a.internal))
 
@@ -133,12 +165,22 @@ class PrimeField:
             raise ValueError(
                 f"mul_small constant must fit in 16 bits, got {constant}"
             )
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("mul_small", kind="field", counter=self.counter):
+                self.counter.mul_small += 1
+                return FpElement(self, self._mul_small(a.internal, constant))
         self.counter.mul_small += 1
         return FpElement(self, self._mul_small(a.internal, constant))
 
     def inv(self, a: FpElement) -> FpElement:
         if a.is_zero():
             raise ZeroDivisionError("zero has no inverse")
+        tr = _trace.CURRENT
+        if tr is not None and tr.field_ops:
+            with tr.span("inv", kind="field", counter=self.counter):
+                self.counter.inv += 1
+                return FpElement(self, self._inv(a.internal))
         self.counter.inv += 1
         return FpElement(self, self._inv(a.internal))
 

@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Tuple
 from ..avr.assembler import assemble
 from ..avr.core import AvrCore
 from ..avr.memory import ProgramMemory
+from ..avr.profiler import Profiler
 from ..avr.timing import Mode
+from ..obs import trace as _trace
 from .addsub_kernel import generate_modadd, generate_modsub
 from .layout import ADDR_T, OpfConstants
 from .mul_kernels import generate_opf_mul_comba, generate_opf_mul_mac
@@ -249,10 +251,18 @@ class LadderKernel:
         self.core = AvrCore(ProgramMemory(num_words=65536), mode=mode,
                             sram_size=4096, engine=engine)
         self.program.load_into(self.core.program)
+        self.profiler: Optional[Profiler] = None
 
     @property
     def code_bytes(self) -> int:
         return self.program.size_bytes
+
+    def attach_profiler(self) -> Profiler:
+        """Attach an ISS profiler named through the ladder's symbol table."""
+        self.profiler = Profiler()
+        self.profiler.set_symbols(self.program.symbols)
+        self.core.attach_profiler(self.profiler)
+        return self.profiler
 
     def run(self, k: int, base_x: int,
             max_steps: int = 200_000_000) -> Tuple[int, int, int]:
@@ -278,8 +288,20 @@ class LadderKernel:
         data.load_bytes(SLOTS["BASEX"], base_m.to_bytes(20, "little"))
         data.load_bytes(ADDR_SCALAR,
                         k.to_bytes(self.scalar_bytes, "little"))
+        if self.profiler is not None:
+            self.profiler.reset()
         self.core.reset(pc=0)  # also restores SP to top-of-SRAM
-        cycles = self.core.run(max_steps=max_steps)
+        tr = _trace.CURRENT
+        span = tr.start("ladder_kernel", kind="kernel",
+                        mode=self.mode.name,
+                        scalar_bits=bits) if tr is not None else None
+        try:
+            cycles = self.core.run(max_steps=max_steps)
+        finally:
+            if span is not None:
+                span.set(cycles=self.core.cycles,
+                         instructions=self.core.instructions_retired)
+                tr.end(span)
         x_out = int.from_bytes(data.dump_bytes(SLOTS["X1"], 20), "little")
         z_out = int.from_bytes(data.dump_bytes(SLOTS["Z1"], 20), "little")
         return x_out, z_out, cycles

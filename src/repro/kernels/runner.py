@@ -16,6 +16,7 @@ from ..avr.core import AvrCore
 from ..avr.memory import ProgramMemory
 from ..avr.profiler import Profiler
 from ..avr.timing import Mode
+from ..obs import trace as _trace
 from .layout import ADDR_A, ADDR_B, ADDR_R, OPERAND_BYTES
 
 
@@ -41,6 +42,7 @@ class KernelRunner:
 
     def attach_profiler(self) -> Profiler:
         self.profiler = Profiler()
+        self.profiler.set_symbols(self.program.symbols)
         self.core.attach_profiler(self.profiler)
         return self.profiler
 
@@ -58,7 +60,16 @@ class KernelRunner:
         if self.profiler is not None:
             self.profiler.reset()
         core.reset(pc=0)  # also restores SP to top-of-SRAM
-        cycles = core.run()
+        tr = _trace.CURRENT
+        span = tr.start("kernel", kind="kernel",
+                        mode=self.mode.name) if tr is not None else None
+        try:
+            cycles = core.run()
+        finally:
+            if span is not None:
+                span.set(cycles=core.cycles,
+                         instructions=core.instructions_retired)
+                tr.end(span)
         result = int.from_bytes(
             core.data.dump_bytes(ADDR_R, operand_bytes), "little"
         )

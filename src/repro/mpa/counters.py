@@ -64,6 +64,28 @@ class WordOpCounter:
             shift=self.shift + other.shift,
         )
 
+    def copy(self) -> "WordOpCounter":
+        """Independent copy of the current tallies."""
+        return WordOpCounter(
+            mul=self.mul,
+            add=self.add,
+            sub=self.sub,
+            load=self.load,
+            store=self.store,
+            shift=self.shift,
+        )
+
+    def delta(self, earlier: "WordOpCounter") -> "WordOpCounter":
+        """Tallies accumulated since *earlier* (a snapshot copy)."""
+        return WordOpCounter(
+            mul=self.mul - earlier.mul,
+            add=self.add - earlier.add,
+            sub=self.sub - earlier.sub,
+            load=self.load - earlier.load,
+            store=self.store - earlier.store,
+            shift=self.shift - earlier.shift,
+        )
+
 
 #: Shared do-nothing counter used when the caller does not care about counts.
 #: Routines *may* mutate it; callers who need accurate numbers must pass their

@@ -1,0 +1,44 @@
+"""Observability: hierarchical tracing, metrics, and exports.
+
+The paper argues entirely by attribution — per-instruction-group cycle
+breakdowns (Fig. 1) and weighted field-op sums (Tables I-III).  This
+package makes the same attribution available on demand, at fast-engine
+speed, for any kernel / curve / mode:
+
+* :mod:`repro.obs.trace` — a lightweight span tracer auto-instrumented
+  through ``scalarmult``, ``curves``, ``field`` and the kernel runner,
+  capturing field-/word-op counter deltas and ISS cycle deltas per span.
+* :mod:`repro.obs.metrics` — a process-wide counter/gauge registry
+  snapshotted into every export.
+* :mod:`repro.obs.export` — JSONL events and Chrome trace-event
+  (``chrome://tracing`` / Perfetto) output, plus the schema validator.
+
+Engine-speed ISS profiling itself lives with the core it observes
+(:mod:`repro.avr.profiler`); this package consumes its results.
+"""
+
+from .export import (
+    profiler_events,
+    span_events,
+    to_chrome,
+    to_jsonl,
+    validate_chrome,
+)
+from .metrics import METRICS, MetricsRegistry
+from .trace import CURRENT, Span, Tracer, install, traced, uninstall
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "CURRENT",
+    "Span",
+    "Tracer",
+    "install",
+    "traced",
+    "uninstall",
+    "profiler_events",
+    "span_events",
+    "to_chrome",
+    "to_jsonl",
+    "validate_chrome",
+]

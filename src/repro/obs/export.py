@@ -1,0 +1,178 @@
+"""Export observability data: JSONL event streams and Chrome trace JSON.
+
+Two consumers, two formats:
+
+* **JSONL** — one self-describing JSON object per line (``type`` field:
+  ``span`` / ``iss_group`` / ``iss_routine`` / ``metrics``), the grep- and
+  pandas-friendly archival format.
+* **Chrome trace events** — the ``chrome://tracing`` / Perfetto JSON
+  object format.  Python-side spans land on one track in wall-clock
+  microseconds; ISS routine frames land on a second track in the *cycle*
+  domain (1 simulated cycle rendered as 1 µs), so the simulator's call
+  tree is zoomable next to the host-time span tree.
+
+:func:`validate_chrome` is the schema check the test-suite (and any
+downstream tooling) runs against produced traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import METRICS
+from .trace import Tracer
+
+__all__ = [
+    "span_events",
+    "profiler_events",
+    "to_jsonl",
+    "to_chrome",
+    "validate_chrome",
+]
+
+
+def span_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a tracer's span forest into JSONL-ready dicts.
+
+    Timestamps are microseconds relative to the earliest root span.
+    """
+    base = min((s.t0_ns for s in tracer.roots), default=0)
+    events = []
+    for span, depth in tracer.walk():
+        events.append({
+            "type": "span",
+            "name": span.name,
+            "kind": span.kind,
+            "depth": depth,
+            "ts_us": round((span.t0_ns - base) / 1000, 3),
+            "dur_us": round(span.dur_ns / 1000, 3),
+            "attrs": span.attrs,
+        })
+    return events
+
+
+def profiler_events(profiler: Any) -> List[Dict[str, Any]]:
+    """Group tallies and routine attribution of a finished profiler run."""
+    events: List[Dict[str, Any]] = []
+    for group, count in profiler.instruction_counts.most_common():
+        events.append({
+            "type": "iss_group",
+            "group": group,
+            "instructions": count,
+            "cycles": profiler.cycle_counts[group],
+        })
+    for pc, row in profiler.routines().items():
+        events.append({
+            "type": "iss_routine",
+            "routine": "(top)" if pc == -1 else profiler.name_for(pc),
+            "pc": pc,
+            "calls": row["calls"],
+            "flat_cycles": row["flat"],
+            "cum_cycles": row["cum"],
+        })
+    return events
+
+
+def to_jsonl(tracer: Optional[Tracer] = None, profiler: Any = None,
+             metrics: bool = True) -> str:
+    """Serialize spans, ISS attribution and metrics as JSON lines."""
+    events: List[Dict[str, Any]] = []
+    if tracer is not None:
+        events.extend(span_events(tracer))
+    if profiler is not None:
+        events.extend(profiler_events(profiler))
+    if metrics:
+        events.append({"type": "metrics", "values": METRICS.snapshot()})
+    return "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
+
+
+_PID = 1
+_TID_SPANS = 1
+_TID_ISS = 2
+
+
+def to_chrome(tracer: Optional[Tracer] = None, profiler: Any = None,
+              total_cycles: Optional[int] = None) -> Dict[str, Any]:
+    """Build a Chrome trace-event JSON object (see module docstring)."""
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": _PID, "tid": 0,
+         "args": {"name": "repro"}},
+    ]
+    if tracer is not None:
+        events.append({"ph": "M", "name": "thread_name", "pid": _PID,
+                       "tid": _TID_SPANS, "args": {"name": "python-spans"}})
+        base = min((s.t0_ns for s in tracer.roots), default=0)
+        for span, _depth in tracer.walk():
+            events.append({
+                "ph": "X", "name": span.name, "cat": span.kind,
+                "pid": _PID, "tid": _TID_SPANS,
+                "ts": round((span.t0_ns - base) / 1000, 3),
+                "dur": round(span.dur_ns / 1000, 3),
+                "args": span.attrs,
+            })
+    if profiler is not None:
+        events.append({"ph": "M", "name": "thread_name", "pid": _PID,
+                       "tid": _TID_ISS, "args": {"name": "iss-cycles"}})
+        end = total_cycles
+        if end is None:
+            end = max((f[2] for f in profiler.frames), default=0)
+        if end:
+            events.append({
+                "ph": "X", "name": "(program)", "cat": "iss",
+                "pid": _PID, "tid": _TID_ISS, "ts": 0, "dur": end,
+                "args": {"cycles": end},
+            })
+        for pc, start, stop, depth in profiler.frames:
+            events.append({
+                "ph": "X", "name": profiler.name_for(pc), "cat": "iss",
+                "pid": _PID, "tid": _TID_ISS,
+                "ts": start, "dur": stop - start,
+                "args": {"pc": pc, "depth": depth,
+                         "cycles": stop - start},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tracks": {"python-spans": "wall-clock microseconds",
+                       "iss-cycles": "1 simulated cycle = 1 us"},
+            "metrics": METRICS.snapshot(),
+        },
+    }
+
+
+def validate_chrome(obj: Any) -> None:
+    """Raise ``ValueError`` unless *obj* is a well-formed Chrome trace.
+
+    Checks the object format (``traceEvents`` list), the per-event
+    required fields, and that every complete ("X") event carries numeric,
+    non-negative ``ts``/``dur`` — the invariants ``chrome://tracing`` and
+    Perfetto rely on to build a span tree.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("chrome trace must carry a non-empty traceEvents")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "C"):
+            raise ValueError(f"traceEvents[{i}] has unknown phase {ph!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"traceEvents[{i}] has no name")
+        if "pid" not in event or "tid" not in event:
+            raise ValueError(f"traceEvents[{i}] lacks pid/tid")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or isinstance(
+                        value, bool) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{i}].{key} must be a non-negative "
+                        f"number, got {value!r}")
+            args = event.get("args")
+            if args is not None and not isinstance(args, dict):
+                raise ValueError(f"traceEvents[{i}].args must be an object")

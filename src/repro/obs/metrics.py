@@ -1,0 +1,85 @@
+"""A tiny process-wide metrics registry.
+
+Long-lived counters and gauges that are cheap enough to live in hot-ish
+paths (block compilation, span creation, kernel runs) and are snapshotted
+into every observability export, so a profile or bench artifact carries
+the engine-health numbers it was produced under.
+
+The registry is intentionally minimal — named counters (monotonic) and
+gauges (set-to-latest) with a dict snapshot — not a Prometheus client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "METRICS"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonic counter; ``inc`` is a single attribute add."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent registration and a dict snapshot."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Union[Counter, Gauge]] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Counter(name, help)
+        elif not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is registered as a gauge")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name, help)
+        elif not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is registered as a counter")
+        return metric
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge]]:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Current values of every registered metric (name -> value)."""
+        return {name: m.value for name, m in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        """Zero every metric (tests; production code never resets)."""
+        for metric in self._metrics.values():
+            metric.value = 0
+
+
+#: The process-wide registry every subsystem registers against.
+METRICS = MetricsRegistry()

@@ -1,0 +1,216 @@
+"""Hierarchical span tracing for the reproduction pipeline.
+
+The paper's evaluation is an attribution exercise: Tables I-II price a
+scalar multiplication as a weighted sum of field operations, and Fig. 1
+breaks one ISS kernel down by instruction group.  The tracer produces the
+same artifacts live: every scalar multiplication opens a span, every point
+operation a child span, every field operation (optionally) a grandchild,
+and kernel executions on the simulator attach their measured ISS cycles.
+Each span records wall time plus the :class:`~repro.field.counters
+.FieldOpCounter` / :class:`~repro.mpa.counters.WordOpCounter` deltas that
+accumulated inside it, so one traced run yields the whole cost hierarchy.
+
+Instrumentation contract (kept deliberately cheap):
+
+* ``CURRENT`` is the installed tracer or ``None``.  Hot paths guard with a
+  single global load — ``if _trace.CURRENT is not None`` — so an untraced
+  run pays one pointer test per instrumented call.
+* Field-operation spans are additionally gated on ``Tracer.field_ops``
+  because a 160-bit ladder performs thousands of them.
+* Spans nest purely by call order (the tracer keeps one stack); the code
+  under a span needs no knowledge of the tracer at all.
+
+Use :func:`install` / :func:`uninstall` (or the :class:`Tracer` as a
+context manager) around the region of interest, then export through
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .metrics import METRICS
+
+__all__ = [
+    "CURRENT",
+    "Span",
+    "Tracer",
+    "install",
+    "uninstall",
+    "traced",
+]
+
+#: The installed tracer, or ``None`` when tracing is off (the common case).
+CURRENT: Optional["Tracer"] = None
+
+_SPANS_STARTED = METRICS.counter(
+    "obs_spans_started", "spans opened by the installed tracer")
+
+
+class Span:
+    """One timed region with attributes, counter deltas and children."""
+
+    __slots__ = ("name", "kind", "t0_ns", "t1_ns", "attrs", "children",
+                 "_counter", "_before")
+
+    def __init__(self, name: str, kind: str = "span",
+                 counter: Any = None, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.kind = kind
+        self.t0_ns = 0
+        self.t1_ns = 0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self._counter = counter
+        self._before = counter.copy() if counter is not None else None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (e.g. measured ISS cycles) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def dur_ns(self) -> int:
+        return max(0, self.t1_ns - self.t0_ns)
+
+    def _close_counter(self, cost_fn: Optional[Callable]) -> None:
+        if self._counter is None:
+            return
+        delta = self._counter.delta(self._before)
+        ops = {k: v for k, v in delta.snapshot().items() if v}
+        words = {k: v for k, v in delta.words.snapshot().items() if v}
+        if ops:
+            self.attrs["field_ops"] = ops
+        if words:
+            self.attrs["word_ops"] = words
+        if cost_fn is not None and (ops or words):
+            try:
+                self.attrs["cycles_est"] = round(float(cost_fn(delta)), 1)
+            except Exception:
+                pass  # pricing is best-effort decoration, never fatal
+        self._counter = self._before = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, kind={self.kind!r}, "
+                f"dur_us={self.dur_ns / 1000:.1f}, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees from one traced region.
+
+    Args:
+        field_ops: record a span per *field* operation (add/mul/...).  Off
+            by default; a full ladder opens thousands of them.
+        cost_fn: optional ``FieldOpCounter -> cycles`` estimator (see
+            :func:`repro.model.opcost.price`) applied to every counter
+            delta, attaching a ``cycles_est`` attribute.
+        clock: nanosecond clock, overridable for deterministic tests.
+    """
+
+    def __init__(self, field_ops: bool = False,
+                 cost_fn: Optional[Callable] = None,
+                 clock: Callable[[], int] = time.perf_counter_ns):
+        self.field_ops = field_ops
+        self.cost_fn = cost_fn
+        self._clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def start(self, name: str, kind: str = "span", counter: Any = None,
+              **attrs: Any) -> Span:
+        span = Span(name, kind, counter=counter, attrs=attrs)
+        span.t0_ns = self._clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        _SPANS_STARTED.inc()
+        return span
+
+    def end(self, span: Span) -> None:
+        span.t1_ns = self._clock()
+        span._close_counter(self.cost_fn)
+        # Tolerate mismatched ends (an exception may have skipped frames).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.t1_ns = span.t1_ns
+            top._close_counter(self.cost_fn)
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", counter: Any = None,
+             **attrs: Any) -> Iterator[Span]:
+        s = self.start(name, kind, counter=counter, **attrs)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # -- results -------------------------------------------------------------
+
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        """All spans depth-first as ``(span, depth)`` pairs."""
+        def _walk(span: Span, depth: int) -> Iterator[Tuple[Span, int]]:
+            yield span, depth
+            for child in span.children:
+                yield from _walk(child, depth + 1)
+        for root in self.roots:
+            yield from _walk(root, 0)
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    # -- installation --------------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        install(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        uninstall(self)
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make *tracer* the process-wide tracer instrumented code reports to."""
+    global CURRENT
+    CURRENT = tracer
+    return tracer
+
+
+def uninstall(tracer: Optional[Tracer] = None) -> None:
+    """Remove the installed tracer (a no-op if *tracer* is not installed)."""
+    global CURRENT
+    if tracer is None or CURRENT is tracer:
+        CURRENT = None
+
+
+def traced(name: str, kind: str = "span",
+           counter: Optional[Callable] = None,
+           attrs_fn: Optional[Callable] = None) -> Callable:
+    """Decorator: run the function under a span when a tracer is installed.
+
+    *counter* and *attrs_fn* are called with the wrapped function's
+    arguments to resolve the counter object / extra attributes per call
+    (e.g. ``counter=lambda curve, *a, **k: curve.field.counter``).
+    An untraced call costs one global load and one comparison.
+    """
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            tr = CURRENT
+            if tr is None:
+                return fn(*args, **kwargs)
+            c = counter(*args, **kwargs) if counter is not None else None
+            attrs = attrs_fn(*args, **kwargs) if attrs_fn is not None else {}
+            with tr.span(name, kind=kind, counter=c, **attrs):
+                return fn(*args, **kwargs)
+        return wrapper
+    return deco

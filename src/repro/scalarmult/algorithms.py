@@ -22,10 +22,21 @@ from __future__ import annotations
 from typing import Optional
 
 from ..curves.point import MaybePoint
+from ..obs.trace import traced
 from .adapters import GroupAdapter
 from .recoding import naf_digits
 
+#: Tracing hooks shared by every scalar-multiplication entry point: the
+#: span's counter is the adapter's field counter, and the scalar's bit
+#: length is recorded (never the scalar itself).
+_smul_counter = lambda adapter, k, *a, **kw: (  # noqa: E731
+    adapter.curve.field.counter)
+_smul_attrs = lambda adapter, k, *a, **kw: (    # noqa: E731
+    {"scalar_bits": k.bit_length()})
 
+
+@traced("scalar_mult_binary", kind="scalarmult",
+        counter=_smul_counter, attrs_fn=_smul_attrs)
 def scalar_mult_binary(adapter: GroupAdapter, k: int) -> MaybePoint:
     """Left-to-right binary double-and-add (n doublings, ~n/2 additions)."""
     if k < 0:
@@ -42,6 +53,8 @@ def scalar_mult_binary(adapter: GroupAdapter, k: int) -> MaybePoint:
     return adapter.to_affine(result)
 
 
+@traced("scalar_mult_naf", kind="scalarmult",
+        counter=_smul_counter, attrs_fn=_smul_attrs)
 def scalar_mult_naf(adapter: GroupAdapter, k: int) -> MaybePoint:
     """NAF double-and-add: n doublings, ~n/3 additions/subtractions."""
     if k < 0:
@@ -59,6 +72,8 @@ def scalar_mult_naf(adapter: GroupAdapter, k: int) -> MaybePoint:
     return adapter.to_affine(result)
 
 
+@traced("scalar_mult_daaa", kind="scalarmult",
+        counter=_smul_counter, attrs_fn=_smul_attrs)
 def scalar_mult_daaa(adapter: GroupAdapter, k: int,
                      bits: Optional[int] = None) -> MaybePoint:
     """Double-And-Add-Always over a fixed number of iterations.

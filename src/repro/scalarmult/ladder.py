@@ -20,8 +20,17 @@ from typing import Optional, Tuple
 from ..curves.montgomery import MontgomeryCurve, XZPoint
 from ..curves.point import AffinePoint, MaybePoint
 from ..curves.weierstrass import JacobianPoint, WeierstrassCurve
+from ..obs.trace import traced
+
+#: Tracing hooks for the ladder entry points (curve-first signatures).
+_ladder_counter = lambda curve, k, *a, **kw: (  # noqa: E731
+    curve.field.counter)
+_ladder_attrs = lambda curve, k, *a, **kw: (    # noqa: E731
+    {"scalar_bits": k.bit_length()})
 
 
+@traced("montgomery_ladder_x", kind="scalarmult",
+        counter=_ladder_counter, attrs_fn=_ladder_attrs)
 def montgomery_ladder_x(curve: MontgomeryCurve, k: int, base: AffinePoint,
                         bits: Optional[int] = None) -> XZPoint:
     """x-only ladder: returns (X : Z) of k*P.
@@ -46,6 +55,8 @@ def montgomery_ladder_x(curve: MontgomeryCurve, k: int, base: AffinePoint,
     return r0
 
 
+@traced("montgomery_ladder_full", kind="scalarmult",
+        counter=_ladder_counter, attrs_fn=_ladder_attrs)
 def montgomery_ladder_full(curve: MontgomeryCurve, k: int, base: AffinePoint,
                            bits: Optional[int] = None) -> MaybePoint:
     """Ladder plus Okeya-Sakurai y-recovery: returns the affine point k*P.
@@ -143,6 +154,8 @@ def dblu(curve: WeierstrassCurve, base: AffinePoint):
     return (x2, y2), (s, eight_y4), z
 
 
+@traced("coz_ladder", kind="scalarmult",
+        counter=_ladder_counter, attrs_fn=_ladder_attrs)
 def coz_ladder(curve: WeierstrassCurve, k: int,
                base: AffinePoint) -> MaybePoint:
     """Montgomery ladder on a Weierstraß curve with co-Z formulas.
@@ -207,6 +220,8 @@ def zaddc_xy(x1, y1, x2, y2):
     return (x3, y3), (x3p, y3p)
 
 
+@traced("coz_ladder_xy", kind="scalarmult",
+        counter=_ladder_counter, attrs_fn=_ladder_attrs)
 def coz_ladder_xy(curve: WeierstrassCurve, k: int,
                   base: AffinePoint) -> MaybePoint:
     """The paper's register-light co-Z ladder: no Z coordinate at all.

@@ -5,11 +5,15 @@ import os
 
 import pytest
 
+from repro.analysis import bench as bench_mod
 from repro.analysis.bench import (
+    CHECK_THRESHOLD,
     DEFAULT_OUTPUT,
     ENGINE_MIN_SPEEDUP,
     append_record,
     bench_worker,
+    check_against_baseline,
+    compare_records,
     compute_speedups,
     measure_speedup,
     render,
@@ -131,6 +135,87 @@ class TestCommittedRunRecord:
         best = max(measure_speedup(r) for r in committed
                    if "opf_mul_mac/ISE" in r["speedups"])
         assert best >= 10.0
+
+
+class TestRegressionCheck:
+    """``bench --check``: a fresh run vs the last committed record."""
+
+    def test_compare_flags_only_drops_beyond_threshold(self):
+        baseline = _record(entries=[
+            _entry(ips=1000.0),
+            _entry(name="opf_add/CA/fast", kernel="opf_add", mode="CA",
+                   ips=500.0),
+        ])
+        fresh = _record(entries=[
+            _entry(ips=800.0),                      # -20%: within tolerance
+            _entry(name="opf_add/CA/fast", kernel="opf_add", mode="CA",
+                   ips=300.0),                      # -40%: regression
+            _entry(name="opf_sub/CA/fast", kernel="opf_sub", mode="CA",
+                   ips=1.0),                        # not in the baseline
+        ])
+        rows = compare_records(fresh, baseline)
+        assert [r["name"] for r in rows] == [
+            "opf_mul_mac/ISE/fast", "opf_add/CA/fast"]
+        assert rows[0]["ratio"] == pytest.approx(0.8)
+        assert not rows[0]["regressed"]
+        assert rows[1]["ratio"] == pytest.approx(0.6)
+        assert rows[1]["regressed"]
+
+    def test_threshold_is_exclusive_at_the_boundary(self):
+        baseline = _record()
+        fresh = _record(entries=[
+            _entry(ips=_entry()["ips"] * (1.0 - CHECK_THRESHOLD))])
+        rows = compare_records(fresh, baseline)
+        assert not rows[0]["regressed"]
+
+    def test_missing_baseline_fails(self, tmp_path, capsys):
+        rc = check_against_baseline(str(tmp_path / "missing.json"))
+        assert rc == 1
+        assert "no baseline" in capsys.readouterr().out
+
+    def _baseline_file(self, tmp_path, **overrides):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps([_record(**overrides)]))
+        return str(path)
+
+    def test_check_passes_within_tolerance(self, tmp_path, monkeypatch,
+                                           capsys):
+        path = self._baseline_file(tmp_path)
+        monkeypatch.setattr(
+            bench_mod, "run_bench",
+            lambda **kw: _record(entries=[_entry(ips=600000.0)]))
+        assert check_against_baseline(path) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, monkeypatch,
+                                       capsys):
+        path = self._baseline_file(tmp_path)
+        monkeypatch.setattr(
+            bench_mod, "run_bench",
+            lambda **kw: _record(entries=[_entry(ips=100000.0)]))
+        assert check_against_baseline(path) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_check_fails_without_overlap(self, tmp_path, monkeypatch,
+                                         capsys):
+        path = self._baseline_file(tmp_path)
+        monkeypatch.setattr(
+            bench_mod, "run_bench",
+            lambda **kw: _record(entries=[
+                _entry(name="opf_add/CA/fast", kernel="opf_add",
+                       mode="CA")]))
+        assert check_against_baseline(path) == 1
+        assert "no overlapping" in capsys.readouterr().out
+
+    def test_check_never_writes_the_record_file(self, tmp_path,
+                                                monkeypatch, capsys):
+        path = self._baseline_file(tmp_path)
+        before = open(path).read()
+        monkeypatch.setattr(
+            bench_mod, "run_bench",
+            lambda **kw: _record(entries=[_entry(ips=600000.0)]))
+        check_against_baseline(path)
+        assert open(path).read() == before
 
 
 class TestLiveThroughput:

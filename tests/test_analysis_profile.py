@@ -1,0 +1,127 @@
+"""The ``python -m repro profile`` CLI: targets, formats and the Chrome
+trace acceptance check (ISS frames + priced field-op spans)."""
+
+import json
+
+import pytest
+
+import repro.__main__ as repro_main
+from repro.analysis import profile as profile_mod
+from repro.avr.timing import Mode
+from repro.obs.export import validate_chrome
+
+
+class TestProfileKernel:
+    def test_mul_ise_pairs_iss_and_mirror(self):
+        tracer, profiler, cycles, program = profile_mod.profile_kernel(
+            "mul", Mode.ISE)
+        # The ISS side: the paper's 552-cycle ISE multiplication.
+        assert cycles == profiler.total_cycles
+        assert profiler.total_instructions > 0
+        kernel_spans = [s for s, _ in tracer.walk()
+                        if s.kind == "kernel"]
+        assert kernel_spans and kernel_spans[0].attrs["cycles"] == cycles
+        # The mirror side: one field-op span priced by the cycle model.
+        field_spans = [s for s, _ in tracer.walk() if s.kind == "field"]
+        assert field_spans
+        mul_span = next(s for s in field_spans if s.name == "mul")
+        assert mul_span.attrs["field_ops"] == {"mul": 1}
+        assert mul_span.attrs["cycles_est"] == 552.0  # Table I, ISE mul
+        assert program.symbols  # routine naming stays available
+
+    def test_ladder_smoke_attributes_field_subroutines(self):
+        tracer, profiler, cycles, program = profile_mod.profile_kernel(
+            "ladder", Mode.ISE, smoke=True)
+        names = {profiler.name_for(pc)
+                 for pc in profiler.routines() if pc != -1}
+        assert {"mul_sub", "add_sub", "sub_sub"} <= names
+        assert profiler.frames
+        assert cycles == profiler.total_cycles
+
+    def test_scalarmult_tracer_prices_the_ladder(self):
+        tracer = profile_mod.profile_scalarmult(Mode.ISE, smoke=True)
+        root = tracer.roots[0]
+        assert root.name == "montgomery_ladder_x"
+        assert root.attrs["cycles_est"] > 0
+        kinds = {s.kind for s, _ in tracer.walk()}
+        assert {"scalarmult", "point", "field"} <= kinds
+
+
+class TestProfileCli:
+    def test_chrome_trace_acceptance(self, tmp_path, capsys):
+        """The ISSUE acceptance check: a schema-valid Chrome trace with
+        ISS frames on one track and priced field-op spans on another."""
+        out = tmp_path / "trace.json"
+        rc = profile_mod.main(["mul", "--mode", "ise",
+                               "--format", "chrome", "--out", str(out)])
+        assert rc == 0
+        assert str(out) in capsys.readouterr().out
+        obj = json.loads(out.read_text())
+        validate_chrome(obj)
+        events = obj["traceEvents"]
+        iss = [e for e in events
+               if e["ph"] == "X" and e.get("cat") == "iss"]
+        assert any(e["name"] == "(program)" and e["dur"] > 0 for e in iss)
+        field = [e for e in events
+                 if e["ph"] == "X" and e.get("cat") == "field"]
+        assert field, "mirror field-op spans missing from the trace"
+        mul = next(e for e in field if e["name"] == "mul")
+        assert mul["args"]["cycles_est"] == 552.0
+        assert mul["args"]["field_ops"] == {"mul": 1}
+        tracks = obj["metadata"]["tracks"]
+        assert "iss-cycles" in tracks and "python-spans" in tracks
+
+    def test_text_report_sections(self, capsys):
+        rc = profile_mod.main(["add", "--mode", "ca"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for section in ("instruction mix", "hotspots", "routines",
+                        "spans", "metrics"):
+            assert section in out
+
+    def test_jsonl_lines_parse(self, capsys):
+        rc = profile_mod.main(["scalarmult", "--smoke",
+                               "--format", "jsonl"])
+        assert rc == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().split("\n")]
+        types = {line["type"] for line in lines}
+        assert "span" in types and "metrics" in types
+        assert not any(t.startswith("iss_") for t in types)  # no ISS run
+
+    def test_ladder_jsonl_has_iss_routines(self, capsys):
+        rc = profile_mod.main(["ladder", "--smoke", "--mode", "ca",
+                               "--format", "jsonl"])
+        assert rc == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().split("\n")]
+        routines = {line["routine"] for line in lines
+                    if line["type"] == "iss_routine"}
+        assert "mul_sub" in routines and "(top)" in routines
+
+    def test_target_required_without_smoke(self, capsys):
+        with pytest.raises(SystemExit):
+            profile_mod.main([])
+        assert "target is required" in capsys.readouterr().err
+
+    def test_smoke_defaults_to_mul(self, capsys):
+        rc = profile_mod.main(["--smoke"])
+        assert rc == 0
+        assert "instruction mix" in capsys.readouterr().out
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            profile_mod.main(["mul", "--mode", "warp"])
+
+
+class TestMainDispatch:
+    def test_profile_subcommand_routes_through_main(self, capsys):
+        rc = repro_main.main(["profile", "--smoke", "--format", "jsonl"])
+        assert rc == 0
+        first = json.loads(capsys.readouterr().out.split("\n", 1)[0])
+        assert first["type"] in ("span", "iss_group")
+
+    def test_profile_mentioned_in_cli_help(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main.main(["--help"])
+        assert "profile" in capsys.readouterr().out

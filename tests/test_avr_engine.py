@@ -382,11 +382,17 @@ class TestEngineSelection:
         with pytest.raises(ValueError):
             AvrCore(ProgramMemory(), engine="jit")
 
-    def test_profiler_falls_back_to_reference(self):
+    def test_profiler_rides_the_fast_engine(self):
+        # A profiler no longer forces the reference interpreter: the fast
+        # engine dispatches to profiled closures and folds block tallies in.
         core = _fresh_core("fast")
         assemble("    nop\n    break\n").load_into(core.program)
         from repro.avr import Profiler
         prof = Profiler()
         core.attach_profiler(prof)
         core.run()
-        assert core._fast_engine is None  # fast path never constructed
+        assert core._fast_engine is not None
+        assert core._fast_engine.profiled_blocks  # profiled cache was used
+        assert prof.instruction_counts["NOP"] == 1
+        assert prof.instruction_counts["BREAK"] == 1
+        assert prof.total_cycles == core.cycles

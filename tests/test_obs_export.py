@@ -1,0 +1,149 @@
+"""JSONL / Chrome trace export and the Chrome-trace schema validator."""
+
+import json
+
+import pytest
+
+from repro.avr.profiler import Profiler
+from repro.obs.export import (
+    profiler_events,
+    span_events,
+    to_chrome,
+    to_jsonl,
+    validate_chrome,
+)
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        self.now += 1000
+        return self.now
+
+
+@pytest.fixture
+def tracer():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("scalarmult", kind="scalarmult", scalar_bits=4):
+        with tr.span("xadd", kind="point") as xadd:
+            xadd.set(field_ops={"mul": 3, "sqr": 2})
+    return tr
+
+
+@pytest.fixture
+def profiler():
+    prof = Profiler()
+    prof.set_symbols({"start": 0, "mul_sub": 100})
+    prof.instruction_counts["MUL"] = 40
+    prof.cycle_counts["MUL"] = 80
+    prof.instruction_counts["LD"] = 10
+    prof.cycle_counts["LD"] = 20
+    prof.total_instructions = 50
+    prof.total_cycles = 100
+    prof.on_call(100, 5, 10)
+    prof.on_ret(90)
+    return prof
+
+
+class TestSpanEvents:
+    def test_timestamps_relative_to_first_root(self, tracer):
+        events = span_events(tracer)
+        assert [e["name"] for e in events] == ["scalarmult", "xadd"]
+        assert events[0]["ts_us"] == 0.0
+        assert events[0]["depth"] == 0
+        assert events[1]["depth"] == 1
+        assert events[1]["ts_us"] > 0
+        assert events[1]["attrs"]["field_ops"] == {"mul": 3, "sqr": 2}
+
+    def test_profiler_events_cover_groups_and_routines(self, profiler):
+        events = profiler_events(profiler)
+        groups = {e["group"]: e for e in events
+                  if e["type"] == "iss_group"}
+        assert groups["MUL"]["cycles"] == 80
+        routines = {e["routine"]: e for e in events
+                    if e["type"] == "iss_routine"}
+        assert routines["mul_sub"]["cum_cycles"] == 80
+        assert routines["(top)"]["cum_cycles"] == 100
+
+
+class TestJsonl:
+    def test_every_line_is_json_and_typed(self, tracer, profiler):
+        out = to_jsonl(tracer, profiler)
+        lines = [json.loads(line) for line in out.strip().split("\n")]
+        types = {line["type"] for line in lines}
+        assert {"span", "iss_group", "iss_routine", "metrics"} <= types
+        assert lines[-1]["type"] == "metrics"
+
+    def test_spans_only(self, tracer):
+        out = to_jsonl(tracer, metrics=False)
+        lines = [json.loads(line) for line in out.strip().split("\n")]
+        assert all(line["type"] == "span" for line in lines)
+
+
+class TestChrome:
+    def test_trace_validates_and_has_both_tracks(self, tracer, profiler):
+        obj = to_chrome(tracer, profiler, total_cycles=100)
+        validate_chrome(obj)
+        events = obj["traceEvents"]
+        thread_names = {e["args"]["name"] for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert thread_names == {"python-spans", "iss-cycles"}
+        iss = [e for e in events if e["ph"] == "X"
+               and e.get("cat") == "iss"]
+        assert {e["name"] for e in iss} == {"(program)", "mul_sub"}
+        program = next(e for e in iss if e["name"] == "(program)")
+        assert program["dur"] == 100  # 1 simulated cycle = 1 us
+        spans = [e for e in events if e.get("cat") == "scalarmult"]
+        assert spans and spans[0]["name"] == "scalarmult"
+
+    def test_program_frame_falls_back_to_frame_extent(self, profiler):
+        obj = to_chrome(profiler=profiler)
+        program = next(e for e in obj["traceEvents"]
+                       if e.get("name") == "(program)")
+        assert program["dur"] == 90  # last frame's end cycle
+        validate_chrome(obj)
+
+    def test_tracer_only_trace_validates(self, tracer):
+        validate_chrome(to_chrome(tracer))
+
+
+class TestValidateChrome:
+    def _trace(self, **event_overrides):
+        event = {"ph": "X", "name": "op", "pid": 1, "tid": 1,
+                 "ts": 0, "dur": 5}
+        event.update(event_overrides)
+        return {"traceEvents": [event]}
+
+    def test_accepts_well_formed(self):
+        validate_chrome(self._trace())
+
+    @pytest.mark.parametrize("broken", [
+        "not a dict",
+        {"traceEvents": []},
+        {"traceEvents": "nope"},
+        {"traceEvents": ["not an event"]},
+    ])
+    def test_rejects_malformed_containers(self, broken):
+        with pytest.raises(ValueError):
+            validate_chrome(broken)
+
+    @pytest.mark.parametrize("overrides", [
+        {"ph": "Z"},
+        {"name": 42},
+        {"ts": -1},
+        {"dur": None},
+        {"dur": True},
+        {"args": [1, 2]},
+    ])
+    def test_rejects_broken_events(self, overrides):
+        with pytest.raises(ValueError):
+            validate_chrome(self._trace(**overrides))
+
+    def test_rejects_missing_pid(self):
+        trace = self._trace()
+        del trace["traceEvents"][0]["pid"]
+        with pytest.raises(ValueError):
+            validate_chrome(trace)
