@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-bench bench bench-smoke bench-check profile-smoke tables
+.PHONY: test test-bench bench bench-smoke bench-check profile-smoke \
+        faults-smoke tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +27,16 @@ profile-smoke:
 	$(PYTHON) -m repro profile --smoke
 	$(PYTHON) -m repro profile ladder --smoke --format chrome --out /dev/null
 	$(PYTHON) -m repro profile scalarmult --smoke --format jsonl > /dev/null
+
+# Fault-campaign gate (DESIGN.md §7): each --check runs its campaign
+# twice and fails unless the JSONL is byte-identical, the hardened build
+# reports 0 silent corruptions and the baseline reports > 0.  The ladder
+# leg is the acceptance campaign: 200 seeded faults on the CA-mode
+# assembly ladder under the ISS.
+faults-smoke:
+	$(PYTHON) -m repro faults ladder --mode ca --n 200 --seed 7 --check
+	$(PYTHON) -m repro faults ecdh --smoke --check
+	$(PYTHON) -m repro faults ecdsa --smoke --check
 
 tables:
 	$(PYTHON) -m repro all

@@ -16,6 +16,10 @@ estimate* (equivalently, the field-operation trace) varies with the secret.
   iteration count.
 
     python examples/side_channel_leakage.py
+
+Timing leakage is the *passive* half of the implementation-attack story;
+for the active half — transient faults and the countermeasures that
+detect them — see ``fault_injection_demo.py``.
 """
 
 import random

@@ -1,4 +1,4 @@
-"""Command-line interface: tables, benchmarks and profiles.
+"""Command-line interface: tables, benchmarks, profiles and faults.
 
     python -m repro table1            # field-operation runtimes
     python -m repro table2 table3     # several at once
@@ -14,10 +14,17 @@
     python -m repro profile ladder --format chrome --out trace.json
     python -m repro profile scalarmult --format jsonl
     python -m repro profile --smoke   # fast default (mul, small inputs)
+    python -m repro faults ladder --mode ca   # ISS fault campaign,
+                                      # benign/detected/silent breakdown
+    python -m repro faults ecdh --n 200 --seed 7 --format jsonl
+    python -m repro faults ecdsa --check      # determinism + hardening
+                                      # gate (exits non-zero on failure)
 
-``bench`` and ``profile`` own their flag sets; run them with ``--help``
-for the full list (``bench``: --smoke/--check/--jobs/--output/--label;
-``profile``: target, --mode/--format/--reps/--out/--smoke).
+``bench``, ``profile`` and ``faults`` own their flag sets; run them with
+``--help`` for the full list (``bench``: --smoke/--check/--jobs/--output/
+--label; ``profile``: target, --mode/--format/--reps/--out/--smoke;
+``faults``: target, --mode/--n/--seed/--engine/--format/--out/--smoke/
+--check).
 """
 
 from __future__ import annotations
@@ -67,12 +74,16 @@ def main(argv: List[str] = None) -> int:
     if args_in and args_in[0] == "profile":
         from .analysis import profile
         return profile.main(args_in[1:])
+    if args_in and args_in[0] == "faults":
+        from .analysis import faults
+        return faults.main(args_in[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables (paper vs measured).",
         epilog="subcommands: table1 table2 table3 table4 table5 all "
                "leakage | bench (ISS throughput; --smoke/--check) | "
-               "profile (ISS + span profiling; see 'profile --help')",
+               "profile (ISS + span profiling; see 'profile --help') | "
+               "faults (fault-injection campaigns; see 'faults --help')",
     )
     parser.add_argument(
         "targets", nargs="+",

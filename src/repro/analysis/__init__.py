@@ -1,4 +1,15 @@
-"""Table regeneration (paper-vs-measured) shared by benches and examples."""
+"""Analysis harnesses: tables, benchmarks, profiles, leakage and faults.
+
+* ``tables`` — paper-vs-measured table regeneration (``python -m repro
+  table1`` …), shared by benches and examples.
+* ``bench`` — ISS throughput benchmarking (``python -m repro bench``).
+* ``profile`` — engine-speed profiling + span tracing CLI
+  (``python -m repro profile``), per DESIGN.md §4 "Observability".
+* ``leakage`` — the timing-leakage regularity report.
+* ``faults`` — seeded fault-injection campaigns over the kernels and
+  protocols (``python -m repro faults``), per DESIGN.md §7 "Fault model
+  & countermeasures".
+"""
 
 from .bench import (
     CHECK_THRESHOLD,
@@ -27,6 +38,15 @@ from .leakage import (
     relative_spread,
     scalar_weight_correlation,
     welch_t,
+)
+from .faults import (
+    CampaignResult,
+    FaultRecord,
+    run_campaign,
+    run_ecdh_campaign,
+    run_ecdsa_campaign,
+    run_ladder_campaign,
+    run_scalarmult_campaign,
 )
 from .tables import (
     TableResult,
@@ -61,6 +81,13 @@ __all__ = [
     "relative_spread",
     "scalar_weight_correlation",
     "welch_t",
+    "CampaignResult",
+    "FaultRecord",
+    "run_campaign",
+    "run_ecdh_campaign",
+    "run_ecdsa_campaign",
+    "run_ladder_campaign",
+    "run_scalarmult_campaign",
     "TableResult",
     "generate_table1",
     "generate_table2",

@@ -10,7 +10,9 @@ are fully independent.
 
 Results append to ``BENCH_iss.json`` (a list of run records, schema
 below); the benchmark-throughput test validates the schema and asserts
-the recorded speedup stays above :data:`ENGINE_MIN_SPEEDUP`.
+the recorded speedup stays above :data:`ENGINE_MIN_SPEEDUP`.  The engine
+architecture being measured is documented in DESIGN.md §4 "Execution
+engines".
 
 Run-record schema (``schema == 1``)::
 

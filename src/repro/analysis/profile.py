@@ -15,7 +15,9 @@ One command produces the paper's attribution artifacts for any target:
 
 ``--format jsonl`` emits the archival event stream, ``--format chrome``
 a ``chrome://tracing`` / Perfetto trace with the span tree on one track
-and the ISS routine frames (1 cycle = 1 µs) on another.
+and the ISS routine frames (1 cycle = 1 µs) on another.  The three
+cooperating pieces this CLI drives are documented in DESIGN.md §4
+"Observability".
 """
 
 from __future__ import annotations

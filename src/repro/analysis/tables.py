@@ -2,7 +2,8 @@
 
 Each ``generate_table*`` function returns a :class:`TableResult` — a header,
 rows, and a plain-text rendering — so the benchmark files, the examples and
-EXPERIMENTS.md all share one source of truth.
+EXPERIMENTS.md all share one source of truth (the experiment index of
+DESIGN.md §3).
 """
 
 from __future__ import annotations

@@ -1072,6 +1072,29 @@ class FastEngine:
         self.blocks.clear()
         self.profiled_blocks.clear()
 
+    def step_block(self) -> None:
+        """Execute exactly one compiled block from the current PC.
+
+        The fault injector's stride: it advances in block units while a
+        fault trigger is provably more than one block away, then switches
+        to the reference :meth:`~repro.avr.core.AvrCore.step` for the
+        final approach, so faults land on the same instruction boundary
+        under either engine.  Unlike :meth:`run`, the flash version is
+        re-checked on *every* call — a transient opcode corruption between
+        blocks must invalidate before the next dispatch.  Unprofiled only
+        (the injector rejects profiled cores).
+        """
+        core = self.core
+        if core.program.version != self.version:
+            self.invalidate()
+            self.version = core.program.version
+        pc = core.pc
+        fn = self.blocks.get(pc)
+        if fn is None:
+            fn = compile_block(core, pc, False)
+            self.blocks[pc] = fn
+        fn(core)
+
     def run(self, max_steps: int = 50_000_000) -> int:
         core = self.core
         if core.program.version != self.version:

@@ -1,0 +1,166 @@
+"""The fault model: seeded, reproducible ``(cycle, target, kind)`` triples.
+
+Every injected fault is a :class:`FaultSpec` — a frozen description of *when*
+(a trigger cycle), *where* (an architectural target) and *what* (the
+corruption applied).  Campaigns draw their fault lists from
+:func:`generate_faults` with an explicit seed, so a campaign is a pure
+function of ``(program, operands, n, seed)`` and reruns byte-identically.
+The taxonomy (DESIGN.md §7 "Fault model & countermeasures"):
+
+========  =========  =====================================================
+target    kind       effect at the trigger cycle
+========  =========  =====================================================
+sram      bitflip    one bit of one data-space byte inverted
+reg       bitflip    one bit of one general-purpose register inverted
+acc       bitflip    one bit of the MAC accumulator (R0..R8) inverted
+code      skip       the next instruction is fetched but not executed
+code      opcode     one bit of the next fetched instruction word inverted
+                     for a single execution (transient corruption; the
+                     flash word is restored afterwards)
+========  =========  =====================================================
+
+All faults are *transient single faults* — the standard adversary model for
+glitch/EM injection on microcontrollers.  Permanent (stuck-at) faults and
+multi-fault adversaries are out of scope; the countermeasure analysis in
+DESIGN.md states which guarantees survive which model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_TARGETS",
+    "FaultDetectedError",
+    "FaultSpec",
+    "generate_faults",
+]
+
+FAULT_TARGETS = ("sram", "reg", "acc", "code")
+FAULT_KINDS = ("bitflip", "skip", "opcode")
+
+#: Accumulator register window (the ISE MAC unit owns R0..R8).
+ACC_REGISTERS = 9
+
+
+class FaultDetectedError(RuntimeError):
+    """A hardened computation refused to emit a (possibly) corrupted result.
+
+    Raised by the checked ladder, the self-verifying protocol paths and the
+    kernel output validators when a countermeasure trips and bounded retry
+    (where applicable) is exhausted.  Campaigns classify any run ending in
+    this exception as *detected*.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: trigger cycle, target, kind, location.
+
+    ``address`` is a data-space byte address for ``sram``, a register index
+    for ``reg``, an accumulator byte index (0..8, i.e. R0..R8) for ``acc``
+    and unused for ``code`` faults (which strike the instruction at the
+    program counter reached at the trigger cycle).  ``bit`` selects the bit
+    flipped: 0..7 for byte targets, 0..15 for ``opcode`` word corruption,
+    unused for ``skip``.
+
+    The trigger fires at the first *instruction boundary* at which the
+    core's cycle counter has reached ``cycle`` — the same boundary under
+    the reference interpreter and the fast engine, which is what makes the
+    injection engine-independent.
+    """
+
+    cycle: int
+    target: str
+    kind: str
+    address: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("trigger cycle must be non-negative")
+        if self.target not in FAULT_TARGETS:
+            raise ValueError(f"unknown fault target {self.target!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "bitflip":
+            if self.target == "code":
+                raise ValueError("bitflip faults target sram/reg/acc")
+            if not 0 <= self.bit < 8:
+                raise ValueError("byte bitflips select bit 0..7")
+            if self.target == "reg" and not 0 <= self.address < 32:
+                raise ValueError("register fault address must be 0..31")
+            if self.target == "acc" and not 0 <= self.address < ACC_REGISTERS:
+                raise ValueError("accumulator fault address must be 0..8")
+        else:
+            if self.target != "code":
+                raise ValueError(f"{self.kind} faults target 'code'")
+            if self.kind == "opcode" and not 0 <= self.bit < 16:
+                raise ValueError("opcode corruption selects bit 0..15")
+
+    def describe(self) -> str:
+        if self.kind == "bitflip":
+            return (f"{self.target}[{self.address:#06x}] bit {self.bit} "
+                    f"@ cycle {self.cycle}")
+        if self.kind == "skip":
+            return f"instruction skip @ cycle {self.cycle}"
+        return f"opcode bit {self.bit} @ cycle {self.cycle}"
+
+    def as_dict(self) -> dict:
+        return {"cycle": self.cycle, "target": self.target,
+                "kind": self.kind, "address": self.address, "bit": self.bit}
+
+
+def generate_faults(n: int, seed: int, max_cycle: int,
+                    sram_ranges: Sequence[Tuple[int, int]] = (),
+                    registers: bool = True,
+                    accumulator: bool = False,
+                    code: bool = True) -> List[FaultSpec]:
+    """Draw *n* seeded faults with trigger cycles in ``[1, max_cycle)``.
+
+    ``sram_ranges`` lists half-open byte-address windows eligible for SRAM
+    flips (normally the kernel's operand/state region — faults in untouched
+    SRAM are trivially benign and would only dilute the campaign).
+    ``accumulator`` should be enabled for ISE-mode campaigns only; CA/FAST
+    cores have no MAC unit to strike.
+    """
+    if n < 0:
+        raise ValueError("fault count must be non-negative")
+    if max_cycle < 2:
+        raise ValueError("max_cycle must leave room for a trigger >= 1")
+    menu: List[str] = []
+    if sram_ranges:
+        menu.append("sram")
+    if registers:
+        menu.append("reg")
+    if accumulator:
+        menu.append("acc")
+    if code:
+        menu.extend(["skip", "opcode"])
+    if not menu:
+        raise ValueError("no fault targets enabled")
+    rng = random.Random(seed)
+    faults: List[FaultSpec] = []
+    for _ in range(n):
+        cycle = rng.randrange(1, max_cycle)
+        choice = menu[rng.randrange(len(menu))]
+        if choice == "sram":
+            lo, hi = sram_ranges[rng.randrange(len(sram_ranges))]
+            faults.append(FaultSpec(cycle, "sram", "bitflip",
+                                    rng.randrange(lo, hi), rng.randrange(8)))
+        elif choice == "reg":
+            faults.append(FaultSpec(cycle, "reg", "bitflip",
+                                    rng.randrange(32), rng.randrange(8)))
+        elif choice == "acc":
+            faults.append(FaultSpec(cycle, "acc", "bitflip",
+                                    rng.randrange(ACC_REGISTERS),
+                                    rng.randrange(8)))
+        elif choice == "skip":
+            faults.append(FaultSpec(cycle, "code", "skip"))
+        else:
+            faults.append(FaultSpec(cycle, "code", "opcode",
+                                    bit=rng.randrange(16)))
+    return faults

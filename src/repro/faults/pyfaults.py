@@ -1,0 +1,146 @@
+"""Algorithm-level fault hooks for the Python ECC implementations.
+
+The ISS-level injector (:mod:`repro.faults.injector`) strikes the simulated
+hardware; the helpers here model the *same adversary* one abstraction up, so
+campaigns can measure countermeasure coverage on the Python ladder and the
+protocol layers without paying simulator time (DESIGN.md §7):
+
+* :class:`LadderFault` — corrupt one ladder-state coordinate after one
+  chosen rung, via the ``step_hook`` seam of
+  :func:`repro.scalarmult.montgomery_ladder_x`.
+* :class:`FaultyMult` — wrap a scalar-multiplication backend and corrupt
+  the result (coordinate bit flip) or the scalar (transient bit flip) of
+  exactly one call, leaving retries clean — the single-transient-fault
+  model protocol hardening is designed against.
+* :func:`flip_element` — the shared one-bit field-element corruption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..curves.montgomery import XZPoint
+from ..curves.point import AffinePoint, MaybePoint
+from ..field.element import FpElement
+
+__all__ = [
+    "FaultyMult",
+    "LadderFault",
+    "flip_element",
+    "generate_ladder_faults",
+    "generate_mult_faults",
+]
+
+
+def flip_element(element: FpElement, bit: int) -> FpElement:
+    """Return *element* with one bit of its canonical residue inverted."""
+    return element.field.from_int(element.to_int() ^ (1 << bit))
+
+
+@dataclass(frozen=True)
+class LadderFault:
+    """Flip one bit of one ladder-state coordinate after one rung.
+
+    ``register`` selects R0 (the accumulating point) or R1 (the +P
+    companion); ``coord`` the X or Z coordinate; ``rung`` counts processed
+    scalar bits MSB-first starting at 0.
+    """
+
+    rung: int
+    register: str  # "r0" | "r1"
+    coord: str     # "x" | "z"
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.register not in ("r0", "r1"):
+            raise ValueError("register must be 'r0' or 'r1'")
+        if self.coord not in ("x", "z"):
+            raise ValueError("coord must be 'x' or 'z'")
+        if self.rung < 0 or self.bit < 0:
+            raise ValueError("rung and bit must be non-negative")
+
+    def hook(self) -> Callable:
+        """A ``step_hook`` for the ladder applying this fault once."""
+        def step_hook(rung: int, r0: XZPoint, r1: XZPoint):
+            if rung != self.rung:
+                return None
+            point = r0 if self.register == "r0" else r1
+            x, z = point.x, point.z
+            if self.coord == "x":
+                x = flip_element(x, self.bit)
+            else:
+                z = flip_element(z, self.bit)
+            faulted = XZPoint(x, z)
+            return (faulted, r1) if self.register == "r0" else (r0, faulted)
+        return step_hook
+
+    def as_dict(self) -> dict:
+        return {"rung": self.rung, "register": self.register,
+                "coord": self.coord, "bit": self.bit}
+
+
+def generate_ladder_faults(n: int, seed: int, rungs: int,
+                           bits: int = 160) -> List[LadderFault]:
+    """Seeded ladder-state faults (uniform over rung, register, coord, bit)."""
+    rng = random.Random(seed)
+    faults = []
+    for _ in range(n):
+        faults.append(LadderFault(
+            rung=rng.randrange(rungs),
+            register=("r0", "r1")[rng.randrange(2)],
+            coord=("x", "z")[rng.randrange(2)],
+            bit=rng.randrange(bits),
+        ))
+    return faults
+
+
+class FaultyMult:
+    """Corrupt exactly one call of a scalar-multiplication backend.
+
+    ``kind="x"``/``"y"`` flips one bit of that coordinate of the returned
+    point; ``kind="scalar"`` flips one bit of the scalar *used inside the
+    corrupted call* (the stored key material is untouched, so a clean
+    retry recomputes correctly — a transient datapath fault, not key
+    corruption).  Calls are counted from 0 across the wrapper's lifetime.
+    """
+
+    def __init__(self, mult: Callable[[int, AffinePoint], MaybePoint],
+                 call_index: int = 0, kind: str = "x", bit: int = 0):
+        if kind not in ("x", "y", "scalar"):
+            raise ValueError("kind must be 'x', 'y' or 'scalar'")
+        self.mult = mult
+        self.call_index = call_index
+        self.kind = kind
+        self.bit = bit
+        self.calls = 0
+
+    def __call__(self, k: int, point: AffinePoint) -> MaybePoint:
+        index = self.calls
+        self.calls += 1
+        if index != self.call_index:
+            return self.mult(k, point)
+        if self.kind == "scalar":
+            return self.mult(k ^ (1 << self.bit), point)
+        result = self.mult(k, point)
+        if result is None:
+            return result
+        if self.kind == "x":
+            return AffinePoint(flip_element(result.x, self.bit), result.y)
+        return AffinePoint(result.x, flip_element(result.y, self.bit))
+
+    def as_dict(self) -> dict:
+        return {"call_index": self.call_index, "kind": self.kind,
+                "bit": self.bit}
+
+
+def generate_mult_faults(n: int, seed: int, bits: int = 160) -> List[dict]:
+    """Seeded parameter dicts for :class:`FaultyMult` (call 0 of each run)."""
+    rng = random.Random(seed)
+    faults = []
+    for _ in range(n):
+        kind = ("x", "y", "scalar")[rng.randrange(3)]
+        faults.append({"call_index": 0, "kind": kind,
+                       "bit": rng.randrange(bits)})
+    return faults

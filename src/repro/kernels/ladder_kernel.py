@@ -245,6 +245,7 @@ class LadderKernel:
         self.constants = constants
         self.mode = mode
         self.scalar_bytes = scalar_bytes
+        self._engine = engine
         self.program = assemble(
             generate_ladder_program(constants, mode, scalar_bytes)
         )
@@ -252,6 +253,20 @@ class LadderKernel:
                             sram_size=4096, engine=engine)
         self.program.load_into(self.core.program)
         self.profiler: Optional[Profiler] = None
+
+    def reset_core(self) -> None:
+        """Replace the core with a factory-fresh one (same program).
+
+        Fault campaigns call this between trials: a bit flip in untouched
+        SRAM (or a corrupted stack region) must not leak into the next
+        run.  Compiled blocks are re-served from the fast engine's global
+        cache, so the rebuild costs microseconds, not a recompile.
+        """
+        self.core = AvrCore(ProgramMemory(num_words=65536), mode=self.mode,
+                            sram_size=4096, engine=self._engine)
+        self.program.load_into(self.core.program)
+        if self.profiler is not None:
+            self.core.attach_profiler(self.profiler)
 
     @property
     def code_bytes(self) -> int:
@@ -264,14 +279,13 @@ class LadderKernel:
         self.core.attach_profiler(self.profiler)
         return self.profiler
 
-    def run(self, k: int, base_x: int,
-            max_steps: int = 200_000_000) -> Tuple[int, int, int]:
-        """Execute the ladder; returns (X, Z, cycles) with x(kP) = X/Z.
+    def load_operands(self, k: int, base_x: int) -> None:
+        """Stage ladder state, scalar and base point; reset the core.
 
-        The multiplication kernel computes Montgomery products, so the
-        ladder state is kept in the Montgomery domain (value * R mod p);
-        on a real device these constants would be precomputed once.  The
-        R factors cancel in the returned projective ratio X/Z.
+        Factored out of :meth:`run` so a fault campaign can stage a trial
+        and then drive the core through a
+        :class:`~repro.faults.injector.FaultInjector` instead of
+        :meth:`AvrCore.run`.
         """
         bits = 8 * self.scalar_bytes
         if not 0 <= k < (1 << bits):
@@ -291,10 +305,82 @@ class LadderKernel:
         if self.profiler is not None:
             self.profiler.reset()
         self.core.reset(pc=0)  # also restores SP to top-of-SRAM
+
+    def output_state(self) -> Dict[str, int]:
+        """Raw (Montgomery-domain) ladder output slots after a run.
+
+        R0 = (X1 : Z1) is the result k*P; R1 = (X2 : Z2) is the ladder's
+        retained companion (k+1)*P — kept accessible because the coherence
+        countermeasure (:meth:`validate_output`) needs both.
+        """
+        data = self.core.data
+        return {name: int.from_bytes(data.dump_bytes(SLOTS[name], 20),
+                                     "little")
+                for name in ("X1", "Z1", "X2", "Z2")}
+
+    def validate_output(self, k: int, curve, base) -> Optional[str]:
+        """Host-side countermeasure chain; returns the failed check or None.
+
+        Mirrors what hardened device firmware would run after the ladder
+        (DESIGN.md §7), in escalating cost order:
+
+        * ``"scalar-integrity"`` — the SRAM scalar buffer no longer holds
+          ``k`` (the driver never writes it, so any change is a fault);
+        * ``"output-format"`` — Z of the result is 0 (k*P = O is not
+          reachable for campaign scalars);
+        * ``"on-curve"`` — the affine x of R0 lifts to no curve point;
+        * ``"ladder-coherence"`` — Okeya-Sakurai y-recovery from
+          (x(R0), x(R1)) leaves the curve, i.e. R1 - R0 != P.
+
+        *curve* / *base* are the host-side Montgomery curve and affine
+        base point over the same prime (the R factors of the Montgomery-
+        domain slots cancel in the projective ratios).
+        """
+        p = self.constants.p
+        if curve.field.p != p:
+            raise ValueError("validation curve is over a different prime")
+        data = self.core.data
+        buf = data.dump_bytes(ADDR_SCALAR, self.scalar_bytes)
+        if int.from_bytes(buf, "little") != k:
+            return "scalar-integrity"
+        state = self.output_state()
+        z1 = state["Z1"] % p
+        if z1 == 0:
+            return "output-format"
+        f = curve.field
+        x0 = state["X1"] * pow(z1, -1, p) % p
+        try:
+            curve.lift_x(x0)
+        except ValueError:
+            return "on-curve"
+        z2 = state["Z2"] % p
+        if z2 == 0:
+            # (k+1)P = O means kP = -P: coherent only if x0 = x(P).
+            if x0 != base.x.to_int():
+                return "ladder-coherence"
+            return None
+        x_next = state["X2"] * pow(z2, -1, p) % p
+        recovered = curve.recover_y(base, f.from_int(x0),
+                                    f.from_int(x_next))
+        if not curve.is_on_curve(recovered):
+            return "ladder-coherence"
+        return None
+
+    def run(self, k: int, base_x: int,
+            max_steps: int = 200_000_000) -> Tuple[int, int, int]:
+        """Execute the ladder; returns (X, Z, cycles) with x(kP) = X/Z.
+
+        The multiplication kernel computes Montgomery products, so the
+        ladder state is kept in the Montgomery domain (value * R mod p);
+        on a real device these constants would be precomputed once.  The
+        R factors cancel in the returned projective ratio X/Z.
+        """
+        self.load_operands(k, base_x)
         tr = _trace.CURRENT
         span = tr.start("ladder_kernel", kind="kernel",
                         mode=self.mode.name,
-                        scalar_bits=bits) if tr is not None else None
+                        scalar_bits=8 * self.scalar_bytes) \
+            if tr is not None else None
         try:
             cycles = self.core.run(max_steps=max_steps)
         finally:
@@ -302,6 +388,7 @@ class LadderKernel:
                 span.set(cycles=self.core.cycles,
                          instructions=self.core.instructions_retired)
                 tr.end(span)
+        data = self.core.data
         x_out = int.from_bytes(data.dump_bytes(SLOTS["X1"], 20), "little")
         z_out = int.from_bytes(data.dump_bytes(SLOTS["Z1"], 20), "little")
         return x_out, z_out, cycles

@@ -14,7 +14,10 @@ speed, for any kernel / curve / mode:
   (``chrome://tracing`` / Perfetto) output, plus the schema validator.
 
 Engine-speed ISS profiling itself lives with the core it observes
-(:mod:`repro.avr.profiler`); this package consumes its results.
+(:mod:`repro.avr.profiler`); this package consumes its results.  The
+architecture is documented in DESIGN.md §4 "Observability"; the export
+layer additionally carries the fault-campaign record stream of
+DESIGN.md §7 "Fault model & countermeasures".
 """
 
 from .export import (

@@ -3,8 +3,13 @@
 Two consumers, two formats:
 
 * **JSONL** — one self-describing JSON object per line (``type`` field:
-  ``span`` / ``iss_group`` / ``iss_routine`` / ``metrics``), the grep- and
-  pandas-friendly archival format.
+  ``span`` / ``iss_group`` / ``iss_routine`` / ``metrics`` /
+  ``fault_trial`` / ``fault_summary``), the grep- and pandas-friendly
+  archival format.  Fault-campaign records (DESIGN.md §7 "Fault model &
+  countermeasures") go through :func:`fault_events` /
+  :func:`faults_to_jsonl`, which deliberately exclude timestamps and the
+  process-global metrics snapshot so two identical seeded campaigns
+  serialize byte-identically.
 * **Chrome trace events** — the ``chrome://tracing`` / Perfetto JSON
   object format.  Python-side spans land on one track in wall-clock
   microseconds; ISS routine frames land on a second track in the *cycle*
@@ -26,6 +31,8 @@ from .trace import Tracer
 __all__ = [
     "span_events",
     "profiler_events",
+    "fault_events",
+    "faults_to_jsonl",
     "to_jsonl",
     "to_chrome",
     "validate_chrome",
@@ -84,6 +91,36 @@ def to_jsonl(tracer: Optional[Tracer] = None, profiler: Any = None,
         events.extend(profiler_events(profiler))
     if metrics:
         events.append({"type": "metrics", "values": METRICS.snapshot()})
+    return "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
+
+
+def fault_events(records: List[Any],
+                 summary: Optional[Dict[str, Any]] = None,
+                 ) -> List[Dict[str, Any]]:
+    """Flatten fault-campaign trial records into JSONL-ready dicts.
+
+    *records* are objects exposing ``as_dict()`` (e.g.
+    :class:`repro.analysis.faults.FaultRecord`); an optional *summary*
+    dict is appended as a single ``fault_summary`` line.  No timestamps
+    or host state enter the stream — determinism is part of the campaign
+    contract (same seed, byte-identical JSONL).
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        event = {"type": "fault_trial"}
+        event.update(record.as_dict())
+        events.append(event)
+    if summary is not None:
+        event = {"type": "fault_summary"}
+        event.update(summary)
+        events.append(event)
+    return events
+
+
+def faults_to_jsonl(records: List[Any],
+                    summary: Optional[Dict[str, Any]] = None) -> str:
+    """Serialize fault-campaign records (and summary) as JSON lines."""
+    events = fault_events(records, summary)
     return "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
 
 

@@ -7,6 +7,7 @@ the engine-health numbers it was produced under.
 
 The registry is intentionally minimal — named counters (monotonic) and
 gauges (set-to-latest) with a dict snapshot — not a Prometheus client.
+(The "Exports + CLI" piece of DESIGN.md §4 "Observability".)
 """
 
 from __future__ import annotations

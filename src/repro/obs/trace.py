@@ -8,7 +8,8 @@ operation a child span, every field operation (optionally) a grandchild,
 and kernel executions on the simulator attach their measured ISS cycles.
 Each span records wall time plus the :class:`~repro.field.counters
 .FieldOpCounter` / :class:`~repro.mpa.counters.WordOpCounter` deltas that
-accumulated inside it, so one traced run yields the whole cost hierarchy.
+accumulated inside it, so one traced run yields the whole cost hierarchy
+(the "Hierarchical spans" piece of DESIGN.md §4 "Observability").
 
 Instrumentation contract (kept deliberately cheap):
 

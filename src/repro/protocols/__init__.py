@@ -1,4 +1,11 @@
-"""Protocol layer: ECDH (x-only and full-point), ECDSA, Schnorr."""
+"""Protocol layer: ECDH (x-only and full-point), ECDSA, Schnorr.
+
+All ECC protocols are fault-hardened by default — input validation,
+redundant/coherence-checked scalar multiplication, verify-after-sign,
+bounded retry — per DESIGN.md §7 "Fault model & countermeasures";
+construct with ``hardened=False`` for the bare baseline the fault
+campaigns (``python -m repro faults``) measure against.
+"""
 
 from .ecdh import FullPointEcdh, KeyPair, XOnlyEcdh, XOnlyKeyPair
 from .ecdsa import Ecdsa, Signature, deterministic_nonce

@@ -5,6 +5,22 @@ construction, simplified) so signing is reproducible in tests and leaks no
 RNG state.  Verification uses Shamir's trick for the double-scalar
 multiplication — the same simultaneous-evaluation machinery the GLV method
 exercises.
+
+Hardened by default (DESIGN.md §7 "Fault model & countermeasures"):
+
+* the nonce scalar multiplication runs on an order-blinded scalar
+  (:func:`~repro.scalarmult.blind_scalar` — deterministic derivation, so
+  signatures stay bit-reproducible);
+* **verify-after-sign**: every signature is verified against a freshly
+  computed public key before being released, with bounded retry — a
+  faulted signing never emits an invalid (or fault-attack-exploitable)
+  signature, it raises ``FaultDetectedError``;
+* ``verify`` additionally rejects public keys outside the prime-order
+  subgroup.
+
+``hardened=False`` restores the bare sign path (the fault-campaign
+baseline).  The scalar-multiplication backend is pluggable via ``mult`` —
+the campaign's corruption seam.
 """
 
 from __future__ import annotations
@@ -12,11 +28,18 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from ..curves.point import AffinePoint
+from ..curves.point import AffinePoint, MaybePoint
+from ..curves.validate import validate_public_point, validate_scalar
 from ..curves.weierstrass import WeierstrassCurve
-from ..scalarmult import adapter_for, scalar_mult_naf, shamir_scalar_mult
+from ..faults.model import FaultDetectedError
+from ..scalarmult import (
+    adapter_for,
+    blind_scalar,
+    scalar_mult_naf,
+    shamir_scalar_mult,
+)
 
 
 @dataclass(frozen=True)
@@ -48,19 +71,28 @@ def deterministic_nonce(private: int, digest: bytes, order: int) -> int:
 class Ecdsa:
     """Sign/verify over a Weierstraß curve with known prime order."""
 
-    def __init__(self, curve: WeierstrassCurve, base: AffinePoint, order: int):
+    def __init__(self, curve: WeierstrassCurve, base: AffinePoint, order: int,
+                 mult: Optional[Callable] = None, hardened: bool = True,
+                 max_retries: int = 2):
         if not curve.is_on_curve(base):
             raise ValueError("base point is not on the curve")
         self.curve = curve
         self.base = base
         self.order = order
+        self.hardened = hardened
+        self.max_retries = max_retries
+        self._mult = mult or self._default_mult
+        #: Countermeasure fired during the last sign (or None).
+        self.last_detection: Optional[str] = None
+
+    def _default_mult(self, k: int, point: AffinePoint) -> MaybePoint:
+        return scalar_mult_naf(adapter_for(self.curve, point), k)
 
     # -- key handling -----------------------------------------------------
 
     def public_key(self, private: int) -> AffinePoint:
-        if not 1 <= private < self.order:
-            raise ValueError("private key out of range")
-        point = scalar_mult_naf(adapter_for(self.curve, self.base), private)
+        validate_scalar(private, self.order)
+        point = self._mult(private, self.base)
         if point is None:
             raise AssertionError("private key maps base to infinity")
         return point
@@ -73,8 +105,8 @@ class Ecdsa:
 
     def sign(self, private: int, message: bytes,
              nonce: Optional[int] = None) -> Signature:
-        if not 1 <= private < self.order:
-            raise ValueError("private key out of range")
+        self.last_detection = None
+        validate_scalar(private, self.order)
         e = self._hash(message)
         digest = hashlib.sha256(message).digest()
         k = nonce if nonce is not None else deterministic_nonce(
@@ -82,24 +114,47 @@ class Ecdsa:
         )
         if not 1 <= k < self.order:
             raise ValueError("nonce out of range")
-        point = scalar_mult_naf(adapter_for(self.curve, self.base), k)
-        if point is None:
-            raise ValueError("nonce maps base to infinity; pick another")
-        r = point.x.to_int() % self.order
-        if r == 0:
-            raise ValueError("r = 0; pick another nonce")
-        k_inv = pow(k, -1, self.order)
-        s = k_inv * (e + r * private) % self.order
-        if s == 0:
-            raise ValueError("s = 0; pick another nonce")
-        return Signature(r=r, s=s)
+        # Blinding leaves k*G (hence r, s) unchanged: order * G = O.
+        k_eff = blind_scalar(k, self.order, digest) if self.hardened else k
+        attempts = (self.max_retries + 1) if self.hardened else 1
+        error: Optional[FaultDetectedError] = None
+        for _attempt in range(attempts):
+            point = self._mult(k_eff, self.base)
+            if point is None:
+                if not self.hardened:
+                    raise ValueError(
+                        "nonce maps base to infinity; pick another")
+                self.last_detection = "verify-after-sign"
+                error = FaultDetectedError(
+                    "nonce multiplication returned infinity")
+                continue
+            r = point.x.to_int() % self.order
+            if r == 0:
+                raise ValueError("r = 0; pick another nonce")
+            k_inv = pow(k, -1, self.order)
+            s = k_inv * (e + r * private) % self.order
+            if s == 0:
+                raise ValueError("s = 0; pick another nonce")
+            signature = Signature(r=r, s=s)
+            if not self.hardened:
+                return signature
+            public = self._mult(private, self.base)
+            if public is not None and self.verify(public, message, signature):
+                return signature
+            self.last_detection = "verify-after-sign"
+            error = FaultDetectedError(
+                "signature failed post-sign verification")
+        raise error
 
     def verify(self, public: AffinePoint, message: bytes,
                signature: Signature) -> bool:
         r, s = signature.r, signature.s
         if not (1 <= r < self.order and 1 <= s < self.order):
             return False
-        if not self.curve.is_on_curve(public):
+        try:
+            validate_public_point(self.curve, public,
+                                  self.order if self.hardened else None)
+        except ValueError:
             return False
         e = self._hash(message)
         w = pow(s, -1, self.order)

@@ -4,15 +4,25 @@ Included because the paper positions its ASIP for generic PKC services
 ("encryption, authentication, and key establishment"); Schnorr needs no
 modular inversion at signing time, which matters on a device whose
 inversion costs ~189k cycles.
+
+Hardened by default (DESIGN.md §7 "Fault model & countermeasures"):
+signing verifies its own signature before release (bounded retry, then
+``FaultDetectedError``), and ``verify`` rejects public keys that are off
+the curve or outside the prime-order subgroup — the bare original
+accepted any coordinate pair.  ``hardened=False`` restores the bare sign
+path; the scalar-multiplication backend is pluggable via ``mult`` (the
+fault campaigns' corruption seam).
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from ..curves.point import AffinePoint
+from ..curves.point import AffinePoint, MaybePoint
+from ..curves.validate import validate_public_point, validate_scalar
+from ..faults.model import FaultDetectedError
 from ..scalarmult import adapter_for, scalar_mult_naf, shamir_scalar_mult
 from .ecdsa import deterministic_nonce
 
@@ -26,19 +36,34 @@ class SchnorrSignature:
 class Schnorr:
     """Schnorr sign/verify over a curve with known prime order."""
 
-    def __init__(self, curve, base: AffinePoint, order: int):
+    def __init__(self, curve, base: AffinePoint, order: int,
+                 mult: Optional[Callable] = None, hardened: bool = True,
+                 max_retries: int = 2):
+        if not curve.is_on_curve(base):
+            raise ValueError("base point is not on the curve")
         self.curve = curve
         self.base = base
         self.order = order
+        self.hardened = hardened
+        self.max_retries = max_retries
+        self._mult = mult or self._default_mult
+        #: Countermeasure fired during the last sign (or None).
+        self.last_detection: Optional[str] = None
+
+    def _default_mult(self, k: int, point: AffinePoint) -> MaybePoint:
+        return scalar_mult_naf(adapter_for(self.curve, point), k)
 
     def public_key(self, private: int) -> AffinePoint:
-        point = scalar_mult_naf(adapter_for(self.curve, self.base), private)
+        validate_scalar(private, self.order)
+        point = self._mult(private, self.base)
         if point is None:
             raise AssertionError("private key maps base to infinity")
         return point
 
     def _challenge(self, commitment: AffinePoint, message: bytes) -> int:
-        size = (self.order.bit_length() + 7) // 8
+        # Coordinates live in the field, the challenge in Z_order; size
+        # for whichever is wider (toy subgroups have order << p).
+        size = (max(self.order, self.curve.field.p).bit_length() + 7) // 8
         payload = (
             commitment.x.to_int().to_bytes(size, "big")
             + commitment.y.to_int().to_bytes(size, "big")
@@ -49,23 +74,46 @@ class Schnorr:
 
     def sign(self, private: int, message: bytes,
              nonce: Optional[int] = None) -> SchnorrSignature:
-        if not 1 <= private < self.order:
-            raise ValueError("private key out of range")
+        self.last_detection = None
+        validate_scalar(private, self.order)
         digest = hashlib.sha256(message).digest()
         k = nonce if nonce is not None else deterministic_nonce(
             private, b"schnorr" + digest, self.order
         )
-        commitment = scalar_mult_naf(adapter_for(self.curve, self.base), k)
-        if commitment is None:
-            raise ValueError("nonce maps base to infinity; pick another")
-        e = self._challenge(commitment, message)
-        s = (k + e * private) % self.order
-        return SchnorrSignature(challenge=e, response=s)
+        attempts = (self.max_retries + 1) if self.hardened else 1
+        error: Optional[FaultDetectedError] = None
+        for _attempt in range(attempts):
+            commitment = self._mult(k, self.base)
+            if commitment is None:
+                if not self.hardened:
+                    raise ValueError(
+                        "nonce maps base to infinity; pick another")
+                self.last_detection = "verify-after-sign"
+                error = FaultDetectedError(
+                    "nonce multiplication returned infinity")
+                continue
+            e = self._challenge(commitment, message)
+            s = (k + e * private) % self.order
+            signature = SchnorrSignature(challenge=e, response=s)
+            if not self.hardened:
+                return signature
+            public = self._mult(private, self.base)
+            if public is not None and self.verify(public, message, signature):
+                return signature
+            self.last_detection = "verify-after-sign"
+            error = FaultDetectedError(
+                "signature failed post-sign verification")
+        raise error
 
     def verify(self, public: AffinePoint, message: bytes,
                signature: SchnorrSignature) -> bool:
         e, s = signature.challenge, signature.response
         if not (0 <= e < self.order and 0 <= s < self.order):
+            return False
+        try:
+            validate_public_point(self.curve, public,
+                                  self.order if self.hardened else None)
+        except ValueError:
             return False
         # R' = s*G - e*P; accept iff H(R', m) == e.
         neg_pub = self.curve.affine_neg(public)

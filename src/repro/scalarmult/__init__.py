@@ -11,13 +11,16 @@ for Weierstraß-form curves (:func:`coz_ladder`).
 
 from .adapters import EdwardsAdapter, GroupAdapter, WeierstrassAdapter, adapter_for
 from .algorithms import scalar_mult_binary, scalar_mult_daaa, scalar_mult_naf
+from .blinding import blind_scalar, blinding_factor
 from .glv_mult import glv_precompute, glv_scalar_mult, shamir_scalar_mult
 from .ladder import (
     coz_ladder,
     coz_ladder_xy,
     dblu,
+    ladder_coherence_check,
     montgomery_ladder_full,
     montgomery_ladder_x,
+    montgomery_ladder_x_checked,
     zaddc,
     zaddc_xy,
     zaddu,
@@ -45,6 +48,8 @@ __all__ = [
     "WeierstrassAdapter",
     "adapter_for",
     "binary_digits",
+    "blind_scalar",
+    "blinding_factor",
     "coz_ladder",
     "coz_ladder_xy",
     "dblu",
@@ -53,8 +58,10 @@ __all__ = [
     "hamming_weight",
     "jsf_digits",
     "joint_weight",
+    "ladder_coherence_check",
     "montgomery_ladder_full",
     "montgomery_ladder_x",
+    "montgomery_ladder_x_checked",
     "naf_digits",
     "naf_value",
     "scalar_mult_binary",

@@ -1,0 +1,50 @@
+"""Deterministic scalar blinding (a fault/DPA countermeasure).
+
+Classic Coron-style scalar blinding computes ``k' = k + r * n`` for a fresh
+random ``r`` and group order ``n``: ``k' * P == k * P``, but the bit pattern
+the ladder consumes differs on every execution, so a fault (or power trace)
+targeting a specific scalar bit no longer hits a fixed secret bit, and two
+redundant executions walk *different* intermediate states.
+
+On a real device ``r`` comes from the TRNG.  The reproduction derives it
+**deterministically** (HMAC-SHA-256 over the scalar, order and a caller
+context) so that campaigns, tests and RFC-6979-style deterministic
+signatures stay bit-reproducible — the blinded scalar is still unknowable
+without the secret, which is the property the countermeasure needs; only
+the freshness-per-execution of true randomization is modelled away
+(documented in DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["blind_scalar", "blinding_factor"]
+
+_TAG = b"repro-scalar-blinding-v1"
+
+#: Default blinding-factor width; 32 bits adds two 32-bit limbs of ladder
+#: work, the usual embedded trade-off (a 160-bit order dwarfs 2^-32 bias).
+DEFAULT_BITS = 32
+
+
+def blinding_factor(k: int, order: int, context: bytes = b"",
+                    bits: int = DEFAULT_BITS) -> int:
+    """A deterministic, nonzero blinding multiplier ``r`` of *bits* bits."""
+    if order <= 0:
+        raise ValueError("order must be positive")
+    if not 8 <= bits <= 256:
+        raise ValueError("blinding width must be 8..256 bits")
+    size = (max(k.bit_length(), order.bit_length()) + 7) // 8 or 1
+    mac = hmac.new(_TAG + context,
+                   k.to_bytes(size, "big") + order.to_bytes(size, "big"),
+                   hashlib.sha256).digest()
+    r = int.from_bytes(mac, "big") >> (256 - bits)
+    return r | 1  # never zero
+
+
+def blind_scalar(k: int, order: int, context: bytes = b"",
+                 bits: int = DEFAULT_BITS) -> int:
+    """Return ``k + r * order`` with a deterministic nonzero ``r``."""
+    return k + blinding_factor(k, order, context, bits) * order

@@ -15,11 +15,12 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..curves.montgomery import MontgomeryCurve, XZPoint
 from ..curves.point import AffinePoint, MaybePoint
 from ..curves.weierstrass import JacobianPoint, WeierstrassCurve
+from ..faults.model import FaultDetectedError
 from ..obs.trace import traced
 
 #: Tracing hooks for the ladder entry points (curve-first signatures).
@@ -29,29 +30,107 @@ _ladder_attrs = lambda curve, k, *a, **kw: (    # noqa: E731
     {"scalar_bits": k.bit_length()})
 
 
-@traced("montgomery_ladder_x", kind="scalarmult",
-        counter=_ladder_counter, attrs_fn=_ladder_attrs)
-def montgomery_ladder_x(curve: MontgomeryCurve, k: int, base: AffinePoint,
-                        bits: Optional[int] = None) -> XZPoint:
-    """x-only ladder: returns (X : Z) of k*P.
+#: A fault-campaign seam: called after each rung as ``hook(rung, r0, r1)``
+#: (rung counts processed bits MSB-first from 0); a non-None return value
+#: replaces the ladder state.  See :mod:`repro.faults.pyfaults`.
+StepHook = Callable[[int, XZPoint, XZPoint], Optional[Tuple[XZPoint,
+                                                            XZPoint]]]
 
-    With ``bits`` set (normally the group-order length) the ladder performs
-    exactly that many add+double rungs regardless of the scalar value.
-    """
+
+def _ladder_length(k: int, bits: Optional[int]) -> int:
     if k < 0:
         raise ValueError("scalar must be non-negative")
     length = bits if bits is not None else max(1, k.bit_length())
     if k.bit_length() > length:
         raise ValueError(f"scalar does not fit in {length} bits")
+    return length
+
+
+def _ladder_xz(curve: MontgomeryCurve, k: int, base: AffinePoint,
+               length: int, step_hook: Optional[StepHook] = None,
+               ) -> Tuple[XZPoint, XZPoint]:
+    """The shared rung loop; returns both ladder outputs (R0, R1).
+
+    The loop maintains R1 - R0 = P; the final pair therefore satisfies
+    (R0, R1) = (k*P, (k+1)*P), which is what the coherence check below
+    re-verifies via y-recovery.
+    """
     f = curve.field
     base_xz = curve.xz_from_affine(base)
     r0 = XZPoint(f.one, f.zero)  # the point at infinity
     r1 = base_xz
+    rung = 0
     for i in range(length - 1, -1, -1):
         if (k >> i) & 1:
             r0, r1 = curve.xadd(r0, r1, base_xz), curve.xdbl(r1)
         else:
             r0, r1 = curve.xdbl(r0), curve.xadd(r0, r1, base_xz)
+        if step_hook is not None:
+            faulted = step_hook(rung, r0, r1)
+            if faulted is not None:
+                r0, r1 = faulted
+        rung += 1
+    return r0, r1
+
+
+@traced("montgomery_ladder_x", kind="scalarmult",
+        counter=_ladder_counter, attrs_fn=_ladder_attrs)
+def montgomery_ladder_x(curve: MontgomeryCurve, k: int, base: AffinePoint,
+                        bits: Optional[int] = None,
+                        step_hook: Optional[StepHook] = None) -> XZPoint:
+    """x-only ladder: returns (X : Z) of k*P.
+
+    With ``bits`` set (normally the group-order length) the ladder performs
+    exactly that many add+double rungs regardless of the scalar value.
+    ``step_hook`` is the fault-injection seam (see :data:`StepHook`).
+    """
+    length = _ladder_length(k, bits)
+    r0, _r1 = _ladder_xz(curve, k, base, length, step_hook)
+    return r0
+
+
+def ladder_coherence_check(curve: MontgomeryCurve, base: AffinePoint,
+                           r0: XZPoint, r1: XZPoint) -> bool:
+    """Is (R0, R1) a coherent ladder output pair, i.e. R1 - R0 = P?
+
+    A random fault anywhere in the ladder state destroys the differential
+    invariant, after which Okeya-Sakurai y-recovery from (x(R0), x(R1))
+    produces a point off the curve with overwhelming probability — this is
+    the "ladder coherence" countermeasure of DESIGN.md §7.  Costs one
+    y-recovery plus one curve-membership check (a handful of field ops and
+    two inversions); no secret-dependent branching beyond the verdict.
+    """
+    if r0.is_infinity():
+        # k*P = O requires (k+1)*P = P.
+        if r1.is_infinity():
+            return False
+        return curve.x_affine(r1) == base.x
+    if r1.is_infinity():
+        # (k+1)*P = O requires k*P = -P.
+        return curve.x_affine(r0) == base.x
+    xq = curve.x_affine(r0)
+    x_next = curve.x_affine(r1)
+    recovered = curve.recover_y(base, xq, x_next)
+    return curve.is_on_curve(recovered)
+
+
+@traced("montgomery_ladder_x_checked", kind="scalarmult",
+        counter=_ladder_counter, attrs_fn=_ladder_attrs)
+def montgomery_ladder_x_checked(curve: MontgomeryCurve, k: int,
+                                base: AffinePoint,
+                                bits: Optional[int] = None,
+                                step_hook: Optional[StepHook] = None,
+                                ) -> XZPoint:
+    """The ladder with the coherence countermeasure armed.
+
+    Raises :class:`~repro.faults.model.FaultDetectedError` instead of
+    returning when the output pair fails :func:`ladder_coherence_check`.
+    """
+    length = _ladder_length(k, bits)
+    r0, r1 = _ladder_xz(curve, k, base, length, step_hook)
+    if not ladder_coherence_check(curve, base, r0, r1):
+        raise FaultDetectedError(
+            "ladder coherence check failed: R1 - R0 != P")
     return r0
 
 
@@ -61,23 +140,11 @@ def montgomery_ladder_full(curve: MontgomeryCurve, k: int, base: AffinePoint,
                            bits: Optional[int] = None) -> MaybePoint:
     """Ladder plus Okeya-Sakurai y-recovery: returns the affine point k*P.
 
-    Needs both ladder outputs (k*P and (k+1)*P), so it re-runs the final
-    state bookkeeping: the ladder above already maintains R1 = R0 + P.
+    Needs both ladder outputs (k*P and (k+1)*P), which the shared rung
+    loop maintains as R1 = R0 + P throughout.
     """
-    if k < 0:
-        raise ValueError("scalar must be non-negative")
-    length = bits if bits is not None else max(1, k.bit_length())
-    if k.bit_length() > length:
-        raise ValueError(f"scalar does not fit in {length} bits")
-    f = curve.field
-    base_xz = curve.xz_from_affine(base)
-    r0 = XZPoint(f.one, f.zero)
-    r1 = base_xz
-    for i in range(length - 1, -1, -1):
-        if (k >> i) & 1:
-            r0, r1 = curve.xadd(r0, r1, base_xz), curve.xdbl(r1)
-        else:
-            r0, r1 = curve.xdbl(r0), curve.xadd(r0, r1, base_xz)
+    length = _ladder_length(k, bits)
+    r0, r1 = _ladder_xz(curve, k, base, length)
     if r0.is_infinity():
         return None
     if r1.is_infinity():
