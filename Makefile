@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-bench bench bench-smoke bench-check profile-smoke \
-        faults-smoke tables
+        faults-smoke serve-smoke tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,19 @@ faults-smoke:
 	$(PYTHON) -m repro faults ladder --mode ca --n 200 --seed 7 --check
 	$(PYTHON) -m repro faults ecdh --smoke --check
 	$(PYTHON) -m repro faults ecdsa --smoke --check
+
+# Serving gate (DESIGN.md §8): a 200-request deterministic loadgen mix
+# against 1- and 2-worker in-process servers — zero errors and a
+# byte-stable JSONL summary under the fixed seed (each --check runs the
+# stream twice and compares bytes) — then the serving benchmark, which
+# enforces the fixed-base (>=1.5x) and served-throughput (>=2x) floors
+# without touching the committed BENCH_serve.json.
+serve-smoke:
+	$(PYTHON) -m repro loadgen --workers 1 --n 200 --seed 7 --check \
+	    --out /dev/null
+	$(PYTHON) -m repro loadgen --workers 2 --n 200 --seed 7 --check \
+	    --out /dev/null
+	$(PYTHON) -m repro loadgen --bench --smoke --bench-output none
 
 tables:
 	$(PYTHON) -m repro all

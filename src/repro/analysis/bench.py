@@ -45,6 +45,7 @@ import datetime
 import json
 import os
 import platform
+import re
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -232,8 +233,21 @@ _ENTRY_FIELDS = {
 }
 
 
+#: Execution paths a ``family: "serve"`` entry may carry (the serving
+#: benchmark of :mod:`repro.serve.loadgen`): the one-at-a-time baseline,
+#: the fixed-base comb path, or the full batched pool at any width.
+_SERVE_ENGINE = re.compile(r"direct|fixedbase|pool[0-9]+")
+
+
 def validate_entry(entry: Dict[str, Any]) -> None:
-    """Raise ``ValueError`` unless *entry* matches the schema-1 layout."""
+    """Raise ``ValueError`` unless *entry* matches the schema-1 layout.
+
+    Two entry families share the layout: ISS throughput entries
+    (``family`` "field"/"curve", engine fast/reference, mode an
+    :class:`~repro.avr.timing.Mode`) and serving entries (``family``
+    "serve", engine direct/fixedbase/pool<N>, mode a curve key, ``ips``
+    measured in operations per second).
+    """
     if not isinstance(entry, dict):
         raise ValueError(f"entry must be a dict, got {type(entry).__name__}")
     for field, types in _ENTRY_FIELDS.items():
@@ -242,10 +256,20 @@ def validate_entry(entry: Dict[str, Any]) -> None:
         if not isinstance(entry[field], types) or isinstance(
                 entry[field], bool):
             raise ValueError(f"entry field {field!r} has wrong type")
-    if entry["engine"] not in ("fast", "reference"):
-        raise ValueError(f"unknown engine {entry['engine']!r}")
-    if entry["mode"] not in {m.value for m in Mode}:
-        raise ValueError(f"unknown mode {entry['mode']!r}")
+    if entry["family"] == "serve":
+        from ..serve.protocol import CURVES  # deferred: keeps bench light
+
+        if not _SERVE_ENGINE.fullmatch(entry["engine"]):
+            raise ValueError(f"unknown serve engine {entry['engine']!r}")
+        if entry["mode"] not in CURVES:
+            raise ValueError(f"unknown serve curve {entry['mode']!r}")
+        if entry["cycles_per_run"] != 0:
+            raise ValueError("serve entries carry no cycle count")
+    else:
+        if entry["engine"] not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {entry['engine']!r}")
+        if entry["mode"] not in {m.value for m in Mode}:
+            raise ValueError(f"unknown mode {entry['mode']!r}")
     if entry["name"] != f"{entry['kernel']}/{entry['mode']}/{entry['engine']}":
         raise ValueError(f"entry name {entry['name']!r} does not match parts")
     if entry["reps"] < 1 or entry["instructions"] < 1 or entry["ips"] < 0:
@@ -421,7 +445,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.check:
         path = DEFAULT_OUTPUT if args.output == "none" else args.output
-        return check_against_baseline(path, jobs=args.jobs)
+        status = check_against_baseline(path, jobs=args.jobs)
+        # The serving benchmark gates through the same command: when a
+        # BENCH_serve.json baseline is committed, a fresh smoke serving
+        # run must stay within its (looser) tolerance too.
+        from ..serve.loadgen import check_serve_against_baseline
+        print()
+        return status or check_serve_against_baseline()
     record = run_bench(smoke=args.smoke, jobs=args.jobs, label=args.label)
     print(render(record))
     if args.output != "none":

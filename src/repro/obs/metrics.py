@@ -1,20 +1,33 @@
 """A tiny process-wide metrics registry.
 
-Long-lived counters and gauges that are cheap enough to live in hot-ish
-paths (block compilation, span creation, kernel runs) and are snapshotted
-into every observability export, so a profile or bench artifact carries
-the engine-health numbers it was produced under.
+Long-lived counters, gauges and latency histograms that are cheap enough
+to live in hot-ish paths (block compilation, span creation, kernel runs,
+request serving) and are snapshotted into every observability export, so
+a profile or bench artifact carries the engine-health numbers it was
+produced under.
 
-The registry is intentionally minimal — named counters (monotonic) and
-gauges (set-to-latest) with a dict snapshot — not a Prometheus client.
-(The "Exports + CLI" piece of DESIGN.md §4 "Observability".)
+The registry is intentionally minimal — named counters (monotonic),
+gauges (set-to-latest) and log-bucketed histograms with a dict snapshot —
+not a Prometheus client.  (The "Exports + CLI" piece of DESIGN.md §4
+"Observability".)
+
+Fork-safety (DESIGN.md §8 "Serving layer"): ``METRICS`` is plain
+process-global state.  A forked worker inherits the parent's tallies,
+which would double-count the moment the worker reported back, so worker
+processes MUST call :meth:`MetricsRegistry.reset_for_fork` before doing
+any work (the serve pool initializer does) and report their own counter
+values with each reply; the parent folds them in through
+:meth:`MetricsRegistry.merge_counters`.  Nothing here is shared memory —
+aggregation is explicit message passing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import os
+from bisect import bisect_left
+from typing import Dict, List, Optional, Union
 
-__all__ = ["Counter", "Gauge", "MetricsRegistry", "METRICS"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
 
 Number = Union[int, float]
 
@@ -47,14 +60,88 @@ class Gauge:
         self.value = value
 
 
+#: Geometric bucket boundaries shared by every histogram: 1 µs .. ~67 s
+#: in powers of two.  Fixed boundaries keep observe() to one bisect and
+#: make histograms from different processes mergeable bucket-by-bucket.
+_BUCKET_BOUNDS: List[float] = [2.0 ** i for i in range(27)]
+
+
+class Histogram:
+    """Log-bucketed distribution (latencies in µs by convention).
+
+    ``observe`` is one binary search + one list increment; quantiles are
+    estimated by linear interpolation inside the winning bucket, which
+    is accurate to the bucket's factor-of-two resolution — plenty for
+    p50/p95/p99 dashboards and regression gates.
+    """
+
+    __slots__ = ("name", "help", "buckets", "count", "sum")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.buckets[bisect_left(_BUCKET_BOUNDS, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]) or 0.0 when empty."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in 0..100")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = _BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
+                hi = (_BUCKET_BOUNDS[i] if i < len(_BUCKET_BOUNDS)
+                      else self.sum / self.count * 4 + lo)
+                frac = (rank - seen) / n
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+            seen += n
+        return _BUCKET_BOUNDS[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": round(self.percentile(50), 3),
+            "p95": round(self.percentile(95), 3),
+            "p99": round(self.percentile(99), 3),
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's buckets in (cross-process merge)."""
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.sum += other.sum
+
+
 class MetricsRegistry:
     """Named metrics with idempotent registration and a dict snapshot."""
 
     def __init__(self):
         self._metrics: Dict[str, Union[Counter, Gauge]] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._pid = os.getpid()
 
     def counter(self, name: str, help: str = "") -> Counter:
         metric = self._metrics.get(name)
+        if metric is None and name in self._histograms:
+            raise TypeError(f"metric {name!r} is registered as a histogram")
         if metric is None:
             metric = self._metrics[name] = Counter(name, help)
         elif not isinstance(metric, Counter):
@@ -63,23 +150,85 @@ class MetricsRegistry:
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         metric = self._metrics.get(name)
+        if metric is None and name in self._histograms:
+            raise TypeError(f"metric {name!r} is registered as a histogram")
         if metric is None:
             metric = self._metrics[name] = Gauge(name, help)
         elif not isinstance(metric, Gauge):
             raise TypeError(f"metric {name!r} is registered as a counter")
         return metric
 
-    def get(self, name: str) -> Optional[Union[Counter, Gauge]]:
-        return self._metrics.get(name)
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        if name in self._metrics:
+            raise TypeError(f"metric {name!r} is registered as a scalar")
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(name, help)
+        return hist
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            return metric
+        return self._histograms.get(name)
 
     def snapshot(self) -> Dict[str, Number]:
-        """Current values of every registered metric (name -> value)."""
-        return {name: m.value for name, m in sorted(self._metrics.items())}
+        """Current values of every registered metric (name -> value).
+
+        Histograms flatten to ``<name>_count`` / ``<name>_p50`` /
+        ``<name>_p95`` / ``<name>_p99`` entries so the snapshot stays a
+        flat name -> number mapping every exporter understands.
+        """
+        snap = {name: m.value for name, m in sorted(self._metrics.items())}
+        for name, hist in sorted(self._histograms.items()):
+            summary = hist.summary()
+            snap[f"{name}_count"] = summary["count"]
+            snap[f"{name}_p50"] = summary["p50"]
+            snap[f"{name}_p95"] = summary["p95"]
+            snap[f"{name}_p99"] = summary["p99"]
+        return snap
+
+    def counters_snapshot(self) -> Dict[str, Number]:
+        """Counter values only — the mergeable subset a worker reports."""
+        return {name: m.value for name, m in sorted(self._metrics.items())
+                if isinstance(m, Counter)}
+
+    def merge_counters(self, deltas: Dict[str, Number]) -> None:
+        """Fold counter *deltas* from another process into this registry.
+
+        Unknown names are registered on the fly; non-counter name
+        collisions raise (the same guarantee :meth:`counter` gives).
+        Negative deltas are rejected — a worker restart must re-baseline
+        (see :class:`~repro.serve.server.EccServer`), never subtract.
+        """
+        for name, delta in deltas.items():
+            if delta < 0:
+                raise ValueError(
+                    f"negative counter delta for {name!r}: {delta}")
+            if delta:
+                self.counter(name).inc(delta)
 
     def reset(self) -> None:
         """Zero every metric (tests; production code never resets)."""
         for metric in self._metrics.values():
             metric.value = 0
+        for hist in self._histograms.values():
+            hist.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+            hist.count = 0
+            hist.sum = 0.0
+
+    def reset_for_fork(self) -> None:
+        """Mandatory first call in a forked worker: drop inherited tallies.
+
+        Re-stamps the owning pid so :meth:`check_fork_isolation` can
+        flag a worker that skipped isolation.
+        """
+        self.reset()
+        self._pid = os.getpid()
+
+    def check_fork_isolation(self) -> bool:
+        """True when this process owns the registry's tallies."""
+        return self._pid == os.getpid()
 
 
 #: The process-wide registry every subsystem registers against.

@@ -12,6 +12,12 @@ for Weierstraß-form curves (:func:`coz_ladder`).
 from .adapters import EdwardsAdapter, GroupAdapter, WeierstrassAdapter, adapter_for
 from .algorithms import scalar_mult_binary, scalar_mult_daaa, scalar_mult_naf
 from .blinding import blind_scalar, blinding_factor
+from .fixed_base import (
+    FixedBaseCache,
+    FixedBaseTable,
+    comb_table_ram_bytes,
+    scalar_mult_fixed_base,
+)
 from .glv_mult import glv_precompute, glv_scalar_mult, shamir_scalar_mult
 from .ladder import (
     coz_ladder,
@@ -50,9 +56,12 @@ __all__ = [
     "binary_digits",
     "blind_scalar",
     "blinding_factor",
+    "comb_table_ram_bytes",
     "coz_ladder",
     "coz_ladder_xy",
     "dblu",
+    "FixedBaseCache",
+    "FixedBaseTable",
     "glv_precompute",
     "glv_scalar_mult",
     "hamming_weight",
@@ -66,6 +75,7 @@ __all__ = [
     "naf_value",
     "scalar_mult_binary",
     "scalar_mult_daaa",
+    "scalar_mult_fixed_base",
     "scalar_mult_naf",
     "scalar_mult_wnaf",
     "batch_invert",

@@ -1,0 +1,34 @@
+"""repro.serve — the batched, multi-worker ECC service.
+
+An asyncio TCP front-end (:mod:`repro.serve.server`) speaking
+newline-delimited JSON (:mod:`repro.serve.protocol`), dispatching
+batches of compatible requests to a :mod:`multiprocessing` worker pool
+(:mod:`repro.serve.worker`) whose fixed-base comb tables
+(:mod:`repro.scalarmult.fixed_base`) make the common fixed-point
+operations several times faster than the variable-base path.  Clients
+live in :mod:`repro.serve.client`; the deterministic load generator /
+benchmark driver in :mod:`repro.serve.loadgen`.
+"""
+
+from .protocol import (
+    CURVES,
+    ERROR_TYPES,
+    OPS,
+    ORDER_CURVES,
+    DeadlineExceeded,
+    Overloaded,
+    ProtocolError,
+)
+from .server import EccServer, ServeConfig
+
+__all__ = [
+    "CURVES",
+    "ERROR_TYPES",
+    "OPS",
+    "ORDER_CURVES",
+    "DeadlineExceeded",
+    "EccServer",
+    "Overloaded",
+    "ProtocolError",
+    "ServeConfig",
+]

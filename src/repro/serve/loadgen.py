@@ -1,0 +1,577 @@
+"""Deterministic load generator + serving benchmark.
+
+``python -m repro loadgen`` builds a reproducible request stream from a
+seed and a mix spec, drives it at a server (external ``--target``, an
+in-process server with ``--workers N``, or the pool-free direct path
+with ``--workers 0``), and writes a **byte-stable** JSONL summary:
+every request's reply keyed by id, canonical JSON, no timestamps — two
+runs with the same seed against a correct server produce identical
+bytes.  That property is the serve determinism gate (``--check`` runs
+the stream twice against fresh servers and compares).
+
+``--bench`` switches to the serving benchmark: keygen on secp160r1
+measured through four execution paths —
+
+* ``direct``      one request at a time, variable-base NAF
+                  double-and-add (the repository's pre-serve
+                  capability: the baseline),
+* ``fixedbase``   one request at a time through the comb tables of
+                  :mod:`repro.scalarmult.fixed_base`,
+* ``pool<N>``     the full pipeline: pipelined client, batching
+                  server, N-worker pool, fixed-base tables.
+
+Results append to ``BENCH_serve.json`` using the run-record schema of
+:mod:`repro.analysis.bench` (``family: "serve"``; ``ips`` is operations
+per second).  Two floors gate the run (both env-overridable):
+``pool4/direct >= SERVE_MIN_SCALING`` and ``fixedbase/direct >=
+FIXED_BASE_MIN_SPEEDUP``.  On a single-core host the scaling floor is
+carried by the fixed-base algorithmic win (measured ~4-5x on
+secp160r1), not by parallelism — by design, so the gate is meaningful
+on any CI shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import datetime
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import bench
+from ..curves.params import CurveSuite, make_suite
+from ..scalarmult import adapter_for, montgomery_ladder_x, scalar_mult_naf
+from ..scalarmult.fixed_base import TABLE_CACHE
+from . import protocol, worker
+from .client import AsyncServeClient
+from .protocol import to_hex
+from .server import EccServer, ServeConfig
+from .worker import WorkerState, derive_scalar, execute_request
+
+__all__ = [
+    "DEFAULT_MIX",
+    "FIXED_BASE_MIN_SPEEDUP",
+    "SERVE_MIN_SCALING",
+    "SERVE_OUTPUT",
+    "build_requests",
+    "check_serve_against_baseline",
+    "main",
+    "parse_mix",
+    "run_bench_serve",
+    "run_direct",
+    "run_served",
+    "summarize",
+]
+
+#: Ops the generator can synthesise parameters for without a prior
+#: server round-trip (the verify ops need a signature to verify and are
+#: exercised by the test suite instead).
+LOADGEN_OPS = frozenset(
+    {"keygen", "ecdh", "scalarmult", "ecdsa_sign", "schnorr_sign"})
+
+DEFAULT_MIX = ("keygen:secp160r1=6,ecdsa_sign:secp160r1=2,"
+               "schnorr_sign:secp160r1=1,scalarmult:secp160r1=1")
+
+#: Floor on served (4-worker, batched, fixed-base) vs direct
+#: single-request throughput for keygen/secp160r1.
+SERVE_MIN_SCALING = float(os.environ.get("REPRO_SERVE_MIN_SCALING", "2.0"))
+
+#: Floor on the fixed-base comb speedup over variable-base NAF alone.
+FIXED_BASE_MIN_SPEEDUP = float(
+    os.environ.get("REPRO_FIXED_BASE_MIN_SPEEDUP", "1.5"))
+
+SERVE_OUTPUT = "BENCH_serve.json"
+
+#: Serve throughput wobbles more than the ISS microbenchmarks (pool
+#: startup, batching) — the regression gate is correspondingly loose.
+SERVE_CHECK_THRESHOLD = 0.50
+
+
+# -- request synthesis -------------------------------------------------------
+
+
+def parse_mix(spec: str) -> List[Tuple[Tuple[str, str], int]]:
+    """``op:curve=weight,...`` -> [((op, curve), weight)] (order kept)."""
+    entries: List[Tuple[Tuple[str, str], int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            opcurve, weight_s = part.split("=")
+            op, curve = opcurve.split(":")
+            weight = int(weight_s)
+        except ValueError:
+            raise ValueError(
+                f"mix entry {part!r} is not op:curve=weight") from None
+        if op not in LOADGEN_OPS:
+            raise ValueError(
+                f"op {op!r} not generatable; pick from {sorted(LOADGEN_OPS)}")
+        spec_op = protocol.OPS[op]
+        if curve not in spec_op.curves:
+            raise ValueError(
+                f"op {op!r} does not run on curve {curve!r} "
+                f"(supported: {sorted(spec_op.curves)})")
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1 in {part!r}")
+        entries.append(((op, curve), weight))
+    if not entries:
+        raise ValueError("mix selects no operations")
+    return entries
+
+
+class _SuiteCache:
+    def __init__(self):
+        self._suites: Dict[str, CurveSuite] = {}
+
+    def __call__(self, key: str) -> CurveSuite:
+        suite = self._suites.get(key)
+        if suite is None:
+            suite = self._suites[key] = make_suite(key)
+        return suite
+
+
+def _peer_param(suites: _SuiteCache, curve: str, seed: str) -> Any:
+    """A deterministic valid peer public key for ecdh requests."""
+    suite = suites(curve)
+    tag = f"{seed}:peer:{curve}"
+    if curve == "montgomery":
+        private = derive_scalar(tag, bits=suite.scalar_bits)
+        xz = montgomery_ladder_x(suite.curve, private, suite.base,
+                                 bits=suite.scalar_bits)
+        return to_hex(suite.curve.x_affine(xz).to_int())
+    private = derive_scalar(tag, order=suite.order)
+    public = scalar_mult_naf(adapter_for(suite.curve, suite.base), private)
+    return {"x": to_hex(public.x.to_int()), "y": to_hex(public.y.to_int())}
+
+
+def build_requests(n: int, mix: str = DEFAULT_MIX,
+                   seed: int = 0) -> List[Dict[str, Any]]:
+    """The deterministic request stream: same (n, mix, seed) -> same list."""
+    weights = parse_mix(mix)
+    pattern: List[Tuple[str, str]] = []
+    for opcurve, weight in weights:
+        pattern.extend([opcurve] * weight)
+    suites = _SuiteCache()
+    peers: Dict[str, Any] = {}
+    requests: List[Dict[str, Any]] = []
+    for i in range(n):
+        op, curve = pattern[i % len(pattern)]
+        tag = hashlib.sha256(
+            f"repro-loadgen:{seed}:{i}".encode()).hexdigest()
+        if op == "keygen":
+            params: Dict[str, Any] = {"seed": tag}
+        elif op == "scalarmult":
+            params = {"k": to_hex(derive_scalar(tag))}
+        elif op == "ecdh":
+            if curve not in peers:
+                peers[curve] = _peer_param(suites, curve, str(seed))
+            suite = suites(curve)
+            if curve == "montgomery":
+                private = derive_scalar(tag, bits=suite.scalar_bits)
+            elif suite.order is not None:
+                private = derive_scalar(tag, order=suite.order)
+            else:
+                private = derive_scalar(tag)
+            params = {"private": to_hex(private), "peer": peers[curve]}
+        else:  # ecdsa_sign / schnorr_sign: order curves only (parse_mix)
+            suite = suites(curve)
+            params = {"private": to_hex(derive_scalar(tag,
+                                                      order=suite.order)),
+                      "msg": tag}
+        requests.append({"id": i + 1, "op": op, "curve": curve,
+                         "params": params})
+    return requests
+
+
+def summarize(requests: Sequence[Dict[str, Any]],
+              replies: Sequence[Dict[str, Any]]) -> bytes:
+    """The byte-stable JSONL: one canonical line per request, id order.
+
+    Deliberately carries no timestamps or latencies — only fields that
+    are deterministic under a fixed seed, so the bytes double as the
+    determinism gate's comparison key.
+    """
+    lines = []
+    for req, reply in zip(requests, replies):
+        row: Dict[str, Any] = {"id": req["id"], "op": req["op"],
+                               "curve": req.get("curve"),
+                               "ok": reply["ok"]}
+        row["result" if reply["ok"] else "error"] = (
+            reply["result"] if reply["ok"] else reply["error"])
+        lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+    return ("\n".join(lines) + "\n").encode()
+
+
+# -- execution paths ---------------------------------------------------------
+
+
+def run_direct(requests: Sequence[Dict[str, Any]],
+               fixed_base: bool = True,
+               warm: Sequence[str] = ("secp160r1",)
+               ) -> Tuple[List[Dict[str, Any]], float]:
+    """One request at a time, in-process, no server: the baseline path.
+
+    With ``fixed_base=False`` this is exactly the repository's pre-serve
+    capability — variable-base NAF per request.  Table builds happen
+    before the clock starts so the wall time measures steady state.
+    """
+    state = WorkerState(fixed_base=fixed_base)
+    state.warm(warm)
+    t0 = time.perf_counter()
+    replies = [execute_request(req, state) for req in requests]
+    return replies, time.perf_counter() - t0
+
+
+async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
+                 rate: float = 0.0
+                 ) -> Tuple[List[Dict[str, Any]], List[float], float]:
+    """Pipeline the stream at one server; per-request latencies in ms."""
+    client = await AsyncServeClient.connect(host, port)
+    latencies: List[float] = [0.0] * len(requests)
+    try:
+        loop = asyncio.get_running_loop()
+        t_start = loop.time()
+
+        async def one(i: int, req: Dict[str, Any]) -> Dict[str, Any]:
+            if rate > 0:
+                delay = t_start + i / rate - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            t0 = time.perf_counter()
+            reply = await client.call_raw_one(req)
+            latencies[i] = (time.perf_counter() - t0) * 1e3
+            return reply
+
+        t0 = time.perf_counter()
+        replies = list(await asyncio.gather(
+            *(one(i, req) for i, req in enumerate(requests))))
+        wall = time.perf_counter() - t0
+    finally:
+        await client.close()
+    return replies, latencies, wall
+
+
+async def run_served(requests: Sequence[Dict[str, Any]],
+                     workers: int = 1, rate: float = 0.0,
+                     target: Optional[Tuple[str, int]] = None,
+                     batch_max: int = 16,
+                     queue_depth: Optional[int] = None,
+                     fixed_base: bool = True,
+                     warm: Sequence[str] = ("secp160r1",)
+                     ) -> Tuple[List[Dict[str, Any]], List[float], float]:
+    """Drive the stream at ``target`` or a fresh in-process server."""
+    if target is not None:
+        return await _drive(target[0], target[1], requests, rate)
+    if queue_depth is None:
+        # Open-loop pipelining enqueues the whole stream at once; size
+        # the queue so the loadgen itself never triggers load-shedding.
+        queue_depth = max(2 * len(requests), 128)
+    config = ServeConfig(port=0, workers=workers, batch_max=batch_max,
+                         queue_depth=queue_depth, fixed_base=fixed_base,
+                         warm_curves=tuple(warm))
+    server = EccServer(config)
+    await server.start()
+    try:
+        return await _drive(config.host, server.port, requests, rate)
+    finally:
+        await server.stop()
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def _latency_report(latencies: Sequence[float], wall: float,
+                    n_err: int) -> str:
+    ordered = sorted(latencies)
+    n = len(ordered)
+    ops = n / wall if wall > 0 else 0.0
+    return (f"{n} requests in {wall:.2f} s ({ops:.1f} ops/s), "
+            f"{n_err} errors; latency ms "
+            f"p50={_percentile(ordered, 50):.1f} "
+            f"p95={_percentile(ordered, 95):.1f} "
+            f"p99={_percentile(ordered, 99):.1f}")
+
+
+# -- serving benchmark -------------------------------------------------------
+
+
+def _bench_entry(engine: str, n: int, wall: float) -> Dict[str, Any]:
+    return {
+        "name": f"keygen/secp160r1/{engine}",
+        "family": "serve",
+        "kernel": "keygen",
+        "mode": "secp160r1",
+        "engine": engine,
+        "reps": n,
+        "instructions": 1,  # one keygen per rep; ips is ops per second
+        "cycles_per_run": 0,
+        "wall_s": wall,
+        "ips": n / wall if wall > 0 else 0.0,
+    }
+
+
+def _assert_all_ok(replies: Sequence[Dict[str, Any]], what: str) -> None:
+    errors = [r for r in replies if not r["ok"]]
+    if errors:
+        raise RuntimeError(
+            f"{what}: {len(errors)} error replies, first: "
+            f"{errors[0]['error']}")
+
+
+def run_bench_serve(n: Optional[int] = None, smoke: bool = False,
+                    pools: Sequence[int] = (1, 2, 4),
+                    label: Optional[str] = None) -> Dict[str, Any]:
+    """Measure the four execution paths; return a schema-1 run record.
+
+    Raises ``RuntimeError`` on any error reply.  Floor checking is the
+    caller's job (:func:`main` gates on the record's speedups).
+    """
+    if n is None:
+        n = 8 if smoke else 24
+    requests = build_requests(n, mix="keygen:secp160r1=1", seed=1601)
+    # Warm the parent's comb table before any pool exists: forked
+    # workers inherit it copy-on-write and skip the per-worker build.
+    suite = make_suite("secp160r1")
+    TABLE_CACHE.get(suite.curve, suite.base)
+
+    entries: List[Dict[str, Any]] = []
+    replies, wall = run_direct(requests, fixed_base=False)
+    _assert_all_ok(replies, "direct")
+    entries.append(_bench_entry("direct", n, wall))
+
+    replies, wall = run_direct(requests, fixed_base=True)
+    _assert_all_ok(replies, "fixedbase")
+    entries.append(_bench_entry("fixedbase", n, wall))
+
+    for workers in pools:
+        replies, _lat, wall = asyncio.run(
+            run_served(requests, workers=workers))
+        _assert_all_ok(replies, f"pool{workers}")
+        entries.append(_bench_entry(f"pool{workers}", n, wall))
+
+    direct_ips = entries[0]["ips"]
+    speedups = {
+        f"keygen/secp160r1/{e['engine']}:direct": e["ips"] / direct_ips
+        for e in entries[1:]
+    }
+    record = {
+        "schema": 1,
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "label": label or ("serve-smoke" if smoke else "serve"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "jobs": max(pools) if pools else 1,
+        "entries": entries,
+        "speedups": speedups,
+    }
+    bench.validate_run_record(record)
+    return record
+
+
+def render_serve(record: Dict[str, Any]) -> str:
+    lines = [f"serving throughput ({record['label']}, keygen/secp160r1, "
+             f"n={record['entries'][0]['reps']})", ""]
+    lines.append(f"{'path':<28}{'reps':>6}{'wall s':>9}{'ops/s':>10}")
+    lines.append("-" * 53)
+    for entry in record["entries"]:
+        lines.append(f"{entry['name']:<28}{entry['reps']:>6}"
+                     f"{entry['wall_s']:>9.2f}{entry['ips']:>10.1f}")
+    lines.append("")
+    lines.append("speedup over the direct (one-at-a-time, variable-base) "
+                 "path:")
+    for key in sorted(record["speedups"]):
+        lines.append(f"  {key:<40}{record['speedups'][key]:>6.2f}x")
+    return "\n".join(lines)
+
+
+def check_floors(record: Dict[str, Any],
+                 scaling_floor: float = SERVE_MIN_SCALING,
+                 fixed_base_floor: float = FIXED_BASE_MIN_SPEEDUP) -> int:
+    """Enforce the two serve speedup floors; returns a shell exit code."""
+    speedups = record["speedups"]
+    failed = False
+    fb = speedups.get("keygen/secp160r1/fixedbase:direct", 0.0)
+    if fb < fixed_base_floor:
+        print(f"FAIL: fixed-base speedup {fb:.2f}x is below the "
+              f"{fixed_base_floor:.2f}x floor")
+        failed = True
+    pool_keys = [k for k in speedups if "/pool" in k]
+    best_key = max(pool_keys, key=lambda k: speedups[k], default=None)
+    if best_key is None or speedups[best_key] < scaling_floor:
+        got = speedups.get(best_key, 0.0) if best_key else 0.0
+        print(f"FAIL: served throughput scaling {got:.2f}x is below the "
+              f"{scaling_floor:.2f}x floor")
+        failed = True
+    if not failed:
+        print(f"OK: fixed-base {fb:.2f}x >= {fixed_base_floor:.2f}x, "
+              f"served {speedups[best_key]:.2f}x >= {scaling_floor:.2f}x")
+    return 1 if failed else 0
+
+
+def check_serve_against_baseline(path: str = SERVE_OUTPUT,
+                                 threshold: float = SERVE_CHECK_THRESHOLD
+                                 ) -> int:
+    """Fresh smoke serve-bench vs the last committed BENCH_serve.json
+    record (read-only; called from ``python -m repro bench --check``)."""
+    if not os.path.exists(path):
+        print(f"serve --check: no baseline at {path}; skipping")
+        return 0
+    with open(path, "r", encoding="utf-8") as fh:
+        records = json.load(fh)
+    if not isinstance(records, list) or not records:
+        print(f"serve --check: {path} holds no run records")
+        return 1
+    baseline = records[-1]
+    bench.validate_run_record(baseline)
+    fresh = run_bench_serve(smoke=True, label="check")
+    rows = bench.compare_records(fresh, baseline, threshold)
+    if not rows:
+        print("serve --check: no overlapping entries with the baseline")
+        return 1
+    print(f"serve --check vs {baseline['label']} run of "
+          f"{baseline['timestamp']} (tolerance -{threshold:.0%})\n")
+    print(f"{'path':<28}{'baseline ops/s':>15}{'fresh ops/s':>13}"
+          f"{'ratio':>8}")
+    print("-" * 64)
+    failed = False
+    for row in rows:
+        flag = "  REGRESSED" if row["regressed"] else ""
+        failed = failed or row["regressed"]
+        print(f"{row['name']:<28}{row['baseline_ips']:>15.1f}"
+              f"{row['fresh_ips']:>13.1f}{row['ratio']:>8.2f}{flag}")
+    print()
+    print("FAIL: serving throughput regressed beyond tolerance" if failed
+          else "OK: serving throughput within tolerance")
+    return 1 if failed else 0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _parse_target(text: str) -> Tuple[str, int]:
+    host, _, port_s = text.rpartition(":")
+    try:
+        return (host or "127.0.0.1"), int(port_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"target must be host:port, got {text!r}") from None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description="Deterministic ECC-service load generator and "
+                    "serving benchmark.",
+    )
+    parser.add_argument("--target", type=_parse_target, default=None,
+                        help="host:port of a running server (default: "
+                             "start an in-process one)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="in-process server pool size; 0 = no server "
+                             "(direct in-process execution)")
+    parser.add_argument("--n", type=int, default=200,
+                        help="requests to send (ignored with --duration)")
+    parser.add_argument("--mix", default=DEFAULT_MIX,
+                        help="op:curve=weight list (default: %(default)s)")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="requests per second; 0 = open loop "
+                             "(pipeline everything at once)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds to run at --rate (sets n = "
+                             "rate * duration; requires --rate > 0)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="stream seed; same seed -> same bytes")
+    parser.add_argument("--out", default="-",
+                        help="JSONL summary path ('-' = stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="determinism gate: run the stream twice "
+                             "against fresh servers, require zero errors "
+                             "and identical summary bytes")
+    parser.add_argument("--bench", action="store_true",
+                        help="serving benchmark (direct / fixedbase / "
+                             "pool1 / pool2 / pool4 on keygen/secp160r1); "
+                             "appends to BENCH_serve.json and enforces "
+                             "the speedup floors")
+    parser.add_argument("--bench-output", default=SERVE_OUTPUT,
+                        help="run-record file for --bench (default "
+                             f"{SERVE_OUTPUT}; 'none' disables writing)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="with --bench: smaller rep count")
+    parser.add_argument("--no-fixed-base", action="store_true",
+                        help="disable fixed-base tables on the in-process "
+                             "server / direct path")
+    parser.add_argument("--batch-max", type=int, default=16)
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored in the bench record")
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        record = run_bench_serve(smoke=args.smoke, label=args.label)
+        print(render_serve(record))
+        print()
+        status = check_floors(record)
+        if args.bench_output != "none":
+            bench.append_record(record, args.bench_output)
+            print(f"appended run record to {args.bench_output}")
+        return status
+
+    if args.duration is not None:
+        if args.rate <= 0:
+            parser.error("--duration requires --rate > 0")
+        n = max(1, int(args.rate * args.duration))
+    else:
+        n = args.n
+    fixed_base = not args.no_fixed_base
+    requests = build_requests(n, mix=args.mix, seed=args.seed)
+
+    def one_run() -> Tuple[List[Dict[str, Any]], List[float], float]:
+        if args.target is None and args.workers == 0:
+            replies, wall = run_direct(requests, fixed_base=fixed_base)
+            return replies, [], wall
+        return asyncio.run(run_served(
+            requests, workers=args.workers, rate=args.rate,
+            target=args.target, batch_max=args.batch_max,
+            fixed_base=fixed_base))
+
+    replies, latencies, wall = one_run()
+    summary = summarize(requests, replies)
+    n_err = sum(1 for r in replies if not r["ok"])
+    if args.check:
+        replies2, _lat2, _wall2 = one_run()
+        summary2 = summarize(requests, replies2)
+        if n_err:
+            print(f"loadgen --check: FAIL, {n_err} error replies")
+            return 1
+        if summary != summary2:
+            print("loadgen --check: FAIL, summaries differ between runs")
+            return 1
+        print(f"loadgen --check: OK, {n} requests, zero errors, "
+              "byte-identical summaries across two runs")
+    if args.out == "-":
+        if not args.check:
+            sys.stdout.buffer.write(summary)
+            sys.stdout.buffer.flush()
+    else:
+        with open(args.out, "wb") as fh:
+            fh.write(summary)
+    print(_latency_report(latencies, wall, n_err) if latencies
+          else f"{n} requests in {wall:.2f} s "
+               f"({n / wall if wall else 0.0:.1f} ops/s), {n_err} errors",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Wire protocol of the ECC service: newline-delimited JSON.
+
+One request per line, one reply per line, correlated by a caller-chosen
+``id`` (replies may arrive out of order — the server batches compatible
+requests and worker completion order is not arrival order).
+
+Request grammar::
+
+    {"id": <int>=0>, "op": <op>, "curve": <curve|absent>,
+     "params": {...}, "deadline_ms": <number, optional>}
+
+Reply grammar::
+
+    {"id": <int>, "ok": true,  "result": {...}}
+    {"id": <int>, "ok": false, "error": {"type": <type>, "message": str}}
+
+Error types are closed-world (:data:`ERROR_TYPES`): ``BadRequest``
+(malformed or semantically invalid request — never retry),
+``Overloaded`` (bounded queue was full, the typed load-shed reply —
+retry with backoff), ``DeadlineExceeded`` (the request's budget elapsed
+while queued), ``Internal`` (handler raised — server-side log has the
+detail).
+
+All big integers travel as lowercase hex strings without an ``0x``
+prefix (:func:`to_hex` / :func:`from_hex`); points as ``{"x": hex,
+"y": hex}`` objects, x-only Montgomery values as bare hex.  The op
+table (:data:`OPS`) names, for every operation, the curve families it
+supports and the parameter schema — :func:`validate_request` enforces
+all of it server-side so workers only ever see well-formed requests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional
+
+__all__ = [
+    "CURVES",
+    "ERROR_TYPES",
+    "OPS",
+    "ORDER_CURVES",
+    "ProtocolError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "OpSpec",
+    "decode_reply",
+    "decode_request",
+    "encode_reply",
+    "encode_request",
+    "error_reply",
+    "from_hex",
+    "ok_reply",
+    "point_param",
+    "to_hex",
+    "validate_request",
+]
+
+#: Curve keys the service accepts (the suite registry of
+#: :mod:`repro.curves.params`).
+CURVES: FrozenSet[str] = frozenset(
+    {"secp160r1", "weierstrass", "edwards", "montgomery", "glv"})
+
+#: Curves with an exactly known prime group order — the only ones that
+#: can run order-arithmetic protocols (ECDSA, Schnorr).
+ORDER_CURVES: FrozenSet[str] = frozenset({"secp160r1", "glv"})
+
+ERROR_TYPES = ("BadRequest", "Overloaded", "DeadlineExceeded", "Internal")
+
+
+class ProtocolError(ValueError):
+    """A request that violates the wire protocol (maps to BadRequest)."""
+
+    error_type = "BadRequest"
+
+
+class Overloaded(ProtocolError):
+    """Typed load-shed: the server's bounded queue was full."""
+
+    error_type = "Overloaded"
+
+
+class DeadlineExceeded(ProtocolError):
+    """The request's deadline elapsed before a worker picked it up."""
+
+    error_type = "DeadlineExceeded"
+
+
+def to_hex(value: int) -> str:
+    """Canonical integer encoding: lowercase hex, no prefix, no sign."""
+    if value < 0:
+        raise ProtocolError("negative integers are not representable")
+    return format(value, "x")
+
+
+def from_hex(text: Any, what: str = "integer") -> int:
+    if not isinstance(text, str) or not text:
+        raise ProtocolError(f"{what} must be a nonempty hex string")
+    try:
+        return int(text, 16)
+    except ValueError:
+        raise ProtocolError(f"{what} is not valid hex: {text[:40]!r}") from None
+
+
+def point_param(obj: Any, what: str = "point") -> Dict[str, int]:
+    """Decode a ``{"x": hex, "y": hex}`` object to plain ints."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"{what} must be an object with x and y")
+    return {"x": from_hex(obj.get("x"), f"{what}.x"),
+            "y": from_hex(obj.get("y"), f"{what}.y")}
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Validation schema of one operation."""
+
+    name: str
+    #: Curve families the op runs on; empty = the op takes no curve.
+    curves: FrozenSet[str]
+    #: Required parameter names (presence is checked; each handler does
+    #: the value-level decode via from_hex/point_param).
+    required: FrozenSet[str]
+    #: Optional parameter names.
+    optional: FrozenSet[str] = frozenset()
+
+
+def _spec(name: str, curves, required, optional=()) -> OpSpec:
+    return OpSpec(name, frozenset(curves), frozenset(required),
+                  frozenset(optional))
+
+
+#: The service's operation table.
+OPS: Dict[str, OpSpec] = {spec.name: spec for spec in (
+    _spec("keygen", CURVES, ["seed"]),
+    _spec("ecdh", CURVES, ["private", "peer"]),
+    _spec("scalarmult", CURVES, ["k"], ["point"]),
+    _spec("ecdsa_sign", ORDER_CURVES, ["private", "msg"]),
+    _spec("ecdsa_verify", ORDER_CURVES, ["public", "msg", "r", "s"]),
+    _spec("schnorr_sign", ORDER_CURVES, ["private", "msg"]),
+    _spec("schnorr_verify", ORDER_CURVES, ["public", "msg", "e", "s"]),
+    _spec("rsa_sign", (), ["n", "e", "d", "digest"]),
+    _spec("rsa_verify", (), ["n", "e", "digest", "sig"]),
+)}
+
+
+def validate_request(obj: Any) -> Dict[str, Any]:
+    """Structural + semantic validation; returns the request dict.
+
+    Raises :class:`ProtocolError` with a caller-actionable message on
+    any violation.  Parameter *values* are validated by the worker's
+    handlers (which decode hex and run the curve-level checks).
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    req_id = obj.get("id")
+    if not isinstance(req_id, int) or isinstance(req_id, bool) or req_id < 0:
+        raise ProtocolError("request id must be a non-negative integer")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {sorted(OPS)}")
+    spec = OPS[op]
+    curve = obj.get("curve")
+    if spec.curves:
+        if curve not in spec.curves:
+            raise ProtocolError(
+                f"op {op!r} requires curve in {sorted(spec.curves)}, "
+                f"got {curve!r}")
+    elif curve is not None:
+        raise ProtocolError(f"op {op!r} takes no curve")
+    params = obj.get("params")
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError("params must be an object")
+    missing = spec.required - params.keys()
+    if missing:
+        raise ProtocolError(
+            f"op {op!r} is missing params {sorted(missing)}")
+    unknown = params.keys() - spec.required - spec.optional
+    if unknown:
+        raise ProtocolError(
+            f"op {op!r} got unknown params {sorted(unknown)}")
+    deadline = obj.get("deadline_ms")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(
+                deadline, bool) or deadline <= 0:
+            raise ProtocolError("deadline_ms must be a positive number")
+    unknown_top = obj.keys() - {"id", "op", "curve", "params", "deadline_ms"}
+    if unknown_top:
+        raise ProtocolError(
+            f"unknown request fields {sorted(unknown_top)}")
+    return obj
+
+
+# -- encode / decode ---------------------------------------------------------
+
+
+def encode_request(req: Dict[str, Any]) -> bytes:
+    """One validated request as an NDJSON line (canonical key order)."""
+    validate_request(req)
+    return (json.dumps(req, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse + validate one request line."""
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    return validate_request(obj)
+
+
+def ok_reply(req_id: int, result: Dict[str, Any],
+             meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    reply: Dict[str, Any] = {"id": req_id, "ok": True, "result": result}
+    if meta:
+        reply["meta"] = meta
+    return reply
+
+
+def error_reply(req_id: int, error_type: str, message: str,
+                meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    if error_type not in ERROR_TYPES:
+        raise ValueError(f"unknown error type {error_type!r}")
+    reply: Dict[str, Any] = {
+        "id": req_id, "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+    if meta:
+        reply["meta"] = meta
+    return reply
+
+
+def encode_reply(reply: Dict[str, Any]) -> bytes:
+    return (json.dumps(reply, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+def decode_reply(line: bytes) -> Dict[str, Any]:
+    """Parse + structurally validate one reply line (client side)."""
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"reply is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("reply must be a JSON object")
+    if not isinstance(obj.get("id"), int):
+        raise ProtocolError("reply lacks an integer id")
+    ok = obj.get("ok")
+    if ok is True:
+        if not isinstance(obj.get("result"), dict):
+            raise ProtocolError("ok reply lacks a result object")
+    elif ok is False:
+        error = obj.get("error")
+        if not isinstance(error, dict) or error.get("type") not in ERROR_TYPES:
+            raise ProtocolError("error reply lacks a typed error object")
+    else:
+        raise ProtocolError("reply lacks a boolean ok")
+    return obj

@@ -1,0 +1,407 @@
+"""The asyncio front-end: batching, backpressure, and the worker pool.
+
+Request lifecycle (the "per-stage" pipeline DESIGN.md §8 documents, each
+stage metered)::
+
+    accept -> decode -> [bounded queue] -> batcher -> worker pool -> reply
+                 |            |               |            |
+             BadRequest   Overloaded     (curve, op)   multiprocessing
+             replies      load-shed      batching      (true parallelism)
+
+* **Backpressure** is an explicit bounded :class:`asyncio.Queue`
+  (``queue_depth``).  A full queue does not slow the reader down — it
+  sheds: the client gets a typed ``Overloaded`` reply immediately and
+  the ``serve_shed_total`` counter ticks.  Per-request deadlines are
+  honoured at dispatch time: a request whose budget elapsed while
+  queued is answered ``DeadlineExceeded`` without touching a worker.
+* **Batching**: the batcher drains whatever is queued, groups it by
+  ``(op, curve)`` — compatible requests share worker-side state such as
+  fixed-base tables and protocol objects — and dispatches chunks of at
+  most ``batch_max`` to the :class:`~concurrent.futures
+  .ProcessPoolExecutor`.  Batches from different groups run
+  concurrently across workers.
+* **Observability**: latency histograms (``serve_queue_us``,
+  ``serve_worker_us``, ``serve_latency_us``) and throughput/shed
+  counters live in the process-wide registry; worker-side counters
+  merge in per batch reply (fork-safe by construction — see
+  :mod:`repro.obs.metrics`).  When a tracer is installed each batch
+  runs under a ``serve_batch`` span with queue/worker timing attrs.
+
+``python -m repro serve`` is this module's CLI; the in-process
+:class:`EccServer` API is what the load generator, the benchmark
+harness and the tests drive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import trace as _trace
+from ..obs.metrics import METRICS
+from ..scalarmult.fixed_base import DEFAULT_WIDTH
+from . import protocol
+from .worker import execute_batch, init_worker
+
+__all__ = ["ServeConfig", "EccServer", "main"]
+
+_REQUESTS = METRICS.counter(
+    "serve_requests_total", "requests accepted off the wire")
+_BAD = METRICS.counter(
+    "serve_bad_requests_total", "lines rejected before queueing")
+_SHED = METRICS.counter(
+    "serve_shed_total", "requests shed with an Overloaded reply")
+_DEADLINE = METRICS.counter(
+    "serve_deadline_total", "requests expired while queued")
+_BATCHES = METRICS.counter(
+    "serve_batches_total", "batches dispatched to the pool")
+_REPLIES = METRICS.counter(
+    "serve_replies_total", "replies written back to clients")
+_QUEUE_US = METRICS.histogram(
+    "serve_queue_us", "time from enqueue to dispatch, microseconds")
+_WORKER_US = METRICS.histogram(
+    "serve_worker_us", "pool round-trip per batch, microseconds")
+_LATENCY_US = METRICS.histogram(
+    "serve_latency_us", "enqueue-to-reply per request, microseconds")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance (all exposed as CLI flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral (the bound port lands in EccServer.port)
+    workers: int = 2
+    batch_max: int = 16
+    queue_depth: int = 128
+    #: Server-wide default deadline; None = requests wait indefinitely.
+    deadline_ms: Optional[float] = None
+    hardened: bool = False
+    fixed_base: bool = True
+    fb_width: int = DEFAULT_WIDTH
+    #: Curve suites whose fixed-base tables each worker pre-builds.
+    warm_curves: Tuple[str, ...] = ("secp160r1",)
+
+
+@dataclass
+class _Pending:
+    request: Dict[str, Any]
+    future: "asyncio.Future[Dict[str, Any]]"
+    t_enqueue: float
+    deadline_s: Optional[float]  # absolute perf_counter() instant
+
+
+class EccServer:
+    """One TCP service instance bound to one worker pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.port: Optional[int] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._dispatches: set = set()
+        self._connections: set = set()
+        #: Last reported cumulative counters per worker pid (merge base).
+        self._worker_baselines: Dict[int, Dict[str, float]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "EccServer":
+        cfg = self.config
+        if cfg.workers < 1:
+            raise ValueError("need at least one worker")
+        self._pool = ProcessPoolExecutor(
+            max_workers=cfg.workers,
+            initializer=init_worker,
+            initargs=(cfg.hardened, cfg.fb_width, cfg.fixed_base,
+                      tuple(cfg.warm_curves)),
+        )
+        self._queue = asyncio.Queue(maxsize=cfg.queue_depth)
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._server = await asyncio.start_server(
+            self._on_connection, cfg.host, cfg.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Unblock connection handlers parked in readline() so their
+        # tasks finish before the loop tears them down.
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._dispatches):
+            task.cancel()
+        if self._dispatches:
+            await asyncio.gather(*self._dispatches, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    async def __aenter__(self) -> "EccServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        reply_tasks: set = set()
+
+        async def write_reply(reply: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(protocol.encode_reply(reply))
+                await writer.drain()
+            _REPLIES.inc()
+
+        async def await_and_reply(pending: _Pending) -> None:
+            reply = await pending.future
+            _LATENCY_US.observe(
+                (time.perf_counter() - pending.t_enqueue) * 1e6)
+            await write_reply(reply)
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.isspace():
+                    continue
+                try:
+                    request = protocol.decode_request(line)
+                except protocol.ProtocolError as exc:
+                    _BAD.inc()
+                    req_id = self._salvage_id(line)
+                    await write_reply(protocol.error_reply(
+                        req_id, "BadRequest", str(exc)))
+                    continue
+                _REQUESTS.inc()
+                pending = self._make_pending(request)
+                try:
+                    self._queue.put_nowait(pending)
+                except asyncio.QueueFull:
+                    _SHED.inc()
+                    await write_reply(protocol.error_reply(
+                        request["id"], "Overloaded",
+                        f"queue depth {self.config.queue_depth} exceeded; "
+                        "retry with backoff"))
+                    continue
+                task = asyncio.create_task(await_and_reply(pending))
+                reply_tasks.add(task)
+                task.add_done_callback(reply_tasks.discard)
+            if reply_tasks:
+                await asyncio.gather(*reply_tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server teardown: end the handler cleanly
+        finally:
+            self._connections.discard(writer)
+            for task in reply_tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _make_pending(self, request: Dict[str, Any]) -> _Pending:
+        now = time.perf_counter()
+        deadline_ms = request.get("deadline_ms", self.config.deadline_ms)
+        deadline_s = None if deadline_ms is None else now + deadline_ms / 1e3
+        return _Pending(request=request,
+                        future=asyncio.get_running_loop().create_future(),
+                        t_enqueue=now, deadline_s=deadline_s)
+
+    @staticmethod
+    def _salvage_id(line: bytes) -> int:
+        """Best-effort id recovery so even a BadRequest reply correlates."""
+        import json
+
+        try:
+            obj = json.loads(line)
+            req_id = obj.get("id") if isinstance(obj, dict) else None
+            if isinstance(req_id, int) and not isinstance(req_id, bool) \
+                    and req_id >= 0:
+                return req_id
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        return 0
+
+    # -- batching + dispatch -------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Drain the queue, group by (op, curve), dispatch chunks."""
+        while True:
+            items = [await self._queue.get()]
+            while True:
+                try:
+                    items.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            groups: Dict[Tuple[str, Optional[str]], List[_Pending]] = {}
+            for item in items:
+                key = (item.request["op"], item.request.get("curve"))
+                groups.setdefault(key, []).append(item)
+            for group in groups.values():
+                for i in range(0, len(group), self.config.batch_max):
+                    chunk = group[i:i + self.config.batch_max]
+                    task = asyncio.create_task(self._dispatch(chunk))
+                    self._dispatches.add(task)
+                    task.add_done_callback(self._dispatches.discard)
+
+    async def _dispatch(self, chunk: List[_Pending]) -> None:
+        now = time.perf_counter()
+        live: List[_Pending] = []
+        for item in chunk:
+            _QUEUE_US.observe((now - item.t_enqueue) * 1e6)
+            if item.deadline_s is not None and now > item.deadline_s:
+                _DEADLINE.inc()
+                item.future.set_result(protocol.error_reply(
+                    item.request["id"], "DeadlineExceeded",
+                    "deadline elapsed while queued"))
+            else:
+                live.append(item)
+        if not live:
+            return
+        _BATCHES.inc()
+        payload = [item.request for item in live]
+        op, curve = live[0].request["op"], live[0].request.get("curve")
+        tracer = _trace.CURRENT
+        span = tracer.start("serve_batch", kind="serve", op=op,
+                            curve=curve, batch=len(live)) if tracer else None
+        t0 = time.perf_counter()
+        try:
+            result = await asyncio.get_running_loop().run_in_executor(
+                self._pool, execute_batch, payload)
+        except Exception as exc:
+            for item in live:
+                if not item.future.done():
+                    item.future.set_result(protocol.error_reply(
+                        item.request["id"], "Internal",
+                        f"worker pool failure: {type(exc).__name__}: {exc}"))
+            return
+        finally:
+            if tracer is not None and span is not None:
+                tracer.end(span)
+        _WORKER_US.observe((time.perf_counter() - t0) * 1e6)
+        self._merge_worker_metrics(result["pid"], result["metrics"])
+        for item, reply in zip(live, result["replies"]):
+            if not item.future.done():
+                item.future.set_result(reply)
+
+    def _merge_worker_metrics(self, pid: int,
+                              counters: Dict[str, float]) -> None:
+        """Fold a worker's cumulative counters in as deltas vs the last
+        report from that pid (worker restarts re-baseline cleanly)."""
+        baseline = self._worker_baselines.get(pid, {})
+        deltas = {}
+        for name, value in counters.items():
+            delta = value - baseline.get(name, 0)
+            if delta < 0:  # restarted worker reusing a pid: re-baseline
+                delta = value
+            deltas[name] = delta
+        METRICS.merge_counters(deltas)
+        self._worker_baselines[pid] = counters
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Flat snapshot of the serve metrics (counters + histograms)."""
+        snap = METRICS.snapshot()
+        return {name: value for name, value in snap.items()
+                if name.startswith(("serve_", "fixed_base_"))}
+
+
+async def _serve_forever(config: ServeConfig) -> int:
+    server = EccServer(config)
+    await server.start()
+    print(f"repro.serve listening on {config.host}:{server.port} "
+          f"({config.workers} workers, batch<={config.batch_max}, "
+          f"queue_depth={config.queue_depth})", flush=True)
+    loop = asyncio.get_running_loop()
+    forever = asyncio.ensure_future(server._server.serve_forever())
+    # SIGTERM must drain through stop() too, else the pool workers are
+    # orphaned holding inherited fds (SIGINT already unwinds via
+    # KeyboardInterrupt -> asyncio.run cancellation).
+    with contextlib.suppress(NotImplementedError):
+        loop.add_signal_handler(signal.SIGTERM, forever.cancel)
+    try:
+        await forever
+    except asyncio.CancelledError:
+        pass
+    finally:
+        with contextlib.suppress(NotImplementedError):
+            loop.remove_signal_handler(signal.SIGTERM)
+        await server.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Batched multi-worker ECC service over "
+                    "newline-delimited JSON / TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9477,
+                        help="TCP port (default 9477; 0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes in the pool")
+    parser.add_argument("--batch-max", type=int, default=16,
+                        help="max requests per dispatched batch")
+    parser.add_argument("--queue-depth", type=int, default=128,
+                        help="bounded queue size; beyond it requests are "
+                             "shed with a typed Overloaded reply")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="server-wide default per-request deadline")
+    parser.add_argument("--hardened", action="store_true",
+                        help="run the fault-hardened protocol paths "
+                             "(slower: redundancy + verify-after-sign)")
+    parser.add_argument("--no-fixed-base", action="store_true",
+                        help="disable fixed-base comb tables (baseline)")
+    parser.add_argument("--fb-width", type=int, default=DEFAULT_WIDTH,
+                        help="comb window width in bits")
+    parser.add_argument("--warm", default="secp160r1",
+                        help="comma-separated curves whose tables each "
+                             "worker pre-builds ('' = none)")
+    args = parser.parse_args(argv)
+    warm = tuple(c for c in args.warm.split(",") if c)
+    for curve in warm:
+        if curve not in protocol.CURVES:
+            parser.error(f"unknown curve {curve!r} in --warm")
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        batch_max=args.batch_max, queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms, hardened=args.hardened,
+        fixed_base=not args.no_fixed_base, fb_width=args.fb_width,
+        warm_curves=warm,
+    )
+    try:
+        return asyncio.run(_serve_forever(config))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,466 @@
+"""Worker-process side of the ECC service.
+
+Each pool worker owns a :class:`WorkerState`: freshly constructed curve
+suites (so no field-operation counter is ever shared across processes),
+protocol objects wired to a fixed-base-aware scalar multiplier, cached
+RSA Montgomery engines, and — via :func:`init_worker` — a metrics
+registry isolated from the parent with :func:`~repro.obs.metrics
+.MetricsRegistry.reset_for_fork`.  Batches return their counter deltas
+alongside the replies and the server merges them into the parent
+registry (:meth:`~repro.obs.metrics.MetricsRegistry.merge_counters`),
+which is the fork-safe aggregation path documented in DESIGN.md §8.
+
+Every handler is **deterministic**: key generation derives scalars from
+the request's seed (HKDF-ish SHA-256 expansion), signatures use the
+RFC-6979-style nonces of :mod:`repro.protocols`, and nothing reads a
+TRNG — the property the load generator's byte-stable summaries and the
+serve determinism tests rely on.
+
+All functions at module top level are picklable pool entry points;
+:func:`execute_request` doubles as the in-process "direct" execution
+path (the load generator's single-request baseline and the test
+suite's pool-free harness).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from ..curves.params import CurveSuite, make_suite
+from ..curves.point import AffinePoint
+from ..faults.model import FaultDetectedError
+from ..obs.metrics import METRICS
+from ..protocols import Ecdsa, Rsa, RsaKeyPair, Schnorr, XOnlyEcdh
+from ..protocols.ecdh import FullPointEcdh, KeyPair
+from ..scalarmult import adapter_for, montgomery_ladder_x, scalar_mult_naf
+from ..scalarmult.fixed_base import (
+    DEFAULT_WIDTH,
+    TABLE_CACHE,
+    scalar_mult_fixed_base,
+)
+from . import protocol
+from .protocol import ProtocolError, from_hex, point_param, to_hex
+
+__all__ = [
+    "WorkerState",
+    "derive_scalar",
+    "execute_batch",
+    "execute_request",
+    "init_worker",
+    "worker_state",
+]
+
+import hashlib
+
+#: Default scalar range for curves without an exactly known order.
+_DEFAULT_SCALAR_BITS = 159
+
+_REQUESTS = METRICS.counter(
+    "serve_worker_requests_total", "requests executed by this worker")
+_ERRORS = METRICS.counter(
+    "serve_worker_errors_total", "requests that produced an error reply")
+_BATCHES = METRICS.counter(
+    "serve_worker_batches_total", "batches executed by this worker")
+
+
+def derive_scalar(seed: str, order: Optional[int] = None,
+                  bits: int = _DEFAULT_SCALAR_BITS) -> int:
+    """Deterministic private scalar from a request seed.
+
+    ``order`` given: uniform-ish in [1, order-1].  Otherwise: *bits* wide
+    with the top bit clamped set, mirroring
+    :meth:`~repro.protocols.ecdh.XOnlyEcdh.generate_keypair`.
+    """
+    digest = hashlib.sha256(b"repro-serve-keygen:" + seed.encode()).digest()
+    digest += hashlib.sha256(digest).digest()
+    value = int.from_bytes(digest, "big")
+    if order is not None:
+        return 1 + value % (order - 1)
+    return (value & ((1 << (bits - 1)) - 1)) | (1 << (bits - 2))
+
+
+class WorkerState:
+    """Per-process suites, protocol objects and fixed-base plumbing."""
+
+    def __init__(self, hardened: bool = False, fb_width: int = DEFAULT_WIDTH,
+                 fixed_base: bool = True):
+        self.hardened = hardened
+        self.fb_width = fb_width
+        self.fixed_base = fixed_base
+        self._suites: Dict[str, CurveSuite] = {}
+        self._protos: Dict[Any, Any] = {}
+        self._rsa: Dict[int, Rsa] = {}
+        #: Field instances whose op counters this worker owns a share of,
+        #: keyed by object identity with the baseline seen at first
+        #: sight.  Suites created here start at a zero baseline; a comb
+        #: table inherited copy-on-write from the parent process carries
+        #: the parent's historical tallies on *its* field, so its
+        #: baseline is captured at adoption time — this worker reports
+        #: only ops it performed itself.
+        self._fields: Dict[int, Any] = {}
+        self._field_baselines: Dict[int, Dict[str, int]] = {}
+        self._field_reported: Dict[str, int] = {}
+
+    # -- lazy construction ---------------------------------------------------
+
+    def _track_field(self, field, fresh: bool = False) -> None:
+        fid = id(field)
+        if fid in self._fields:
+            return
+        self._fields[fid] = field
+        snap = field.counter.snapshot()
+        self._field_baselines[fid] = (
+            dict.fromkeys(self._FIELD_OPS, 0) if fresh
+            else {op: snap[op] for op in self._FIELD_OPS})
+
+    def suite(self, key: str) -> CurveSuite:
+        suite = self._suites.get(key)
+        if suite is None:
+            suite = self._suites[key] = make_suite(key)
+            self._track_field(suite.field, fresh=True)
+        return suite
+
+    def fixed_table(self, key: str):
+        """The comb table for *key*'s base point (cached process-wide).
+
+        May hand back a table built by another process's suite (fork
+        inheritance); its field is adopted into the op accounting at its
+        current counter value.
+        """
+        suite = self.suite(key)
+        table = TABLE_CACHE.get(suite.curve, suite.base, width=self.fb_width)
+        self._track_field(table.curve.field)
+        return table
+
+    def warm(self, curves) -> None:
+        """Pre-build the fixed-base tables the workload will hit."""
+        if not self.fixed_base:
+            return
+        for key in curves:
+            if key == "montgomery":
+                continue  # x-only ladder path; no comb table
+            self.fixed_table(key)
+
+    def mult_for(self, key: str) -> Callable:
+        """A ``(k, point) -> MaybePoint`` backend: comb table when the
+        point is the curve's fixed base and the scalar fits, NAF
+        double-and-add otherwise."""
+        suite = self.suite(key)
+
+        def mult(k: int, point: AffinePoint):
+            if (self.fixed_base and point.x == suite.base.x
+                    and point.y == suite.base.y):
+                try:
+                    return self.fixed_table(key).multiply(k)
+                except ValueError:
+                    pass  # oversized (e.g. blinded) scalar: variable-base
+            return scalar_mult_naf(adapter_for(suite.curve, point), k)
+
+        return mult
+
+    def _proto(self, kind: str, key: str, factory: Callable):
+        cache_key = (kind, key)
+        proto = self._protos.get(cache_key)
+        if proto is None:
+            proto = self._protos[cache_key] = factory()
+        return proto
+
+    def ecdsa(self, key: str) -> Ecdsa:
+        suite = self.suite(key)
+        return self._proto("ecdsa", key, lambda: Ecdsa(
+            suite.curve, suite.base, suite.order,
+            mult=self.mult_for(key), hardened=self.hardened))
+
+    def schnorr(self, key: str) -> Schnorr:
+        suite = self.suite(key)
+        return self._proto("schnorr", key, lambda: Schnorr(
+            suite.curve, suite.base, suite.order,
+            mult=self.mult_for(key), hardened=self.hardened))
+
+    def ecdh(self, key: str) -> FullPointEcdh:
+        suite = self.suite(key)
+        return self._proto("ecdh", key, lambda: FullPointEcdh(
+            suite.curve, suite.base, suite.order,
+            mult=self.mult_for(key), hardened=self.hardened))
+
+    def xonly(self) -> XOnlyEcdh:
+        suite = self.suite("montgomery")
+        return self._proto("xonly", "montgomery", lambda: XOnlyEcdh(
+            suite.curve, suite.base, scalar_bits=suite.scalar_bits,
+            hardened=self.hardened))
+
+    def rsa(self, n: int, e: int, d: int) -> Rsa:
+        engine = self._rsa.get(n)
+        if engine is None or engine.key.e != e or engine.key.d != d:
+            if len(self._rsa) >= 4:  # tiny LRU-ish bound; keys rarely churn
+                self._rsa.pop(next(iter(self._rsa)))
+            engine = self._rsa[n] = Rsa(
+                RsaKeyPair(n=n, e=e, d=d, bits=n.bit_length()))
+        return engine
+
+    # -- field-counter aggregation (fork-safe: all per-process) --------------
+
+    _FIELD_OPS = ("add", "sub", "mul", "sqr", "inv")
+
+    def field_ops_delta(self) -> Dict[str, int]:
+        """Field-op tallies accrued across this process's tracked fields
+        since the previous call (counters are per-field-instance and
+        therefore already fork-isolated; each field's adoption baseline
+        strips any history it carried in from the parent; this folds the
+        rest into one process-level number per op)."""
+        totals = dict.fromkeys(self._FIELD_OPS, 0)
+        for fid, field in self._fields.items():
+            snap = field.counter.snapshot()
+            base = self._field_baselines[fid]
+            for op in self._FIELD_OPS:
+                totals[op] += snap[op] - base[op]
+        delta = {op: totals[op] - self._field_reported.get(op, 0)
+                 for op in self._FIELD_OPS}
+        self._field_reported = totals
+        return delta
+
+
+_STATE: Optional[WorkerState] = None
+
+
+def worker_state() -> WorkerState:
+    """The process's state, created on demand (pool or in-process use)."""
+    global _STATE
+    if _STATE is None:
+        _STATE = WorkerState()
+    return _STATE
+
+
+def init_worker(hardened: bool = False, fb_width: int = DEFAULT_WIDTH,
+                fixed_base: bool = True, warm_curves: tuple = ()) -> None:
+    """Pool initializer: isolate inherited metrics, build fresh state.
+
+    Runs in the child process.  The inherited ``METRICS`` registry is
+    reset so the worker reports only its own deltas; the parent merges
+    them back per batch reply (never shared memory).
+    """
+    global _STATE
+    METRICS.reset_for_fork()
+    _STATE = WorkerState(hardened=hardened, fb_width=fb_width,
+                         fixed_base=fixed_base)
+    _STATE.warm(warm_curves)
+
+
+# -- handlers ----------------------------------------------------------------
+
+
+def _affine(suite: CurveSuite, obj: Any, what: str) -> AffinePoint:
+    coords = point_param(obj, what)
+    return AffinePoint(suite.field.from_int(coords["x"]),
+                       suite.field.from_int(coords["y"]))
+
+
+def _point_result(point) -> Dict[str, Any]:
+    if point is None:
+        return {"infinity": True}
+    return {"point": {"x": to_hex(point.x.to_int()),
+                      "y": to_hex(point.y.to_int())}}
+
+
+def _handle_keygen(state: WorkerState, curve: str,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+    seed = params["seed"]
+    if not isinstance(seed, str) or not seed:
+        raise ProtocolError("seed must be a nonempty string")
+    suite = state.suite(curve)
+    if curve == "montgomery":
+        private = derive_scalar(seed, bits=suite.scalar_bits)
+        xz = montgomery_ladder_x(suite.curve, private, suite.base,
+                                 bits=suite.scalar_bits)
+        return {"private": to_hex(private),
+                "public_x": to_hex(suite.curve.x_affine(xz).to_int())}
+    private = derive_scalar(seed, order=suite.order)
+    public = state.mult_for(curve)(private, suite.base)
+    if public is None:
+        raise ProtocolError("derived private key maps the base to infinity")
+    result = _point_result(public)
+    result["private"] = to_hex(private)
+    result["public"] = result.pop("point")
+    return result
+
+
+def _handle_ecdh(state: WorkerState, curve: str,
+                 params: Dict[str, Any]) -> Dict[str, Any]:
+    private = from_hex(params["private"], "private")
+    suite = state.suite(curve)
+    if curve == "montgomery":
+        from ..protocols.ecdh import XOnlyKeyPair
+
+        peer_x = from_hex(params["peer"], "peer")
+        ecdh = state.xonly()
+        own = XOnlyKeyPair(private=private, public_x=0)  # only .private used
+        shared = ecdh.shared_secret(own, peer_x)
+        return {"shared_x": to_hex(shared)}
+    peer = _affine(suite, params["peer"], "peer")
+    ecdh = state.ecdh(curve)
+    own = KeyPair(private=private, public=suite.base)
+    shared = ecdh.shared_secret(own, peer)
+    return {"shared": {"x": to_hex(shared.x.to_int()),
+                       "y": to_hex(shared.y.to_int())}}
+
+
+def _handle_scalarmult(state: WorkerState, curve: str,
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    k = from_hex(params["k"], "k")
+    suite = state.suite(curve)
+    if curve == "montgomery":
+        if "point" in params:
+            x = from_hex(params["point"], "point")
+            base = suite.curve.lift_x(x)
+        else:
+            base = suite.base
+        xz = montgomery_ladder_x(suite.curve, k, base,
+                                 bits=suite.scalar_bits)
+        if xz.is_infinity():
+            return {"infinity": True}
+        return {"x": to_hex(suite.curve.x_affine(xz).to_int())}
+    if "point" in params:
+        point = _affine(suite, params["point"], "point")
+        if not suite.curve.is_on_curve(point):
+            raise ProtocolError("point is not on the curve")
+        result = scalar_mult_naf(adapter_for(suite.curve, point), k)
+    else:
+        result = state.mult_for(curve)(k, suite.base)
+    return _point_result(result)
+
+
+def _msg_bytes(params: Dict[str, Any]) -> bytes:
+    msg = params["msg"]
+    if not isinstance(msg, str):
+        raise ProtocolError("msg must be a hex string")
+    try:
+        return bytes.fromhex(msg) if msg else b""
+    except ValueError:
+        raise ProtocolError("msg is not valid hex") from None
+
+
+def _handle_ecdsa_sign(state: WorkerState, curve: str,
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    signature = state.ecdsa(curve).sign(
+        from_hex(params["private"], "private"), _msg_bytes(params))
+    return {"r": to_hex(signature.r), "s": to_hex(signature.s)}
+
+
+def _handle_ecdsa_verify(state: WorkerState, curve: str,
+                         params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..protocols.ecdsa import Signature
+
+    suite = state.suite(curve)
+    public = _affine(suite, params["public"], "public")
+    signature = Signature(r=from_hex(params["r"], "r"),
+                          s=from_hex(params["s"], "s"))
+    valid = state.ecdsa(curve).verify(public, _msg_bytes(params), signature)
+    return {"valid": bool(valid)}
+
+
+def _handle_schnorr_sign(state: WorkerState, curve: str,
+                         params: Dict[str, Any]) -> Dict[str, Any]:
+    signature = state.schnorr(curve).sign(
+        from_hex(params["private"], "private"), _msg_bytes(params))
+    return {"e": to_hex(signature.challenge),
+            "s": to_hex(signature.response)}
+
+
+def _handle_schnorr_verify(state: WorkerState, curve: str,
+                           params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..protocols.schnorr import SchnorrSignature
+
+    suite = state.suite(curve)
+    public = _affine(suite, params["public"], "public")
+    signature = SchnorrSignature(challenge=from_hex(params["e"], "e"),
+                                 response=from_hex(params["s"], "s"))
+    valid = state.schnorr(curve).verify(public, _msg_bytes(params), signature)
+    return {"valid": bool(valid)}
+
+
+def _handle_rsa_sign(state: WorkerState, curve: Optional[str],
+                     params: Dict[str, Any]) -> Dict[str, Any]:
+    rsa = state.rsa(from_hex(params["n"], "n"), from_hex(params["e"], "e"),
+                    from_hex(params["d"], "d"))
+    digest = from_hex(params["digest"], "digest")
+    if not 0 <= digest < rsa.key.n:
+        raise ProtocolError("digest out of range for the modulus")
+    return {"sig": to_hex(rsa.sign(digest))}
+
+
+def _handle_rsa_verify(state: WorkerState, curve: Optional[str],
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    n = from_hex(params["n"], "n")
+    e = from_hex(params["e"], "e")
+    engine = state._rsa.get(n)
+    if engine is not None and engine.key.e == e:
+        rsa = engine
+    else:
+        rsa = Rsa(RsaKeyPair(n=n, e=e, d=0, bits=n.bit_length()))
+    sig = from_hex(params["sig"], "sig")
+    if not 0 <= sig < n:
+        raise ProtocolError("signature out of range for the modulus")
+    valid = rsa.verify(from_hex(params["digest"], "digest"), sig)
+    return {"valid": bool(valid)}
+
+
+_HANDLERS: Dict[str, Callable] = {
+    "keygen": _handle_keygen,
+    "ecdh": _handle_ecdh,
+    "scalarmult": _handle_scalarmult,
+    "ecdsa_sign": _handle_ecdsa_sign,
+    "ecdsa_verify": _handle_ecdsa_verify,
+    "schnorr_sign": _handle_schnorr_sign,
+    "schnorr_verify": _handle_schnorr_verify,
+    "rsa_sign": _handle_rsa_sign,
+    "rsa_verify": _handle_rsa_verify,
+}
+
+assert set(_HANDLERS) == set(protocol.OPS), "handler table drifted from OPS"
+
+
+def execute_request(req: Dict[str, Any],
+                    state: Optional[WorkerState] = None) -> Dict[str, Any]:
+    """Run one validated request to a reply dict (never raises)."""
+    state = state or worker_state()
+    _REQUESTS.inc()
+    METRICS.counter(f"serve_worker_op_{req['op']}_total").inc()
+    try:
+        result = _HANDLERS[req["op"]](state, req.get("curve"),
+                                      req.get("params") or {})
+        return protocol.ok_reply(req["id"], result)
+    except ProtocolError as exc:
+        _ERRORS.inc()
+        return protocol.error_reply(req["id"], exc.error_type, str(exc))
+    except (ValueError, ZeroDivisionError, KeyError, TypeError) as exc:
+        _ERRORS.inc()
+        return protocol.error_reply(req["id"], "BadRequest", str(exc))
+    except FaultDetectedError as exc:
+        _ERRORS.inc()
+        return protocol.error_reply(req["id"], "Internal",
+                                    f"fault countermeasure tripped: {exc}")
+    except Exception as exc:  # pragma: no cover - defense in depth
+        _ERRORS.inc()
+        return protocol.error_reply(req["id"], "Internal",
+                                    f"{type(exc).__name__}: {exc}")
+
+
+def execute_batch(requests: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Pool entry point: one batch in, replies + isolated metrics out.
+
+    The metrics field carries this worker's *cumulative* counter values;
+    the server keeps a per-worker baseline and merges only the delta, so
+    restarts and multiple pools aggregate correctly.
+    """
+    state = worker_state()
+    _BATCHES.inc()
+    replies = [execute_request(req, state) for req in requests]
+    for op, delta in state.field_ops_delta().items():
+        if delta:
+            METRICS.counter(f"serve_field_{op}_total").inc(delta)
+    return {
+        "pid": os.getpid(),
+        "replies": replies,
+        "metrics": METRICS.counters_snapshot(),
+    }

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import SUBCOMMANDS, _epilog, main
 
 
 class TestCli:
@@ -34,3 +34,39 @@ class TestCli:
         assert main(["table2", "--source", "measured"]) == 0
         out = capsys.readouterr().out
         assert "measured" in out
+
+
+class TestSubcommandRegistry:
+    def test_help_lists_every_subcommand(self, capsys):
+        """The top-level help must match the registered subcommand set —
+        a forgotten registry entry fails here, not in a user's shell."""
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out, f"subcommand {name!r} missing from help"
+
+    def test_epilog_renders_from_registry(self):
+        epilog = _epilog()
+        for name, (_module, help_) in SUBCOMMANDS.items():
+            assert name in epilog and help_ in epilog
+
+    def test_docstring_mentions_every_subcommand(self):
+        import repro.__main__ as cli
+
+        for name in SUBCOMMANDS:
+            assert f"python -m repro {name}" in cli.__doc__
+
+    def test_registry_modules_expose_main(self):
+        import importlib
+
+        for name, (module_name, _help) in SUBCOMMANDS.items():
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, "main")), name
+
+    @pytest.mark.parametrize("name", sorted(SUBCOMMANDS))
+    def test_subcommand_help_dispatches(self, name, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([name, "--help"])
+        assert exc_info.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()

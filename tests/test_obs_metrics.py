@@ -1,0 +1,148 @@
+"""Metrics registry: histograms, cross-process counter merging, and
+fork isolation (the worker-safety audit of the serving PR)."""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert reg.snapshot()["x"] == 5
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_collisions_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        with pytest.raises(TypeError):
+            reg.gauge("c")
+        with pytest.raises(TypeError):
+            reg.counter("g")
+        with pytest.raises(TypeError):
+            reg.histogram("c")
+        with pytest.raises(TypeError):
+            reg.counter("h")
+        with pytest.raises(TypeError):
+            reg.gauge("h")
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        hist = Histogram("lat")
+        assert hist.summary() == {"count": 0, "mean": 0.0, "p50": 0.0,
+                                  "p95": 0.0, "p99": 0.0}
+
+    def test_percentiles_bound_observations(self):
+        hist = Histogram("lat")
+        for v in (10, 20, 30, 1000):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(265.0)
+        # Log-bucketed estimates are bucket-accurate: the p50 must land
+        # within a factor of two of the true median.
+        assert 8 <= hist.percentile(50) <= 64
+        assert hist.percentile(99) <= 2048
+        assert hist.percentile(0) <= hist.percentile(100)
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+    def test_merge_combines_buckets(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        for v in (1, 2, 4):
+            a.observe(v)
+        for v in (1024, 2048):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.sum == pytest.approx(3079.0)
+        assert a.percentile(99) >= 512
+
+    def test_registry_snapshot_flattens(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(100)
+        snap = reg.snapshot()
+        assert snap["lat_count"] == 1
+        assert snap["lat_p50"] > 0
+        assert "lat_p95" in snap and "lat_p99" in snap
+
+
+class TestCrossProcessMerge:
+    def test_counters_snapshot_excludes_gauges_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(9)
+        reg.histogram("h").observe(1)
+        assert reg.counters_snapshot() == {"c": 2}
+
+    def test_merge_counters_folds_deltas(self):
+        parent = MetricsRegistry()
+        parent.counter("reqs").inc(10)
+        parent.merge_counters({"reqs": 5, "new_metric": 3, "zero": 0})
+        snap = parent.counters_snapshot()
+        assert snap["reqs"] == 15
+        assert snap["new_metric"] == 3
+        assert "zero" not in snap  # zero deltas register nothing
+
+    def test_merge_rejects_negative_deltas(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="negative"):
+            reg.merge_counters({"reqs": -1})
+
+    def test_merge_respects_kind_guarantee(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        with pytest.raises(TypeError):
+            reg.merge_counters({"g": 1})
+
+
+class TestForkIsolation:
+    def test_reset_for_fork_zeroes_and_restamps(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.histogram("h").observe(3)
+        reg._pid = 1  # simulate an inherited parent registry
+        assert not reg.check_fork_isolation()
+        reg.reset_for_fork()
+        assert reg.check_fork_isolation()
+        assert reg.counters_snapshot()["c"] == 0
+        assert reg.snapshot()["h_count"] == 0
+
+    def test_forked_worker_reports_isolated_counters(self):
+        """A real fork: the child resets, works, and reports only its
+        own tallies — the parent's stay untouched."""
+        import multiprocessing
+
+        def child(conn):
+            from repro.obs.metrics import METRICS
+
+            METRICS.reset_for_fork()
+            METRICS.counter("fork_test_total").inc(3)
+            conn.send(METRICS.counters_snapshot())
+            conn.close()
+
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        from repro.obs.metrics import METRICS
+
+        before = METRICS.counters_snapshot().get("fork_test_total", 0)
+        proc = ctx.Process(target=child, args=(child_conn,))
+        proc.start()
+        snapshot = parent_conn.recv()
+        proc.join(timeout=30)
+        assert snapshot["fork_test_total"] == 3
+        assert METRICS.counters_snapshot().get(
+            "fork_test_total", 0) == before
+        assert os.getpid() != proc.pid

@@ -1,0 +1,152 @@
+"""Wire-protocol validation: grammar, op table, encode/decode."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    CURVES,
+    OPS,
+    ORDER_CURVES,
+    ProtocolError,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    error_reply,
+    from_hex,
+    ok_reply,
+    to_hex,
+    validate_request,
+)
+
+
+def _req(**overrides):
+    base = {"id": 1, "op": "keygen", "curve": "secp160r1",
+            "params": {"seed": "abc"}}
+    base.update(overrides)
+    return base
+
+
+class TestHexCodec:
+    def test_roundtrip(self):
+        for value in (0, 1, 0xDEADBEEF, 1 << 200):
+            assert from_hex(to_hex(value)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            to_hex(-1)
+
+    def test_bad_hex_rejected(self):
+        for bad in ("", "zz", 42, None, {"x": 1}):
+            with pytest.raises(ProtocolError):
+                from_hex(bad)
+
+
+class TestValidateRequest:
+    def test_valid_request_passes(self):
+        assert validate_request(_req())["op"] == "keygen"
+
+    def test_non_object_rejected(self):
+        for bad in ([1], "x", 7, None):
+            with pytest.raises(ProtocolError):
+                validate_request(bad)
+
+    def test_id_must_be_nonnegative_int(self):
+        for bad in (-1, "1", 1.5, True, None):
+            with pytest.raises(ProtocolError, match="id"):
+                validate_request(_req(id=bad))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request(_req(op="divine"))
+
+    def test_curve_must_match_op(self):
+        with pytest.raises(ProtocolError, match="curve"):
+            validate_request(_req(curve="p256"))
+        # Order-arithmetic ops are restricted to curves with known order.
+        with pytest.raises(ProtocolError):
+            validate_request(_req(op="ecdsa_sign", curve="edwards",
+                                  params={"private": "1", "msg": "ab"}))
+
+    def test_rsa_takes_no_curve(self):
+        req = {"id": 1, "op": "rsa_verify",
+               "params": {"n": "c1", "e": "11", "digest": "5", "sig": "6"}}
+        assert validate_request(req)["op"] == "rsa_verify"
+        with pytest.raises(ProtocolError, match="takes no curve"):
+            validate_request(dict(req, curve="secp160r1"))
+
+    def test_missing_and_unknown_params(self):
+        with pytest.raises(ProtocolError, match="missing params"):
+            validate_request(_req(params={}))
+        with pytest.raises(ProtocolError, match="unknown params"):
+            validate_request(_req(params={"seed": "a", "extra": 1}))
+
+    def test_optional_params_allowed(self):
+        req = _req(op="scalarmult", params={"k": "7"})
+        validate_request(req)
+        req["params"]["point"] = {"x": "1", "y": "2"}
+        validate_request(req)
+
+    def test_deadline_validation(self):
+        validate_request(_req(deadline_ms=100))
+        for bad in (0, -5, "fast", True):
+            with pytest.raises(ProtocolError, match="deadline"):
+                validate_request(_req(deadline_ms=bad))
+
+    def test_unknown_top_level_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            validate_request(_req(priority=9))
+
+
+class TestOpTable:
+    def test_order_ops_restricted(self):
+        for op in ("ecdsa_sign", "ecdsa_verify", "schnorr_sign",
+                   "schnorr_verify"):
+            assert OPS[op].curves == ORDER_CURVES
+
+    def test_generic_ops_cover_all_curves(self):
+        for op in ("keygen", "ecdh", "scalarmult"):
+            assert OPS[op].curves == CURVES
+
+    def test_rsa_ops_curveless(self):
+        assert not OPS["rsa_sign"].curves
+        assert not OPS["rsa_verify"].curves
+
+
+class TestCodec:
+    def test_request_roundtrip_canonical(self):
+        line = encode_request(_req())
+        assert line.endswith(b"\n")
+        assert decode_request(line) == _req()
+        # Canonical: key-sorted, no whitespace.
+        assert line == encode_request(json.loads(line))
+
+    def test_decode_rejects_garbage(self):
+        for bad in (b"not json\n", b"[1,2]\n", b"\xff\xfe\n"):
+            with pytest.raises(ProtocolError):
+                decode_request(bad)
+
+    def test_reply_roundtrip(self):
+        ok = ok_reply(3, {"x": "ff"})
+        assert decode_reply(encode_reply(ok)) == ok
+        err = error_reply(4, "Overloaded", "queue full")
+        assert decode_reply(encode_reply(err)) == err
+
+    def test_error_reply_type_closed_world(self):
+        with pytest.raises(ValueError):
+            error_reply(1, "Teapot", "no")
+
+    def test_decode_reply_validates_shape(self):
+        for bad in (b"7\n", b'{"id":"x","ok":true,"result":{}}\n',
+                    b'{"id":1,"ok":true}\n',
+                    b'{"id":1,"ok":false,"error":{"type":"Nope"}}\n',
+                    b'{"id":1}\n'):
+            with pytest.raises(ProtocolError):
+                decode_reply(bad)
+
+    def test_exception_types_map_to_error_types(self):
+        assert protocol.Overloaded("x").error_type == "Overloaded"
+        assert protocol.DeadlineExceeded("x").error_type == "DeadlineExceeded"
+        assert ProtocolError("x").error_type == "BadRequest"

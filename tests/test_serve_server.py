@@ -1,0 +1,289 @@
+"""End-to-end serve tests: TCP roundtrips, batching, backpressure,
+deadlines, and the fork-safe metric merge.
+
+No pytest-asyncio in the image: every test drives its own event loop
+through ``asyncio.run``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.serve.client import AsyncServeClient, ServeClient, ServeError
+from repro.serve.server import EccServer, ServeConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _start(**overrides):
+    defaults = dict(port=0, workers=1)
+    defaults.update(overrides)
+    server = EccServer(ServeConfig(**defaults))
+    await server.start()
+    return server
+
+
+SEED = "serve-test-seed"
+
+
+class TestRoundtrips:
+    def test_keygen_ecdsa_sign_verify(self):
+        async def scenario():
+            server = await _start()
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                try:
+                    key = await client.call("keygen", "secp160r1",
+                                            {"seed": SEED})
+                    sig = await client.call(
+                        "ecdsa_sign", "secp160r1",
+                        {"private": key["private"], "msg": "00ff"})
+                    verdict = await client.call(
+                        "ecdsa_verify", "secp160r1",
+                        {"public": key["public"], "msg": "00ff",
+                         "r": sig["r"], "s": sig["s"]})
+                    bad = await client.call(
+                        "ecdsa_verify", "secp160r1",
+                        {"public": key["public"], "msg": "00fe",
+                         "r": sig["r"], "s": sig["s"]})
+                finally:
+                    await client.close()
+                return verdict, bad
+            finally:
+                await server.stop()
+
+        verdict, bad = run(scenario())
+        assert verdict == {"valid": True}
+        assert bad == {"valid": False}
+
+    def test_schnorr_and_ecdh_and_scalarmult(self):
+        async def scenario():
+            server = await _start()
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                try:
+                    key_a = await client.call("keygen", "glv",
+                                              {"seed": SEED + ":a"})
+                    key_b = await client.call("keygen", "glv",
+                                              {"seed": SEED + ":b"})
+                    sig = await client.call(
+                        "schnorr_sign", "glv",
+                        {"private": key_a["private"], "msg": "aa"})
+                    verdict = await client.call(
+                        "schnorr_verify", "glv",
+                        {"public": key_a["public"], "msg": "aa",
+                         "e": sig["e"], "s": sig["s"]})
+                    ab = await client.call(
+                        "ecdh", "glv", {"private": key_a["private"],
+                                        "peer": key_b["public"]})
+                    ba = await client.call(
+                        "ecdh", "glv", {"private": key_b["private"],
+                                        "peer": key_a["public"]})
+                    mult = await client.call(
+                        "scalarmult", "glv", {"k": key_a["private"]})
+                finally:
+                    await client.close()
+                return verdict, ab, ba, mult, key_a
+            finally:
+                await server.stop()
+
+        verdict, ab, ba, mult, key_a = run(scenario())
+        assert verdict == {"valid": True}
+        assert ab == ba  # the ECDH agreement property, through the wire
+        assert mult["point"] == key_a["public"]
+
+    def test_montgomery_xonly_path(self):
+        async def scenario():
+            server = await _start(warm_curves=())
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                try:
+                    key_a = await client.call("keygen", "montgomery",
+                                              {"seed": SEED + ":a"})
+                    key_b = await client.call("keygen", "montgomery",
+                                              {"seed": SEED + ":b"})
+                    ab = await client.call(
+                        "ecdh", "montgomery",
+                        {"private": key_a["private"],
+                         "peer": key_b["public_x"]})
+                    ba = await client.call(
+                        "ecdh", "montgomery",
+                        {"private": key_b["private"],
+                         "peer": key_a["public_x"]})
+                finally:
+                    await client.close()
+                return ab, ba
+            finally:
+                await server.stop()
+
+        ab, ba = run(scenario())
+        assert ab == ba
+
+    def test_sync_client_pipeline(self):
+        async def scenario():
+            server = await _start()
+            loop = asyncio.get_running_loop()
+
+            def blocking():
+                with ServeClient(port=server.port) as client:
+                    reqs = [client.request("keygen", "secp160r1",
+                                           {"seed": f"{SEED}:{i}"})
+                            for i in range(5)]
+                    results = client.call_many(reqs)
+                    with pytest.raises(ServeError) as exc_info:
+                        client.call("keygen", "secp160r1", {"seed": ""})
+                    return results, exc_info.value.error_type
+
+            try:
+                return await loop.run_in_executor(None, blocking)
+            finally:
+                await server.stop()
+
+        results, error_type = run(scenario())
+        assert len(results) == 5
+        assert len({r["private"] for r in results}) == 5
+        assert error_type == "BadRequest"
+
+
+class TestErrorPaths:
+    def test_bad_line_gets_typed_reply_with_salvaged_id(self):
+        async def scenario():
+            server = await _start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"this is not json\n")
+                writer.write(b'{"id": 42, "op": "divine"}\n')
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                second = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+            finally:
+                await server.stop()
+
+        first, second = run(scenario())
+        assert first["ok"] is False
+        assert first["error"]["type"] == "BadRequest"
+        assert first["id"] == 0  # unsalvageable line
+        assert second["id"] == 42  # id recovered from the bad request
+        assert second["error"]["type"] == "BadRequest"
+
+    def test_overloaded_shed_is_typed(self):
+        async def scenario():
+            server = await _start(queue_depth=1)
+            # Stall the batcher so the bounded queue genuinely fills.
+            server._batcher.cancel()
+            try:
+                await server._batcher
+            except asyncio.CancelledError:
+                pass
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                try:
+                    first = asyncio.ensure_future(client.call_raw_one(
+                        {"id": 1, "op": "keygen", "curve": "secp160r1",
+                         "params": {"seed": "a"}}))
+                    await asyncio.sleep(0.05)  # let it occupy the queue
+                    shed = await client.call_raw_one(
+                        {"id": 2, "op": "keygen", "curve": "secp160r1",
+                         "params": {"seed": "b"}})
+                    first.cancel()
+                finally:
+                    await client.close()
+                return shed
+            finally:
+                await server.stop()
+
+        shed = run(scenario())
+        assert shed["ok"] is False
+        assert shed["error"]["type"] == "Overloaded"
+
+    def test_expired_deadline_rejected_before_work(self):
+        async def scenario():
+            server = await _start()
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                try:
+                    return await client.call_raw_one(
+                        {"id": 1, "op": "keygen", "curve": "secp160r1",
+                         "params": {"seed": "a"}, "deadline_ms": 1e-6})
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        reply = run(scenario())
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "DeadlineExceeded"
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            run(EccServer(ServeConfig(workers=0)).start())
+
+
+class TestObservability:
+    def test_worker_metrics_merge_into_parent(self):
+        before = METRICS.counters_snapshot()
+
+        async def scenario():
+            server = await _start()
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                try:
+                    await client.call_raw(
+                        [{"id": i + 1, "op": "keygen", "curve": "secp160r1",
+                          "params": {"seed": f"{SEED}:{i}"}}
+                         for i in range(6)])
+                finally:
+                    await client.close()
+                return server.stats()
+            finally:
+                await server.stop()
+
+        stats = run(scenario())
+        after = METRICS.counters_snapshot()
+
+        def grew(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        # Parent-side pipeline counters.
+        assert grew("serve_requests_total") >= 6
+        assert grew("serve_replies_total") >= 6
+        assert grew("serve_batches_total") >= 1
+        # Worker-side counters, visible only through the per-batch merge.
+        assert grew("serve_worker_requests_total") >= 6
+        assert grew("serve_field_mul_total") > 0
+        # Histograms flattened into the stats snapshot.
+        assert stats["serve_latency_us_count"] >= 6
+        assert stats["serve_latency_us_p99"] > 0
+        assert METRICS.check_fork_isolation()
+
+    def test_batching_groups_compatible_requests(self):
+        async def scenario():
+            server = await _start(batch_max=64)
+            try:
+                client = await AsyncServeClient.connect(port=server.port)
+                before = METRICS.counters_snapshot()
+                try:
+                    await client.call_raw(
+                        [{"id": i + 1, "op": "keygen", "curve": "secp160r1",
+                          "params": {"seed": f"{SEED}:{i}"}}
+                         for i in range(12)])
+                finally:
+                    await client.close()
+                after = METRICS.counters_snapshot()
+                return (after["serve_batches_total"]
+                        - before.get("serve_batches_total", 0))
+            finally:
+                await server.stop()
+
+        batches = run(scenario())
+        # 12 pipelined compatible requests must not take 12 round-trips;
+        # the first may dispatch alone before the rest arrive.
+        assert 1 <= batches < 12
