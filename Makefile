@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-bench bench bench-smoke bench-check profile-smoke \
-        faults-smoke serve-smoke tables
+        faults-smoke ctcheck-smoke serve-smoke docs docs-check tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,26 @@ faults-smoke:
 	$(PYTHON) -m repro faults ladder --mode ca --n 200 --seed 7 --check
 	$(PYTHON) -m repro faults ecdh --smoke --check
 	$(PYTHON) -m repro faults ecdsa --smoke --check
+
+# Constant-time gate (DESIGN.md §9): every leg runs the taint checker
+# over all three timing modes, twice (JSONL must be byte-identical) and
+# under both execution engines (verdicts must agree).  The field
+# multiplication, the masked-swap ladder and DAAA exponentiation must
+# come back clean; the NAF foil must stay flagged — if it ever reports
+# clean, the checker has lost its teeth.
+ctcheck-smoke:
+	$(PYTHON) -m repro ctcheck mul --check --expect clean
+	$(PYTHON) -m repro ctcheck ladder --check --expect clean
+	$(PYTHON) -m repro ctcheck daaa --check --expect clean
+	$(PYTHON) -m repro ctcheck naf --check --expect flagged
+
+# Regenerate the docs/ API reference from docstrings; docs-check is the
+# CI form (fails on stale pages or broken relative links, writes nothing).
+docs:
+	$(PYTHON) -m repro docs
+
+docs-check:
+	$(PYTHON) -m repro docs --check
 
 # Serving gate (DESIGN.md §8): a 200-request deterministic loadgen mix
 # against 1- and 2-worker in-process servers — zero errors and a

@@ -20,6 +20,12 @@
                                       # benign/detected/silent breakdown
     python -m repro faults ecdh --n 200 --seed 7 --format jsonl
     python -m repro faults ecdsa --check      # determinism + hardening gate
+    python -m repro ctcheck naf --mode ise    # constant-time taint check
+                                      # (DESIGN.md par. 9); ladder/daaa
+                                      # clean, naf deliberately flagged
+    python -m repro ctcheck ladder --check --expect clean   # the CI gate
+    python -m repro docs              # regenerate docs/ API reference;
+                                      # --check verifies pages + links
     python -m repro serve --workers 4 --port 9477   # the batched ECC
                                       # service (NDJSON over TCP)
     python -m repro loadgen --workers 1 --n 200 --seed 7 --check
@@ -27,8 +33,8 @@
                                       # --bench appends BENCH_serve.json
                                       # and enforces the speedup floors
 
-``bench``, ``profile``, ``faults``, ``serve`` and ``loadgen`` own their
-flag sets — run them with ``--help`` for the full list.  The registry
+``bench``, ``profile``, ``faults``, ``ctcheck``, ``docs``, ``serve``
+and ``loadgen`` own their flag sets — run them with ``--help`` for the full list.  The registry
 of delegating subcommands is :data:`SUBCOMMANDS`; the CLI help is
 generated from it (and a test pins the two together).
 """
@@ -50,6 +56,10 @@ SUBCOMMANDS: Dict[str, Tuple[str, str]] = {
                 "engine-speed profiling and span tracing"),
     "faults": ("repro.analysis.faults",
                "fault-injection campaigns against the ISS and protocols"),
+    "ctcheck": ("repro.analysis.ctcheck",
+                "constant-time verification via ISS secret taint"),
+    "docs": ("repro.docgen",
+             "generate (or --check) the docs/ API reference"),
     "serve": ("repro.serve.server",
               "batched multi-worker ECC service over NDJSON/TCP"),
     "loadgen": ("repro.serve.loadgen",

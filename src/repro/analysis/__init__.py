@@ -6,6 +6,9 @@
 * ``profile`` — engine-speed profiling + span tracing CLI
   (``python -m repro profile``), per DESIGN.md §4 "Observability".
 * ``leakage`` — the timing-leakage regularity report.
+* ``ctcheck`` — ISS-level constant-time taint verification
+  (``python -m repro ctcheck``), per DESIGN.md §9 "Constant-time
+  verification"; cross-checked against ``leakage`` by the test-suite.
 * ``faults`` — seeded fault-injection campaigns over the kernels and
   protocols (``python -m repro faults``), per DESIGN.md §7 "Fault model
   & countermeasures".
@@ -23,6 +26,7 @@ from .bench import (
     validate_entry,
     validate_run_record,
 )
+from .ctcheck import check_target
 from .profile import (
     profile_kernel,
     profile_scalarmult,
@@ -69,6 +73,7 @@ __all__ = [
     "run_bench",
     "validate_entry",
     "validate_run_record",
+    "check_target",
     "profile_kernel",
     "profile_scalarmult",
     "render_text",

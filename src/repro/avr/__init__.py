@@ -9,6 +9,9 @@
 * :class:`~repro.avr.engine.FastEngine` — the block-compiling fast engine
   behind ``AvrCore.run()`` (the ``step()`` interpreter stays the reference).
 * :class:`~repro.avr.profiler.Profiler` — instruction-mix reporting.
+* :class:`~repro.avr.taint.TaintTracker` — secret-taint shadow execution
+  for constant-time verification (DESIGN.md §9, ``python -m repro
+  ctcheck``).
 """
 
 from .assembler import Assembler, AssemblyError, Program, assemble
@@ -24,8 +27,9 @@ from .mac import (
     MacUnit,
 )
 from .memory import DataSpace, ProgramMemory, SRAM_BASE
-from .profiler import Profiler
+from .profiler import Profiler, SymbolIndex
 from .sreg import StatusRegister
+from .taint import TAINT_RULES, TaintTracker, TaintViolation
 from .timing import Mode
 
 __all__ = [
@@ -47,6 +51,10 @@ __all__ = [
     "ProgramMemory",
     "SRAM_BASE",
     "StatusRegister",
+    "SymbolIndex",
+    "TAINT_RULES",
+    "TaintTracker",
+    "TaintViolation",
     "assemble",
     "disassemble",
     "disassemble_one",

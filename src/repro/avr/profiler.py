@@ -46,6 +46,35 @@ def group_of(name: str) -> str:
     return _GROUPS.get(name, name)
 
 
+class SymbolIndex:
+    """Nearest-symbol lookup over an assembler label table.
+
+    Shared by the profiler's routine attribution and the constant-time
+    checker's violation reports (:mod:`repro.avr.taint`): ``name_for``
+    returns the nearest label at or below a PC (``name+0xN`` for interior
+    addresses, ``sub_0x......`` when no table is installed).
+    """
+
+    def __init__(self, symbols: Optional[Dict[str, int]] = None):
+        self._index: List[Tuple[int, str]] = []
+        if symbols:
+            self.set_symbols(symbols)
+
+    def set_symbols(self, symbols: Dict[str, int]) -> None:
+        self._index = sorted((addr, name) for name, addr in symbols.items())
+
+    def name_for(self, pc: int) -> str:
+        """Best label for *pc*: the nearest symbol at or below it."""
+        if self._index:
+            i = bisect.bisect_right(self._index, (pc, "￿")) - 1
+            if i >= 0:
+                addr, name = self._index[i]
+                if addr == pc:
+                    return name
+                return f"{name}+{pc - addr:#x}"
+        return f"sub_{pc:#06x}"
+
+
 #: Instruction semantics that open / close a call frame.
 CALL_SEMS = frozenset({"rcall", "call", "icall"})
 RET_SEMS = frozenset({"ret", "reti"})
@@ -82,26 +111,18 @@ class Profiler:
         self._calls: Counter = Counter()      # entry_pc -> invocation count
         self._folded: Counter = Counter()     # tuple(entry pcs) -> flat cyc
         self._toplevel_cycles = 0             # cycles inside top-level calls
-        self._addr_index: List[Tuple[int, str]] = []
+        self._index = SymbolIndex(self.symbols)
 
     # -- configuration -------------------------------------------------------
 
     def set_symbols(self, symbols: Dict[str, int]) -> None:
         """Install an assembler symbol table for routine naming."""
         self.symbols = dict(symbols)
-        self._addr_index = sorted(
-            (addr, name) for name, addr in self.symbols.items())
+        self._index.set_symbols(self.symbols)
 
     def name_for(self, pc: int) -> str:
         """Best label for *pc*: the nearest symbol at or below it."""
-        if self._addr_index:
-            i = bisect.bisect_right(self._addr_index, (pc, "￿")) - 1
-            if i >= 0:
-                addr, name = self._addr_index[i]
-                if addr == pc:
-                    return name
-                return f"{name}+{pc - addr:#x}"
-        return f"sub_{pc:#06x}"
+        return self._index.name_for(pc)
 
     # -- recording (reference interpreter and engine fold) -------------------
 

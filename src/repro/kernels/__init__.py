@@ -9,9 +9,19 @@ The kernels reproduce Table I on the simulator:
   Montgomery multiplication with native ``MUL`` (CA/FAST modes).
 * :func:`~repro.kernels.mul_kernels.generate_opf_mul_mac` — the ISE kernel
   on the (32 x 4)-bit MAC unit (Algorithm 2's load-trigger pattern).
+
+:class:`~repro.kernels.expo_kernel.ExpoKernel` adds the constant-time
+checker's foil pair — branchless DAAA exponentiation vs deliberately
+leaky NAF double-and-add (DESIGN.md §9).
 """
 
 from .addsub_kernel import generate_modadd, generate_modsub
+from .expo_kernel import (
+    ExpoKernel,
+    generate_daaa_expo_program,
+    generate_naf_expo_program,
+    naf_digits,
+)
 from .layout import (
     ADDR_A,
     ADDR_B,
@@ -36,9 +46,13 @@ __all__ = [
     "OPERAND_BYTES",
     "KernelRunner",
     "CozLadderKernel",
+    "ExpoKernel",
     "LadderKernel",
     "generate_coz_ladder_program",
+    "generate_daaa_expo_program",
     "generate_ladder_program",
+    "generate_naf_expo_program",
+    "naf_digits",
     "OpfConstants",
     "generate_modadd",
     "generate_modsub",

@@ -4,8 +4,11 @@ This is the paper's actual experiment, end to end on the simulator: the
 x-only ladder over the 160-bit OPF Montgomery curve, built from the field
 kernels as CALLed subroutines — per scalar bit one differential addition and
 one doubling (the doubling's small-constant multiplication by
-``(A + 2)/4 = 3`` is two modular additions), driven by a constant-round
-loop over all 160 scalar bits.
+``(A + 2)/4 = 3`` is two modular additions), driven by a branch-free
+constant-round loop over all 160 scalar bits: each bit becomes a 0x00/0xFF
+mask feeding conditional swaps, so no instruction's execution depends on
+the scalar and the kernel verifies clean under ``python -m repro ctcheck``
+(DESIGN.md §9).
 
 Where Table II's Montgomery row is otherwise *estimated* (operation counts ×
 per-op costs), :class:`LadderKernel` produces a **measured** cycle count:
@@ -62,6 +65,7 @@ VAR_PTR = ADDR_T + 8      # 2 bytes: address of the current scalar byte
 VAR_CUR = ADDR_T + 10     # the shifting current byte
 VAR_BITS = ADDR_T + 11    # bits left in the current byte
 VAR_BYTES = ADDR_T + 12   # bytes left
+VAR_MASK = ADDR_T + 13    # the bit's 0x00/0xFF swap mask (masked driver)
 
 
 def _set_pointer(reg_low: int, address: int) -> List[str]:
@@ -114,6 +118,98 @@ def _ladder_step(double_pair: Tuple[str, str],
     lines += _call_addsub("add_sub", "T8", "T7", "T9")   # 3c = a24 * c
     lines += _call_addsub("add_sub", "T6", "T9", "T8")   # w = v + 3c
     lines += _call_mul("T7", "T8", dz)
+    return lines
+
+
+def _cswap_lines(pairs: List[Tuple[str, str]],
+                 load_mask: bool = False) -> List[str]:
+    """Branchless conditional swap of 20-byte slot *pairs* under the mask.
+
+    The 0x00/0xFF mask sits in r25 (reloaded from ``VAR_MASK`` when
+    *load_mask* is set — the field subroutines clobber every register, so
+    the post-step swap must re-fetch it).  Classic masked byte swap:
+    ``t = (a ^ b) & mask; a ^= t; b ^= t`` — no flags are consulted, no
+    branch taken, identical instruction stream for both mask values.
+    """
+    lines: List[str] = []
+    if load_mask:
+        lines.append(f"    lds r25, {VAR_MASK}")
+    for a, b in pairs:
+        for i in range(20):
+            lines += [
+                f"    lds r16, {SLOTS[a] + i}",
+                f"    lds r17, {SLOTS[b] + i}",
+                "    mov r18, r16",
+                "    eor r18, r17",
+                "    and r18, r25",
+                "    eor r16, r18",
+                "    eor r17, r18",
+                f"    sts {SLOTS[a] + i}, r16",
+                f"    sts {SLOTS[b] + i}, r17",
+            ]
+    return lines
+
+
+def generate_masked_bit_loop_driver(step: List[str],
+                                    scalar_bytes: int,
+                                    scalar_addr: Optional[int] = None
+                                    ) -> List[str]:
+    """A branch-free MSB-first bit loop around a single fixed-role *step*.
+
+    Instead of dispatching to mirrored step bodies with a conditional
+    branch on the (secret) scalar bit, each round shifts the bit into the
+    carry and materialises it as a 0x00/0xFF mask — ``SBC r25, r25``
+    computes ``-C`` regardless of r25's prior contents — which the step
+    body consumes via masked conditional swaps/selects (``VAR_MASK``).
+    The only branches left are the DEC/BREQ loop counters over public
+    state, so the driver verifies clean under ``python -m repro ctcheck``
+    (DESIGN.md §9); the cycle count is constant by construction.
+    """
+    base_addr = scalar_addr if scalar_addr is not None else ADDR_SCALAR
+    top_byte = base_addr + scalar_bytes - 1
+    lines = [
+        f"    ldi r16, {top_byte & 0xFF}",
+        f"    sts {VAR_PTR}, r16",
+        f"    ldi r16, {top_byte >> 8}",
+        f"    sts {VAR_PTR + 1}, r16",
+        f"    ldi r16, {scalar_bytes}",
+        f"    sts {VAR_BYTES}, r16",
+        "byte_loop:",
+        f"    lds r26, {VAR_PTR}",
+        f"    lds r27, {VAR_PTR + 1}",
+        "    ld r16, X",
+        f"    sts {VAR_CUR}, r16",
+        "    ldi r16, 8",
+        f"    sts {VAR_BITS}, r16",
+        "bit_loop:",
+        f"    lds r16, {VAR_CUR}",
+        "    lsl r16",
+        f"    sts {VAR_CUR}, r16",   # STS leaves C for the SBC below
+        "    sbc r25, r25",          # mask = -C: 0xFF if the bit is set
+        f"    sts {VAR_MASK}, r25",
+    ]
+    lines += step
+    lines += [
+        f"    lds r16, {VAR_BITS}",
+        "    dec r16",
+        f"    sts {VAR_BITS}, r16",
+        "    breq bits_done",
+        "    jmp bit_loop",
+        "bits_done:",
+        f"    lds r26, {VAR_PTR}",
+        f"    lds r27, {VAR_PTR + 1}",
+        "    sbiw r26, 1",
+        f"    sts {VAR_PTR}, r26",
+        f"    sts {VAR_PTR + 1}, r27",
+        f"    lds r16, {VAR_BYTES}",
+        "    dec r16",
+        f"    sts {VAR_BYTES}, r16",
+        "    breq all_done",
+        "    jmp byte_loop",
+        "all_done:",
+        "    break",
+        "",
+    ]
     return lines
 
 
@@ -227,12 +323,14 @@ def generate_ladder_program(constants: OpfConstants, mode: Mode,
         f"fixed rounds, {mode.value} mode",
         "start:",
     ]
-    # bit = 0: double R0 = (X1, Z1), sum into R1 = (X2, Z2); bit = 1 swaps.
-    lines += generate_bit_loop_driver(
-        _ladder_step(("X1", "Z1"), ("X2", "Z2")),
-        _ladder_step(("X2", "Z2"), ("X1", "Z1")),
-        scalar_bytes,
-    )
+    # One fixed-role step — double R0 = (X1, Z1), sum into R1 = (X2, Z2) —
+    # bracketed by masked conditional swaps: a set bit swaps R0/R1 before
+    # the step and back after it, with no branch on the scalar.
+    swaps = [("X1", "X2"), ("Z1", "Z2")]
+    step = _cswap_lines(swaps)
+    step += _ladder_step(("X1", "Z1"), ("X2", "Z2"))
+    step += _cswap_lines(swaps, load_mask=True)
+    lines += generate_masked_bit_loop_driver(step, scalar_bytes)
     lines += emit_field_subroutines(constants, mode)
     return "\n".join(lines) + "\n"
 

@@ -30,8 +30,11 @@ FIPS column schedule (generalised from the paper's s = 5):
 * columns s..2s-2: products ``A[j] * B[c-j]`` plus ``m[c-s+1] * P_{s-1}``;
   each column then emits one result word.
 * column 2s-1: the final word plus the carry bit driving the conditional
-  subtraction of ``p`` (LSW/MSW only; the probability-``2^-32`` borrow
-  ripple has its own short path, exactly as the paper describes).
+  subtraction of ``p`` — emitted as one branchless masked walk over the
+  result (the borrow chains through p's zero bytes with SBC), so the
+  kernel retires the same instruction stream whether or not the
+  subtraction fires and verifies clean under ``python -m repro ctcheck``
+  (DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -40,9 +43,8 @@ from typing import List, Optional, Tuple
 
 from .layout import ADDR_A, ADDR_B, ADDR_M, ADDR_R, ADDR_T, OpfConstants
 
-#: SRAM save slots used by subroutine-mode kernels (result-pointer bases).
+#: SRAM save slot used by subroutine-mode kernels (result-pointer base).
 _SAVE_R = ADDR_T
-_SAVE_MSW = ADDR_T + 2
 
 # Displacement of the m array relative to the Z (= ADDR_B) pointer.
 _M_OFF = ADDR_M - ADDR_B
@@ -198,15 +200,21 @@ def _emit_word_comba(lines: List[str]) -> None:
 def _final_subtract(lines: List[str], operand_bytes: int,
                     carry_reg: str = "r20",
                     subroutine: bool = False) -> None:
-    """Conditional subtraction of ``carry * p`` touching only LSW and MSW.
+    """Branchless conditional subtraction of ``carry * p``.
 
-    The low-weight shortcut from paper Section III-B: the interior bytes of
-    p are zero, so only the bottom word and the two `u` bytes are adjusted.
-    A borrow out of the bottom word (probability 2^-32) takes the explicit
-    ripple path through the zero bytes.  Masked u bytes must already sit in
-    r22/r23 (see :func:`_prepare_subtract_mask`).
+    The low-weight shortcut from paper Section III-B (only p's bottom byte
+    and the two ``u`` bytes are non-zero) emitted as one uniform
+    load/subtract/store walk over all n result bytes: byte 0 subtracts the
+    carry bit, the interior bytes chain the borrow through p's zero bytes
+    with SBC, and the top two bytes subtract the carry-masked u immediates
+    that must already sit in r22/r23 (:func:`_prepare_subtract_mask`).
+    LD/ST leave SREG untouched, so the borrow chain survives the pointer
+    walk — the kernel retires the same instruction stream whether or not
+    the subtraction fires, with no secret-dependent branch for the
+    constant-time checker (DESIGN.md §9) to flag.
     """
     n = operand_bytes
+    lines.append("final_sub:")
     if subroutine:
         # The result base was stashed at entry (caller-chosen address).
         lines.append(f"    lds r26, {_SAVE_R}")
@@ -214,51 +222,17 @@ def _final_subtract(lines: List[str], operand_bytes: int,
     else:
         lines.append(f"    ldi r26, {ADDR_R & 0xFF}")
         lines.append(f"    ldi r27, {ADDR_R >> 8}")   # X -> result base
-    # Bottom word: R[0..3] -= carry (p byte 0 is 1).
-    for o in range(4):
-        lines.append(f"    ld r{16 + o}, X+")
-    lines.append(f"    sub r16, {carry_reg}")
-    for o in range(1, 4):
-        lines.append(f"    sbc r{16 + o}, {_ZERO}")
-    for o in range(4):
-        lines.append(f"    st -X, r{19 - o}")
-    # The ripple block can exceed a conditional branch's ±64-word reach for
-    # large operands, so hop over an RJMP instead.
-    lines.append("    brcs ripple")
-    lines.append("    rjmp msw_sub")
-    lines.append("ripple:")
-    # Rare ripple (probability 2^-32): propagate the borrow through the
-    # zero bytes 4..n-5.  The SEC below re-establishes the borrow, so the
-    # flag-clobbering pointer arithmetic of the subroutine path is safe.
-    if subroutine:
-        lines.append(f"    lds r26, {_SAVE_R}")
-        lines.append(f"    lds r27, {_SAVE_R + 1}")
-        lines.append("    adiw r26, 4")
-    else:
-        lines.append(f"    ldi r26, {(ADDR_R + 4) & 0xFF}")
-        lines.append(f"    ldi r27, {(ADDR_R + 4) >> 8}")
-    lines.append("    sec")   # the borrow we branched on
-    for _ in range(n - 8):
+    for i in range(n):
         lines.append("    ld r16, X")
-        lines.append(f"    sbc r16, {_ZERO}")
+        if i == 0:
+            lines.append(f"    sub r16, {carry_reg}")
+        elif i == n - 2:
+            lines.append("    sbc r16, r22")
+        elif i == n - 1:
+            lines.append("    sbc r16, r23")
+        else:
+            lines.append(f"    sbc r16, {_ZERO}")
         lines.append("    st X+, r16")
-    lines.append("msw_sub:")
-    # MSW: top word -= carry * u (u sits in the top two bytes; any pending
-    # borrow arrives through C).  LDS/LDI and LD leave C untouched.
-    if subroutine:
-        lines.append(f"    lds r26, {_SAVE_MSW}")
-        lines.append(f"    lds r27, {_SAVE_MSW + 1}")
-    else:
-        lines.append(f"    ldi r26, {(ADDR_R + n - 4) & 0xFF}")
-        lines.append(f"    ldi r27, {(ADDR_R + n - 4) >> 8}")
-    for o in range(4):
-        lines.append(f"    ld r{16 + o}, X+")
-    lines.append(f"    sbc r16, {_ZERO}")
-    lines.append(f"    sbc r17, {_ZERO}")
-    lines.append("    sbc r18, r22")
-    lines.append("    sbc r19, r23")
-    for o in range(4):
-        lines.append(f"    st -X, r{19 - o}")
     lines.append("    ret" if subroutine else "    break")
 
 
@@ -273,8 +247,8 @@ def _prepare_subtract_mask(lines: List[str], u_lo: int, u_hi: int,
     lines.append("    and r23, r21")
 
 
-def _save_result_pointer(lines: List[str], operand_bytes: int) -> None:
-    """Stash the caller's X (result base) and the MSW address in SRAM.
+def _save_result_pointer(lines: List[str]) -> None:
+    """Stash the caller's X (result base) in SRAM.
 
     Subroutine-mode entry code: the final conditional subtraction needs to
     re-walk the result, and LDS restores are flag-safe where LDI constants
@@ -282,10 +256,6 @@ def _save_result_pointer(lines: List[str], operand_bytes: int) -> None:
     """
     lines.append(f"    sts {_SAVE_R}, r26")
     lines.append(f"    sts {_SAVE_R + 1}, r27")
-    lines.append(f"    adiw r26, {operand_bytes - 4}")
-    lines.append(f"    sts {_SAVE_MSW}, r26")
-    lines.append(f"    sts {_SAVE_MSW + 1}, r27")
-    lines.append(f"    sbiw r26, {operand_bytes - 4}")
 
 
 def generate_opf_mul_comba(constants: OpfConstants,
@@ -303,7 +273,7 @@ def generate_opf_mul_comba(constants: OpfConstants,
     lines = [f"; OPF {constants.bits}-bit FIPS Montgomery multiplication "
              "(Comba, unrolled)"]
     if subroutine:
-        _save_result_pointer(lines, constants.operand_bytes)
+        _save_result_pointer(lines)
     else:
         lines += _pointer_setup()
     lines.append(f"    clr {_ZERO}")
@@ -472,7 +442,7 @@ def generate_opf_mul_mac(constants: OpfConstants,
     lines = [f"; OPF {constants.bits}-bit FIPS Montgomery multiplication "
              f"(MAC unit, ISE, {style})"]
     if subroutine:
-        _save_result_pointer(lines, constants.operand_bytes)
+        _save_result_pointer(lines)
     else:
         lines += _pointer_setup()
     lines.append(f"    clr {_ZERO_ISE}")

@@ -46,12 +46,15 @@ class KernelRunner:
         self.core.attach_profiler(self.profiler)
         return self.profiler
 
-    def run(self, a: int, b: Optional[int] = None,
-            operand_bytes: int = OPERAND_BYTES) -> Tuple[int, int]:
-        """Execute the kernel on operand(s); returns (result, cycles).
+    def stage(self, a: int, b: Optional[int] = None,
+              operand_bytes: int = OPERAND_BYTES) -> None:
+        """Place operand(s) at the canonical addresses and reset the core.
 
-        Operands are little-endian values of *operand_bytes* bytes placed at
-        the canonical addresses; the result is read from ``ADDR_R``.
+        After staging, the core is ready to run from PC 0 — callers that
+        need to interpose on execution (the constant-time checker marks
+        the staged operand bytes as secret and drives a
+        :class:`~repro.avr.taint.TaintTracker` itself) use this instead
+        of :meth:`run`.
         """
         core = self.core
         core.data.load_bytes(ADDR_A, a.to_bytes(operand_bytes, "little"))
@@ -60,6 +63,22 @@ class KernelRunner:
         if self.profiler is not None:
             self.profiler.reset()
         core.reset(pc=0)  # also restores SP to top-of-SRAM
+
+    def read_result(self, operand_bytes: int = OPERAND_BYTES) -> int:
+        """The little-endian result currently at ``ADDR_R``."""
+        return int.from_bytes(
+            self.core.data.dump_bytes(ADDR_R, operand_bytes), "little"
+        )
+
+    def run(self, a: int, b: Optional[int] = None,
+            operand_bytes: int = OPERAND_BYTES) -> Tuple[int, int]:
+        """Execute the kernel on operand(s); returns (result, cycles).
+
+        Operands are little-endian values of *operand_bytes* bytes placed at
+        the canonical addresses; the result is read from ``ADDR_R``.
+        """
+        core = self.core
+        self.stage(a, b, operand_bytes)
         tr = _trace.CURRENT
         span = tr.start("kernel", kind="kernel",
                         mode=self.mode.name) if tr is not None else None
@@ -70,7 +89,4 @@ class KernelRunner:
                 span.set(cycles=core.cycles,
                          instructions=core.instructions_retired)
                 tr.end(span)
-        result = int.from_bytes(
-            core.data.dump_bytes(ADDR_R, operand_bytes), "little"
-        )
-        return result, cycles
+        return self.read_result(operand_bytes), cycles

@@ -17,10 +17,15 @@ Engine-speed ISS profiling itself lives with the core it observes
 (:mod:`repro.avr.profiler`); this package consumes its results.  The
 architecture is documented in DESIGN.md §4 "Observability"; the export
 layer additionally carries the fault-campaign record stream of
-DESIGN.md §7 "Fault model & countermeasures".
+DESIGN.md §7 "Fault model & countermeasures" and the constant-time
+verdict stream of DESIGN.md §9 "Constant-time verification".
 """
 
 from .export import (
+    ctcheck_events,
+    ctcheck_to_jsonl,
+    fault_events,
+    faults_to_jsonl,
     profiler_events,
     span_events,
     to_chrome,
@@ -39,6 +44,10 @@ __all__ = [
     "install",
     "traced",
     "uninstall",
+    "ctcheck_events",
+    "ctcheck_to_jsonl",
+    "fault_events",
+    "faults_to_jsonl",
     "profiler_events",
     "span_events",
     "to_chrome",

@@ -4,12 +4,14 @@ Two consumers, two formats:
 
 * **JSONL** — one self-describing JSON object per line (``type`` field:
   ``span`` / ``iss_group`` / ``iss_routine`` / ``metrics`` /
-  ``fault_trial`` / ``fault_summary``), the grep- and pandas-friendly
-  archival format.  Fault-campaign records (DESIGN.md §7 "Fault model &
-  countermeasures") go through :func:`fault_events` /
-  :func:`faults_to_jsonl`, which deliberately exclude timestamps and the
-  process-global metrics snapshot so two identical seeded campaigns
-  serialize byte-identically.
+  ``fault_trial`` / ``fault_summary`` / ``ctcheck`` /
+  ``ctcheck_violation``), the grep- and pandas-friendly archival format.
+  Fault-campaign records (DESIGN.md §7 "Fault model & countermeasures")
+  go through :func:`fault_events` / :func:`faults_to_jsonl`, and
+  constant-time verdicts (DESIGN.md §9 "Constant-time verification")
+  through :func:`ctcheck_events` / :func:`ctcheck_to_jsonl`; both
+  deliberately exclude timestamps and the process-global metrics
+  snapshot so two identical runs serialize byte-identically.
 * **Chrome trace events** — the ``chrome://tracing`` / Perfetto JSON
   object format.  Python-side spans land on one track in wall-clock
   microseconds; ISS routine frames land on a second track in the *cycle*
@@ -33,6 +35,8 @@ __all__ = [
     "profiler_events",
     "fault_events",
     "faults_to_jsonl",
+    "ctcheck_events",
+    "ctcheck_to_jsonl",
     "to_jsonl",
     "to_chrome",
     "validate_chrome",
@@ -121,6 +125,39 @@ def faults_to_jsonl(records: List[Any],
                     summary: Optional[Dict[str, Any]] = None) -> str:
     """Serialize fault-campaign records (and summary) as JSON lines."""
     events = fault_events(records, summary)
+    return "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
+
+
+def ctcheck_events(reports: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten constant-time check reports into JSONL-ready dicts.
+
+    Each *report* is one (target, mode) verdict from
+    :func:`repro.analysis.ctcheck.check_target` — a summary dict whose
+    ``violations`` entry holds :class:`repro.avr.taint.TaintViolation`
+    dicts.  Violations are re-emitted as their own ``ctcheck_violation``
+    lines (one per distinct PC site, in first-occurrence order) so a
+    stream consumer can grep them without parsing nested JSON.  Like the
+    fault stream, no timestamps or host state enter the output: two
+    identical check runs serialize byte-identically, which the
+    ``--check`` double-run gate relies on.
+    """
+    events: List[Dict[str, Any]] = []
+    for report in reports:
+        summary = {k: v for k, v in report.items() if k != "violations"}
+        summary["type"] = "ctcheck"
+        events.append(summary)
+        for violation in report.get("violations", []):
+            event = {"type": "ctcheck_violation",
+                     "target": report.get("target"),
+                     "mode": report.get("mode")}
+            event.update(violation)
+            events.append(event)
+    return events
+
+
+def ctcheck_to_jsonl(reports: List[Dict[str, Any]]) -> str:
+    """Serialize constant-time check reports as JSON lines."""
+    events = ctcheck_events(reports)
     return "\n".join(json.dumps(e, sort_keys=True) for e in events) + "\n"
 
 

@@ -1,0 +1,74 @@
+"""The exponentiation foil pair: DAAA (constant-time) vs NAF (leaky).
+
+Both kernels compute ``a^k mod p`` in the Montgomery domain on the ISS
+over the shared ``mul_sub`` field subroutine; DAAA's masked operand
+select and NAF's branching digit dispatch give the constant-time
+checker one genuinely clean and one genuinely flagged target
+(DESIGN.md §9).
+"""
+
+import pytest
+
+from repro.avr.timing import Mode
+from repro.kernels import ExpoKernel, OpfConstants, naf_digits
+
+CONSTANTS = OpfConstants(u=65356, k=144)
+P = CONSTANTS.p
+
+
+class TestNafDigits:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 7, 170, 255, 0xBEEF,
+                                   (1 << 16) - 1])
+    def test_digits_reconstruct_the_value(self, k):
+        digits = naf_digits(k)
+        assert sum(d << i for i, d in enumerate(digits)) == k
+        assert set(digits) <= {-1, 0, 1}
+
+    @pytest.mark.parametrize("k", [7, 170, 0xBEEF, 54321])
+    def test_no_adjacent_nonzero_digits(self, k):
+        digits = naf_digits(k)
+        assert not any(digits[i] and digits[i + 1]
+                       for i in range(len(digits) - 1))
+
+    def test_width_bound(self):
+        # NAF of a b-bit value has at most b+1 digits.
+        for k in (0xFFFF, 0xAAAA, 0x8001):
+            assert len(naf_digits(k)) <= 17
+
+
+class TestValues:
+    CASES = [
+        ("daaa", Mode.ISE), ("daaa", Mode.CA),
+        ("naf", Mode.ISE), ("naf", Mode.FAST),
+    ]
+
+    @pytest.mark.parametrize("method,mode", CASES)
+    def test_matches_host_pow(self, method, mode):
+        kernel = ExpoKernel(CONSTANTS, mode, method=method)
+        for k, a in [(0xB00B, pow(7, 123, P)), (1, 12345), (0, 6789),
+                     (0x8001, pow(11, 321, P))]:
+            value, cycles = kernel.run(k, a)
+            assert value == pow(a, k, P), (method, mode, k)
+            assert cycles > 0
+
+
+class TestTimingBehaviour:
+    def test_daaa_cycles_independent_of_exponent(self):
+        """Square-and-multiply-always: same cycle count for every k."""
+        kernel = ExpoKernel(CONSTANTS, Mode.ISE, method="daaa")
+        cycle_counts = {kernel.run(k, 9)[1]
+                        for k in (0x0000, 0x0001, 0x8000, 0xFFFF, 0x5A5A)}
+        assert len(cycle_counts) == 1
+
+    def test_naf_cycles_depend_on_exponent(self):
+        """The foil must actually leak: digit weight shows in cycles."""
+        kernel = ExpoKernel(CONSTANTS, Mode.ISE, method="naf")
+        _, sparse = kernel.run(0x0001, 9)
+        _, dense = kernel.run(0xFFFF, 9)
+        assert sparse != dense
+
+    def test_secret_region_widths(self):
+        daaa = ExpoKernel(CONSTANTS, Mode.ISE, method="daaa")
+        naf = ExpoKernel(CONSTANTS, Mode.ISE, method="naf")
+        assert daaa.secret_region[1] == 2
+        assert naf.secret_region[1] == 17  # 16 bits -> <= 17 NAF digits
