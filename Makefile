@@ -1,8 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-bench bench bench-smoke bench-check profile-smoke \
-        faults-smoke ctcheck-smoke serve-smoke docs docs-check tables
+.PHONY: test test-bench bench bench-smoke bench-check trace-smoke \
+        profile-smoke faults-smoke ctcheck-smoke serve-smoke docs \
+        docs-check tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,9 +18,18 @@ bench-smoke:
 	$(PYTHON) -m repro bench --smoke
 
 # Fresh smoke run vs the last committed BENCH_iss.json record; exits
-# non-zero on a >30% throughput regression (writes nothing).
+# non-zero on a >30% throughput regression or a trace/fast ladder
+# speedup below TRACE_MIN_SPEEDUP (writes nothing).
 bench-check:
 	$(PYTHON) -m repro bench --check
+
+# Superblock trace-engine gate: the directed three-way parity suite
+# (reference vs fast vs trace — bit- and cycle-exact on every kernel),
+# the SREG dead-flag property tests and the forced mid-superblock
+# fallback cases, plus the three-way differential fuzz harness.
+trace-smoke:
+	$(PYTHON) -m pytest -q tests/test_avr_trace.py
+	$(PYTHON) -m pytest -q tests/test_avr_fuzz.py -k trace
 
 # Fast profiling sanity pass: ISS group/hotspot/routine attribution plus
 # the traced Python mirror op, on small inputs.

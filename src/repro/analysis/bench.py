@@ -1,12 +1,14 @@
 """Parallel ISS benchmark harness: ``python -m repro bench``.
 
 Measures simulator *throughput* (simulated instructions per host second)
-for the paper's kernels under both execution engines — the block-compiling
-:class:`~repro.avr.engine.FastEngine` and the ``step()`` reference
-interpreter — and records the fast/reference speedup per kernel.  The
-matrix (kernel x mode x engine) fans out across worker processes; each
-worker owns its own :class:`~repro.kernels.runner.KernelRunner` so entries
-are fully independent.
+for the paper's kernels under all three execution engines — the ``step()``
+reference interpreter, the block-compiling
+:class:`~repro.avr.engine.FastEngine` and the superblock
+:class:`~repro.avr.trace.TraceEngine` — and records the per-kernel
+speedups (fast/reference, trace/reference and trace/fast).  The matrix
+(kernel x mode x engine) fans out across worker processes; each worker
+owns its own :class:`~repro.kernels.runner.KernelRunner` so entries are
+fully independent.
 
 Results append to ``BENCH_iss.json`` (a list of run records, schema
 below); the benchmark-throughput test validates the schema and asserts
@@ -68,6 +70,14 @@ from ..kernels import (
 #: well below that so shared-CI timing noise cannot fail a correct build.
 ENGINE_MIN_SPEEDUP = 3.0
 
+#: Minimum trace/fast speedup the repository guarantees on the full
+#: scalar multiplication (``ladder_xz/ISE``) — the superblock tier's
+#: headline number.  Measured runs land at ~3.5x (see BENCH_iss.json);
+#: ``bench --check`` enforces this floor on its fresh smoke run, and the
+#: ratio is host-load-resistant because both engines share the run's
+#: conditions.
+TRACE_MIN_SPEEDUP = 2.5
+
 #: Default output file, at the repository root by convention.
 DEFAULT_OUTPUT = "BENCH_iss.json"
 
@@ -95,18 +105,24 @@ def _matrix(smoke: bool) -> List[Dict[str, Any]]:
                  ("opf_mul_mac", Mode.ISE, 400)]
     specs: List[Dict[str, Any]] = []
     for kernel, mode, reps in field:
-        for engine in ("fast", "reference"):
+        for engine in ("fast", "trace", "reference"):
             specs.append({
                 "family": "field", "kernel": kernel, "mode": mode.value,
                 "engine": engine,
-                "reps": reps if engine == "fast" else max(2, reps // 10),
+                "reps": reps if engine != "reference" else max(2, reps // 10),
             })
-    if not smoke:
-        # A full scalar multiplication exercises call/ret, the bit-loop
-        # driver and long block chains; the reference interpreter takes
-        # tens of seconds per ladder, so only the fast engine runs it.
+    # The full scalar multiplication exercises call/ret, the bit-loop
+    # driver and long superblock chains; it is the headline number for
+    # the trace tier, so it runs warmed and multi-rep under every engine
+    # in both labels (the reference interpreter gets one rep — a single
+    # ladder costs seconds there, and the ips of one warmed full ladder
+    # is already stable at the millions-of-instructions scale).
+    for engine, reps in (("fast", 1 if smoke else 3),
+                         ("trace", 1 if smoke else 3),
+                         ("reference", 1)):
         specs.append({"family": "curve", "kernel": "ladder_xz",
-                      "mode": Mode.ISE.value, "engine": "fast", "reps": 1})
+                      "mode": Mode.ISE.value, "engine": engine,
+                      "reps": reps})
     return specs
 
 
@@ -186,16 +202,27 @@ def bench_worker(spec: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def compute_speedups(entries: Sequence[Dict[str, Any]]) -> Dict[str, float]:
-    """fast/reference ips ratio per (kernel, mode) with both engines."""
+    """Engine ips ratios per (kernel, mode).
+
+    ``"<kernel>/<mode>"`` is the historical fast/reference ratio;
+    ``"<kernel>/<mode>/trace"`` is trace/reference and
+    ``"<kernel>/<mode>/trace_vs_fast"`` trace/fast — the latter is the
+    number :data:`TRACE_MIN_SPEEDUP` gates on ``ladder_xz/ISE``.
+    """
     ips = {e["name"]: e["ips"] for e in entries}
     speedups: Dict[str, float] = {}
     for entry in entries:
-        if entry["engine"] != "fast":
-            continue
-        ref = ips.get(f"{entry['kernel']}/{entry['mode']}/reference")
-        if ref:
-            key = f"{entry['kernel']}/{entry['mode']}"
-            speedups[key] = entry["ips"] / ref
+        key = f"{entry['kernel']}/{entry['mode']}"
+        ref = ips.get(f"{key}/reference")
+        if entry["engine"] == "fast":
+            if ref:
+                speedups[key] = entry["ips"] / ref
+        elif entry["engine"] == "trace":
+            if ref:
+                speedups[f"{key}/trace"] = entry["ips"] / ref
+            fast = ips.get(f"{key}/fast")
+            if fast:
+                speedups[f"{key}/trace_vs_fast"] = entry["ips"] / fast
     return speedups
 
 
@@ -266,7 +293,7 @@ def validate_entry(entry: Dict[str, Any]) -> None:
         if entry["cycles_per_run"] != 0:
             raise ValueError("serve entries carry no cycle count")
     else:
-        if entry["engine"] not in ("fast", "reference"):
+        if entry["engine"] not in ("fast", "trace", "reference"):
             raise ValueError(f"unknown engine {entry['engine']!r}")
         if entry["mode"] not in {m.value for m in Mode}:
             raise ValueError(f"unknown mode {entry['mode']!r}")
@@ -339,9 +366,10 @@ def render(record: Dict[str, Any]) -> str:
                      f"{entry['ips'] / 1e6:>8.2f}")
     if record["speedups"]:
         lines.append("")
-        lines.append("fast-engine speedup over the reference interpreter:")
+        lines.append("engine speedups (bare key: fast/reference; /trace: "
+                     "trace/reference; /trace_vs_fast: trace/fast):")
         for key in sorted(record["speedups"]):
-            lines.append(f"  {key:<32}{record['speedups'][key]:>6.1f}x")
+            lines.append(f"  {key:<40}{record['speedups'][key]:>6.1f}x")
     return "\n".join(lines)
 
 
@@ -414,6 +442,18 @@ def check_against_baseline(path: str = DEFAULT_OUTPUT,
         failed = failed or row["regressed"]
         print(f"{row['name']:<34}{row['baseline_ips'] / 1e6:>14.2f}"
               f"{row['fresh_ips'] / 1e6:>12.2f}{row['ratio']:>8.2f}{flag}")
+    # The superblock tier carries its own absolute floor: the fresh smoke
+    # run's trace/fast ratio on the full ladder must hold the guaranteed
+    # speedup (a ratio of two same-run measurements, so host load cancels
+    # out and the generous throughput tolerance above does not apply).
+    trace_key = "ladder_xz/ISE/trace_vs_fast"
+    trace_ratio = fresh["speedups"].get(trace_key)
+    if trace_ratio is not None:
+        ok = trace_ratio >= TRACE_MIN_SPEEDUP
+        failed = failed or not ok
+        print(f"\n{trace_key}: {trace_ratio:.2f}x "
+              f"(floor {TRACE_MIN_SPEEDUP}x)"
+              + ("" if ok else "  REGRESSED"))
     print()
     print("FAIL: throughput regressed beyond tolerance" if failed
           else "OK: throughput within tolerance of the last record")

@@ -242,10 +242,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=None,
                         help="timing mode (default: all three; "
                              "scalarmult defaults to ise)")
-    parser.add_argument("--engine", choices=("fast", "reference"),
+    parser.add_argument("--engine", choices=("fast", "trace", "reference"),
                         default=None,
                         help="execution engine (default: fast / "
-                             "REPRO_AVR_ENGINE)")
+                             "REPRO_AVR_ENGINE); live taint always steps "
+                             "the reference path, so 'trace' only "
+                             "accelerates the taint-free stretches "
+                             "(via the fast tier)")
     parser.add_argument("--scalar-bytes", type=int, default=None,
                         help="override secret width in bytes "
                              "(ladder/daaa/naf default 2, scalarmult 20)")

@@ -439,9 +439,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=7,
                         help="campaign seed (same seed => byte-identical "
                              "JSONL)")
-    parser.add_argument("--engine", choices=["fast", "reference"],
+    parser.add_argument("--engine", choices=["fast", "trace", "reference"],
                         default="fast",
-                        help="ISS execution engine (ladder target only)")
+                        help="ISS execution engine (ladder target only); "
+                             "'trace' cores advance between fault triggers "
+                             "on the fast tier — superblocks carry no "
+                             "fault hooks")
     parser.add_argument("--format", choices=["text", "jsonl"],
                         default="text", help="output format")
     parser.add_argument("--out", default=None,

@@ -12,7 +12,7 @@ changes.  A program halts by executing ``BREAK`` (the convention all kernels
 in :mod:`repro.kernels` follow) or when :meth:`run` hits its step budget (an
 error).
 
-Two execution engines share this architectural state:
+Three execution engines share this architectural state:
 
 * :meth:`step` — the reference interpreter: one fetch/decode/execute per
   call, the simplest possible statement of the semantics.
@@ -20,10 +20,17 @@ Two execution engines share this architectural state:
   :meth:`run` by default: flash is predecoded into basic blocks and each
   block is compiled to a specialised Python closure with identical
   observable behaviour (registers, SRAM, SREG, PC, cycle count).
+* :mod:`repro.avr.trace` — the superblock trace engine
+  (``engine="trace"``): straight-line paths stitched across CALL/RET and
+  fall-through boundaries are compiled ahead of time into single
+  specialised functions (registers in locals, dead SREG flags elided),
+  guarded per dispatch on the flash version and the watchpoint set, with
+  transparent fallback to the fast engine and the interpreter.
 
 ``AvrCore(engine="reference")`` or the environment variable
 ``REPRO_AVR_ENGINE=reference`` forces the interpreter (e.g. for debugging a
-suspected engine bug).  Profiling works on both engines: the interpreter
+suspected engine bug); ``engine="trace"`` / ``REPRO_AVR_ENGINE=trace``
+selects the trace tier.  Profiling works on all engines: the interpreter
 records every retired instruction directly, while the fast engine compiles
 per-block tally bookkeeping into its closures and folds the raw counts into
 the profiler when the run ends — the parity tests assert both producers
@@ -63,7 +70,7 @@ class AvrCore:
             raise ValueError(f"unknown hazard policy {hazard_policy!r}")
         if engine is None:
             engine = os.environ.get("REPRO_AVR_ENGINE", "fast")
-        if engine not in ("fast", "reference"):
+        if engine not in ("fast", "reference", "trace"):
             raise ValueError(f"unknown execution engine {engine!r}")
         self.program = program or ProgramMemory()
         self.mode = mode
@@ -90,10 +97,21 @@ class AvrCore:
         # the flash image identified by ``_decode_version``.
         self._decode_cache: Dict[int, Tuple[InstructionSpec, dict, int]] = {}
         self._decode_version = self.program.version
-        #: Which engine :meth:`run` uses: "fast" (block compiler) or
-        #: "reference" (the :meth:`step` interpreter).
+        #: Which engine :meth:`run` uses: "fast" (block compiler),
+        #: "trace" (superblock compiler) or "reference" (the :meth:`step`
+        #: interpreter).
         self.engine = engine
         self._fast_engine = None  # lazily constructed repro.avr.engine
+        self._trace_engine = None  # lazily constructed repro.avr.trace
+        #: Data-space watchpoints: byte addresses whose writes should be
+        #: recorded.  A non-empty set routes :meth:`run` to
+        #: :meth:`run_watched` (reference stepping) regardless of the
+        #: configured engine — the compiled tiers are not legal under
+        #: watchpoints and fall back by construction.
+        self.watchpoints: set = set()
+        #: ``(pc, address, old, new)`` tuples recorded by
+        #: :meth:`run_watched`; cleared on :meth:`reset`.
+        self.watch_hits: list = []
         #: Optional profiler (attach with :meth:`attach_profiler`).
         self.profiler = None
         #: Raw per-block tallies while the fast engine runs profiled
@@ -130,6 +148,7 @@ class AvrCore:
         self.mac.pending.clear()
         self.mac.mac_ops = 0
         self.data.sp = self.data.size - 1
+        self.watch_hits.clear()
 
     # -- MAC notifications (called from instruction semantics) -------------------
 
@@ -228,11 +247,21 @@ class AvrCore:
         """Run until ``BREAK``; returns total cycles since the last reset.
 
         Dispatches to the block-compiling fast engine unless the core was
-        built with ``engine="reference"``.  An attached profiler rides
-        along on either engine; frames still open when the program halts
-        are closed at the final cycle count.
+        built with ``engine="reference"`` (interpreter) or
+        ``engine="trace"`` (superblock compiler).  Armed watchpoints route
+        the run to :meth:`run_watched` regardless of engine.  An attached
+        profiler rides along on every engine; frames still open when the
+        program halts are closed at the final cycle count.
         """
-        if self.engine == "fast":
+        if self.watchpoints:
+            cycles = self.run_watched(max_steps)
+        elif self.engine == "trace":
+            from .trace import TraceEngine
+
+            if self._trace_engine is None:
+                self._trace_engine = TraceEngine(self)
+            cycles = self._trace_engine.run(max_steps)
+        elif self.engine == "fast":
             from .engine import FastEngine
 
             if self._fast_engine is None:
@@ -249,6 +278,35 @@ class AvrCore:
         steps = 0
         while not self.halted:
             self.step()
+            steps += 1
+            if steps > max_steps:
+                raise ExecutionError(
+                    f"step budget of {max_steps} exceeded at pc={self.pc:#06x}"
+                )
+        return self.cycles
+
+    def run_watched(self, max_steps: int = 50_000_000) -> int:
+        """Reference stepping that records writes to :attr:`watchpoints`.
+
+        Every retired instruction that changes a watched data-space byte
+        appends ``(pc, address, old, new)`` to :attr:`watch_hits` (*pc* is
+        the address of the writing instruction).  The watchpoint set is
+        snapshot at entry.  This is the bottom of the fallback ladder: the
+        compiled engines hand a run over here as soon as the set becomes
+        non-empty.
+        """
+        mem = self.data._mem
+        watched = tuple(sorted(self.watchpoints))
+        old = {a: mem[a] for a in watched}
+        steps = 0
+        while not self.halted:
+            pc = self.pc
+            self.step()
+            for a in watched:
+                v = mem[a]
+                if v != old[a]:
+                    self.watch_hits.append((pc, a, old[a], v))
+                    old[a] = v
             steps += 1
             if steps > max_steps:
                 raise ExecutionError(

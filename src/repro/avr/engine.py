@@ -212,6 +212,106 @@ class _Gen:
     def w(self, line: str) -> None:
         self.lines.append("    " * self.ind + line)
 
+    # -- state-access hooks -------------------------------------------------
+    # Every emitter goes through these instead of hard-coding ``m[...]`` /
+    # ``sreg = ...`` strings, so a subclass (the superblock compiler in
+    # :mod:`repro.avr.trace`) can re-target registers to locals, elide dead
+    # flag computations and turn the bounds check of a memory access into a
+    # side exit.  The base implementations reproduce the historical fast
+    # engine code exactly.
+
+    def reg(self, i: int) -> str:
+        """Expression reading register *i*."""
+        return f"m[{i}]"
+
+    def wreg(self, i: int, expr: str) -> None:
+        """Statement writing *expr* to register *i*."""
+        self.w(f"m[{i}] = {expr}")
+
+    def sp_load(self) -> None:
+        """Bring the stack pointer into the local ``sp``."""
+        self.w("sp = m[0x5D] | (m[0x5E] << 8)")
+
+    def sp_store(self) -> None:
+        """Write the local ``sp`` back to the SPL/SPH bytes."""
+        self.w("m[0x5D] = sp & 0xFF; m[0x5E] = sp >> 8")
+
+    def ptr_sync(self, base: int) -> None:
+        """Write a pointer-pair local back to its register bytes."""
+        var = f"p{base}"
+        self.w(f"m[{base}] = {var} & 0xFF; m[{base + 1}] = {var} >> 8")
+
+    def ptr_invalidate(self, base: int) -> None:
+        """An instruction wrote a pointer byte directly: drop the pair."""
+        self.ptrs[base] = False
+
+    def precheck(self, addr: str) -> None:
+        """Hook before an instruction commits state around a memory access.
+
+        No-op here: the base :meth:`mem_read`/:meth:`mem_write` carry their
+        own bounds check with an I/O escape.  The superblock compiler emits
+        a side exit instead, and it must fire *before* any architectural
+        state (pre-decremented pointers, the pushed-to SP) is modified.
+        """
+
+    def flag_need(self, written: int) -> int:
+        """Subset of the *written* SREG bits whose values must materialize.
+
+        The base engine materializes every written flag.  The superblock
+        compiler intersects with the liveness of the following code — a
+        flag overwritten before any possible reader need not be computed.
+        Emitting more bits than strictly needed is always correct.
+        """
+        return written
+
+    def sreg_set(self, written: int, parts, need: int) -> None:
+        """Assign SREG from *parts*: ``(bit_mask, expr)`` pairs.
+
+        *written* is the union of bits the instruction architecturally
+        writes; *need* (a subset, from :meth:`flag_need`) selects which are
+        materialized.  An expr of ``None`` means the bit is forced to zero
+        (covered by the keep-mask).  With ``need == 0`` no code is emitted.
+        """
+        if not need:
+            return
+        exprs = [e for bit, e in parts if (need & bit) and e is not None]
+        keep = ~need & 0xFF
+        if keep:
+            exprs.insert(0, f"(sreg & {'0x%02X' % keep})")
+        if len(exprs) == 1:
+            self.w(f"sreg = {exprs[0]}")
+        else:
+            self.w("sreg = (" + " | ".join(exprs) + ")")
+
+    def mac_sched(self, expr: str) -> None:
+        """Append the two nibbles of loaded byte *expr* to the MAC queue."""
+        self.w(f"pend += ({expr} & 0xF, {expr} >> 4)")
+        self.w("pl += 2")
+
+    def mac_load_trigger(self, expr: str) -> None:
+        """Algorithm 2: a load into R24 schedules two nibble MACs."""
+        self.w("if lden:")
+        self.ind += 1
+        self.mac_sched(expr)
+        self.ind -= 1
+
+    def mac_swap_snoop(self, expr: str) -> None:
+        """Algorithm 1: the MAC snoops SWAP, multiplying by the low nibble."""
+        self.w("if swen:")
+        self.ind += 1
+        self.mac_issue(expr)
+        self.ind -= 1
+
+    def mac_flush_low(self) -> None:
+        """Flush the lazy accumulator before a direct R0..R8 access."""
+        self.w("if dirty:")
+        self.w(f"    m[0:9] = (acc & {_ACC_MASK}).to_bytes(9, 'little')")
+        self.w("    dirty = False")
+
+    def mac_invalidate_mulc(self) -> None:
+        """An instruction wrote R16..R19: the cached multiplicand is stale."""
+        self.w("mok = False")
+
     # -- shared fragments ---------------------------------------------------
 
     def escape(self, *calls: str) -> None:
@@ -271,7 +371,18 @@ class _Gen:
         self.escape(f"data.write({addr}{mask}, {value})")
         self.ind -= 1
 
-    def mac_issue(self, nibble_expr: str, from_pend: bool = False) -> None:
+    def _mac_lazy(self) -> None:
+        """Lazy-load the ``acc``/``dirty`` and ``mulc``/``mok`` caches."""
+        self.w("if not dirty:")
+        self.w("    acc = int.from_bytes(m[0:9], 'little')")
+        self.w("    dirty = True")
+        self.w("if not mok:")
+        self.w(f"    mulc = {self.reg(16)} | ({self.reg(17)} << 8)"
+               f" | ({self.reg(18)} << 16) | ({self.reg(19)} << 24)")
+        self.w("    mok = True")
+
+    def mac_issue(self, nibble_expr: str = "", from_pend: bool = False
+                  ) -> None:
         """Inline ``MacUnit.issue_nibble`` (nibble already in 0..15).
 
         The accumulator lives in the block-local ``acc`` while ``dirty``
@@ -279,17 +390,13 @@ class _Gen:
         ``mulc`` while ``mok``.  Both load lazily so blocks with no MAC
         traffic never pay for them.  The 72-bit wrap is deferred to the
         flush sites (addition commutes with reduction mod 2**72), so an
-        issue is adds and shifts only.
+        issue is adds and shifts only.  With *from_pend* the nibble is
+        dequeued from the front of the pending queue.
         """
-        self.w("if not dirty:")
-        self.w("    acc = int.from_bytes(m[0:9], 'little')")
-        self.w("    dirty = True")
-        self.w("if not mok:")
-        self.w("    mulc = m[16] | (m[17] << 8) | (m[18] << 16)"
-               " | (m[19] << 24)")
-        self.w("    mok = True")
+        self._mac_lazy()
         if from_pend:
             self.w("pl -= 1")
+            nibble_expr = "pend.pop(0)"
         self.w(f"acc += (mulc * ({nibble_expr})) << (mc << 2)")
         self.w("mc = (mc + 1) & 7")
         self.w("mops += 1")
@@ -310,14 +417,14 @@ class _Gen:
         if cycles == 1:
             self.w(f"if pp and pl:" if self.have_pp else "if pl:")
             self.ind += 1
-            self.mac_issue("pend.pop(0)", from_pend=True)
+            self.mac_issue(from_pend=True)
             self.ind -= 1
         else:
             self.w(f"for _q in range(min({cycles}, {cap})):")
             self.ind += 1
             self.w("if not pl:")
             self.w("    break")
-            self.mac_issue("pend.pop(0)", from_pend=True)
+            self.mac_issue(from_pend=True)
             self.ind -= 1
 
     def hazards(self, pc: int, spec: InstructionSpec, ops: dict) -> bool:
@@ -345,7 +452,7 @@ class _Gen:
                 self.w("sx = 0")
                 self.w("while pl > 1:")
                 self.ind += 1
-                self.mac_issue("pend.pop(0)", from_pend=True)
+                self.mac_issue(from_pend=True)
                 self.w("sx += 1")
                 self.ind -= 1
                 self.w("if sx:")
@@ -362,7 +469,7 @@ class _Gen:
                 self.w("sx = 0")
                 self.w("while pl:")
                 self.ind += 1
-                self.mac_issue("pend.pop(0)", from_pend=True)
+                self.mac_issue(from_pend=True)
                 self.w("sx += 1")
                 self.ind -= 1
                 self.w("if sx:")
@@ -380,180 +487,249 @@ class _Gen:
 
 def _emit_add(g, ops, carry: bool):
     d, r = ops["d"], ops["r"]
-    g.w(f"a = m[{d}]; b = m[{r}]")
+    g.w(f"a = {g.reg(d)}; b = {g.reg(r)}")
     if carry:
         g.w("c = sreg & 1")
         g.w("t = a + b + c")
     else:
         g.w("t = a + b")
     g.w("r_ = t & 0xFF")
-    g.w(f"m[{d}] = r_")
+    g.wreg(d, "r_")
     c = "c" if carry else "0"
-    g.w("v = ((a ^ r_) & (b ^ r_) & 0x80) >> 7")
-    g.w("n = r_ >> 7")
-    g.w("sreg = ((sreg & 0xC0)"
-        f" | ((((a & 0xF) + (b & 0xF) + {c}) >> 4) & 1) << 5"
-        " | (n ^ v) << 4 | v << 3 | n << 2"
-        " | (0 if r_ else 2) | t >> 8)")
+    need = g.flag_need(0x3F)
+    if need & 0x18:
+        g.w("v = ((a ^ r_) & (b ^ r_) & 0x80) >> 7")
+    if need & 0x1C:
+        g.w("n = r_ >> 7")
+    g.sreg_set(0x3F, [
+        (0x20, f"((((a & 0xF) + (b & 0xF) + {c}) >> 4) & 1) << 5"),
+        (0x10, "(n ^ v) << 4"),
+        (0x08, "v << 3"),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+        (0x01, "t >> 8"),
+    ], need)
 
 
 def _emit_sub(g, ops, carry: bool, imm: bool, store: bool):
     # SUB/SBC/SUBI/SBCI/CP/CPC/CPI; the with-carry forms keep Z (only ever
     # clear it), which is what makes multi-byte compares work.
     d = ops["d"]
-    b = str(ops["K"]) if imm else f"m[{ops['r']}]"
-    g.w(f"a = m[{d}]; b = {b}")
+    b = str(ops["K"]) if imm else g.reg(ops["r"])
+    g.w(f"a = {g.reg(d)}; b = {b}")
     if carry:
         g.w("c = sreg & 1")
         g.w("r_ = (a - b - c) & 0xFF")
     else:
         g.w("r_ = (a - b) & 0xFF")
     if store:
-        g.w(f"m[{d}] = r_")
+        g.wreg(d, "r_")
     c = "c" if carry else "0"
     z = "(0 if r_ else (sreg & 2))" if carry else "(0 if r_ else 2)"
-    g.w("v = ((a ^ b) & (a ^ r_) & 0x80) >> 7")
-    g.w("n = r_ >> 7")
-    g.w("sreg = ((sreg & 0xC0)"
-        f" | (1 if (b & 0xF) + {c} > (a & 0xF) else 0) << 5"
-        " | (n ^ v) << 4 | v << 3 | n << 2"
-        f" | {z} | (1 if b + {c} > a else 0))")
+    need = g.flag_need(0x3F)
+    if need & 0x18:
+        g.w("v = ((a ^ b) & (a ^ r_) & 0x80) >> 7")
+    if need & 0x1C:
+        g.w("n = r_ >> 7")
+    g.sreg_set(0x3F, [
+        (0x20, f"(1 if (b & 0xF) + {c} > (a & 0xF) else 0) << 5"),
+        (0x10, "(n ^ v) << 4"),
+        (0x08, "v << 3"),
+        (0x04, "n << 2"),
+        (0x02, z),
+        (0x01, f"(1 if b + {c} > a else 0)"),
+    ], need)
 
 
 def _emit_adiw(g, ops, sub: bool):
     d, K = ops["d"], ops["K"]
-    g.w(f"p = m[{d}] | (m[{d + 1}] << 8)")
+    g.w(f"p = {g.reg(d)} | ({g.reg(d + 1)} << 8)")
+    need = g.flag_need(0x1F)
     if sub:
         g.w(f"r_ = (p - {K}) & 0xFFFF")
-        g.w(f"cf = 1 if {K} > p else 0")
-        g.w("v = (p & ~r_ & 0x8000) >> 15")
+        if need & 0x01:
+            g.w(f"cf = 1 if {K} > p else 0")
+        if need & 0x18:
+            g.w("v = (p & ~r_ & 0x8000) >> 15")
     else:
         g.w(f"t = p + {K}")
         g.w("r_ = t & 0xFFFF")
-        g.w("cf = 1 if t > 0xFFFF else 0")
-        g.w("v = (~p & r_ & 0x8000) >> 15")
-    g.w(f"m[{d}] = r_ & 0xFF; m[{d + 1}] = r_ >> 8")
-    g.w("n = r_ >> 15")
-    g.w("sreg = ((sreg & 0xE0) | (n ^ v) << 4 | v << 3 | n << 2"
-        " | (0 if r_ else 2) | cf)")
+        if need & 0x01:
+            g.w("cf = 1 if t > 0xFFFF else 0")
+        if need & 0x18:
+            g.w("v = (~p & r_ & 0x8000) >> 15")
+    g.wreg(d, "r_ & 0xFF")
+    g.wreg(d + 1, "r_ >> 8")
+    if need & 0x1C:
+        g.w("n = r_ >> 15")
+    g.sreg_set(0x1F, [
+        (0x10, "(n ^ v) << 4"),
+        (0x08, "v << 3"),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+        (0x01, "cf"),
+    ], need)
 
 
 def _emit_logic(g, ops, op: str, imm: bool):
     d = ops["d"]
-    b = str(ops["K"]) if imm else f"m[{ops['r']}]"
-    g.w(f"r_ = m[{d}] {op} {b}")
-    g.w(f"m[{d}] = r_")
-    g.w("n = r_ >> 7")
-    g.w("sreg = (sreg & 0xE1) | n << 4 | n << 2 | (0 if r_ else 2)")
+    b = str(ops["K"]) if imm else g.reg(ops["r"])
+    g.w(f"r_ = {g.reg(d)} {op} {b}")
+    g.wreg(d, "r_")
+    need = g.flag_need(0x1E)
+    if need & 0x14:
+        g.w("n = r_ >> 7")
+    g.sreg_set(0x1E, [
+        (0x10, "n << 4"),
+        (0x08, None),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+    ], need)
 
 
 def _emit_com(g, ops):
     d = ops["d"]
-    g.w(f"r_ = ~m[{d}] & 0xFF")
-    g.w(f"m[{d}] = r_")
-    g.w("n = r_ >> 7")
-    g.w("sreg = (sreg & 0xE0) | n << 4 | n << 2 | (0 if r_ else 2) | 1")
+    g.w(f"r_ = ~{g.reg(d)} & 0xFF")
+    g.wreg(d, "r_")
+    need = g.flag_need(0x1F)
+    if need & 0x14:
+        g.w("n = r_ >> 7")
+    g.sreg_set(0x1F, [
+        (0x10, "n << 4"),
+        (0x08, None),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+        (0x01, "1"),
+    ], need)
 
 
 def _emit_neg(g, ops):
     d = ops["d"]
-    g.w(f"a = m[{d}]")
+    g.w(f"a = {g.reg(d)}")
     g.w("r_ = -a & 0xFF")
-    g.w(f"m[{d}] = r_")
-    g.w("n = r_ >> 7")
-    g.w("v = 1 if r_ == 0x80 else 0")
-    g.w("sreg = ((sreg & 0xC0) | (((r_ >> 3) | (a >> 3)) & 1) << 5"
-        " | (n ^ v) << 4 | v << 3 | n << 2"
-        " | (0 if r_ else 2) | (1 if r_ else 0))")
+    g.wreg(d, "r_")
+    need = g.flag_need(0x3F)
+    if need & 0x1C:
+        g.w("n = r_ >> 7")
+    if need & 0x18:
+        g.w("v = 1 if r_ == 0x80 else 0")
+    g.sreg_set(0x3F, [
+        (0x20, "(((r_ >> 3) | (a >> 3)) & 1) << 5"),
+        (0x10, "(n ^ v) << 4"),
+        (0x08, "v << 3"),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+        (0x01, "(1 if r_ else 0)"),
+    ], need)
 
 
 def _emit_incdec(g, ops, dec: bool):
     d = ops["d"]
-    g.w(f"r_ = (m[{d}] {'-' if dec else '+'} 1) & 0xFF")
-    g.w(f"m[{d}] = r_")
-    g.w("n = r_ >> 7")
-    g.w(f"v = 1 if r_ == {'0x7F' if dec else '0x80'} else 0")
-    g.w("sreg = ((sreg & 0xE1) | (n ^ v) << 4 | v << 3 | n << 2"
-        " | (0 if r_ else 2))")
+    g.w(f"r_ = ({g.reg(d)} {'-' if dec else '+'} 1) & 0xFF")
+    g.wreg(d, "r_")
+    need = g.flag_need(0x1E)
+    if need & 0x1C:
+        g.w("n = r_ >> 7")
+    if need & 0x18:
+        g.w(f"v = 1 if r_ == {'0x7F' if dec else '0x80'} else 0")
+    g.sreg_set(0x1E, [
+        (0x10, "(n ^ v) << 4"),
+        (0x08, "v << 3"),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+    ], need)
 
 
 def _emit_shift(g, ops, kind: str):
     d = ops["d"]
-    g.w(f"a = m[{d}]")
+    g.w(f"a = {g.reg(d)}")
     if kind == "lsr":
         g.w("r_ = a >> 1")
-        g.w("n = 0")
     elif kind == "ror":
         g.w("r_ = (a >> 1) | ((sreg & 1) << 7)")
-        g.w("n = r_ >> 7")
     else:  # asr
         g.w("r_ = (a >> 1) | (a & 0x80)")
-        g.w("n = r_ >> 7")
-    g.w(f"m[{d}] = r_")
-    g.w("co = a & 1")
+    need = g.flag_need(0x1F)
+    if need & 0x0C:
+        g.w("n = 0" if kind == "lsr" else "n = r_ >> 7")
+    g.wreg(d, "r_")
+    if need & 0x19:
+        g.w("co = a & 1")
     # flags_shift_right: C = carry out, V = N ^ C, S = N ^ V = C.
-    g.w("sreg = ((sreg & 0xE0) | co << 4 | (n ^ co) << 3 | n << 2"
-        " | (0 if r_ else 2) | co)")
+    g.sreg_set(0x1F, [
+        (0x10, "co << 4"),
+        (0x08, "(n ^ co) << 3"),
+        (0x04, "n << 2"),
+        (0x02, "(0 if r_ else 2)"),
+        (0x01, "co"),
+    ], need)
 
 
 def _emit_swap(g, ops):
     d = ops["d"]
-    g.w(f"a = m[{d}]")
-    g.w(f"m[{d}] = (a << 4 | a >> 4) & 0xFF")
+    g.w(f"a = {g.reg(d)}")
+    g.wreg(d, "(a << 4 | a >> 4) & 0xFF")
     if g.ise:
         # Algorithm 1: the MAC snoops SWAP and multiplies by the register's
         # low nibble *before* the exchange.
-        g.w("if swen:")
-        g.ind += 1
-        g.mac_issue("a & 0xF")
-        g.ind -= 1
+        g.mac_swap_snoop("a & 0xF")
 
 
 def _emit_mul(g, ops, kind: str):
     d, r = ops["d"], ops["r"]
-    sa = f"(m[{d}] - 256 if m[{d}] & 0x80 else m[{d}])"
-    sb = f"(m[{r}] - 256 if m[{r}] & 0x80 else m[{r}])"
+    rd, rr = g.reg(d), g.reg(r)
+    sa = f"({rd} - 256 if {rd} & 0x80 else {rd})"
+    sb = f"({rr} - 256 if {rr} & 0x80 else {rr})"
     if kind in ("mul", "fmul"):
-        g.w(f"p = m[{d}] * m[{r}]")
+        g.w(f"p = {rd} * {rr}")
     elif kind in ("muls", "fmuls"):
         g.w(f"p = ({sa} * {sb}) & 0xFFFF")
     else:  # mulsu, fmulsu
-        g.w(f"p = ({sa} * m[{r}]) & 0xFFFF")
+        g.w(f"p = ({sa} * {rr}) & 0xFFFF")
+    need = g.flag_need(0x03)
     if kind.startswith("f"):
-        g.w("cf = (p >> 15) & 1")
+        if need & 0x01:
+            g.w("cf = (p >> 15) & 1")
         g.w("p = (p << 1) & 0xFFFF")
-        g.w("m[0] = p & 0xFF; m[1] = p >> 8")
-        g.w("sreg = (sreg & 0xFC) | (0 if p else 2) | cf")
+        g.wreg(0, "p & 0xFF")
+        g.wreg(1, "p >> 8")
+        g.sreg_set(0x03, [(0x02, "(0 if p else 2)"), (0x01, "cf")], need)
     else:
-        g.w("m[0] = p & 0xFF; m[1] = (p >> 8) & 0xFF")
-        g.w("sreg = (sreg & 0xFC) | (0 if p & 0xFFFF else 2)"
-            " | ((p >> 15) & 1)")
+        g.wreg(0, "p & 0xFF")
+        g.wreg(1, "(p >> 8) & 0xFF")
+        g.sreg_set(0x03, [(0x02, "(0 if p & 0xFFFF else 2)"),
+                          (0x01, "((p >> 15) & 1)")], need)
 
 
 def _emit_load_tail(g, ops, sem: str) -> None:
     """Common tail of every true load: write Rd, schedule MACs if R24."""
     d = ops["d"]
-    g.w(f"m[{d}] = v")
+    g.wreg(d, "v")
     if g.ise and d == 24 and sem in _MAC_LOAD_SEMS:
         # Algorithm 2: a load into R24 schedules two nibble MACs, drained
         # one per cycle by the instructions that follow.
-        g.w("if lden:")
-        g.w("    pend += (v & 0xF, v >> 4)")
-        g.w("    pl += 2")
+        g.mac_load_trigger("v")
 
 
 def _emit_ld_indirect(g, ops, sem: str):
     ptr, pre_dec, post_inc = _INDIRECT[sem]
     pv = g.ptr_use(ptr)
     if pre_dec:
-        g.w(f"{pv} = ({pv} - 1) & 0xFFFF")
-        g.w(f"m[{ptr}] = {pv} & 0xFF; m[{ptr + 1}] = {pv} >> 8")
-    g.mem_read("v", pv)
+        # Address first: a superblock side exit must fire before the
+        # pointer pair is architecturally modified.
+        g.w(f"A = ({pv} - 1) & 0xFFFF")
+        g.precheck("A")
+        g.w(f"{pv} = A")
+        g.ptr_sync(ptr)
+        g.mem_read("v", pv)
+    else:
+        g.precheck(pv)
+        g.mem_read("v", pv)
     _emit_load_tail(g, ops, sem)
     if post_inc:
         # After the destination write, so `ld r26, X+` matches step().
         g.w(f"{pv} = ({pv} + 1) & 0xFFFF")
-        g.w(f"m[{ptr}] = {pv} & 0xFF; m[{ptr + 1}] = {pv} >> 8")
+        g.ptr_sync(ptr)
 
 
 def _emit_ldd(g, ops, sem: str):
@@ -564,8 +740,10 @@ def _emit_ldd(g, ops, sem: str):
         # exceeds 0xFFFF — and then both land in the fallback (the wrapped
         # value is < 0x5F), which re-masks.
         g.w(f"A = {pv} + {ops['q']}")
+        g.precheck("A")
         g.mem_read("v", "A", wrap=True)
     else:
+        g.precheck(pv)
         g.mem_read("v", pv)
     _emit_load_tail(g, ops, sem)
 
@@ -583,12 +761,16 @@ def _emit_st_indirect(g, ops, sem: str):
     ptr, pre_dec, post_inc = _INDIRECT[sem]
     pv = g.ptr_use(ptr)
     if pre_dec:
-        g.w(f"{pv} = ({pv} - 1) & 0xFFFF")
-        g.w(f"m[{ptr}] = {pv} & 0xFF; m[{ptr + 1}] = {pv} >> 8")
-    g.mem_write(pv, f"m[{ops['d']}]")
+        g.w(f"A = ({pv} - 1) & 0xFFFF")
+        g.precheck("A")
+        g.w(f"{pv} = A")
+        g.ptr_sync(ptr)
+    else:
+        g.precheck(pv)
+    g.mem_write(pv, g.reg(ops["d"]))
     if post_inc:
         g.w(f"{pv} = ({pv} + 1) & 0xFFFF")
-        g.w(f"m[{ptr}] = {pv} & 0xFF; m[{ptr + 1}] = {pv} >> 8")
+        g.ptr_sync(ptr)
 
 
 def _emit_std(g, ops, sem: str):
@@ -596,43 +778,49 @@ def _emit_std(g, ops, sem: str):
     pv = g.ptr_use(ptr)
     if ops["q"]:
         g.w(f"A = {pv} + {ops['q']}")
-        g.mem_write("A", f"m[{ops['d']}]", wrap=True)
+        g.precheck("A")
+        g.mem_write("A", g.reg(ops["d"]), wrap=True)
     else:
-        g.mem_write(pv, f"m[{ops['d']}]")
+        g.precheck(pv)
+        g.mem_write(pv, g.reg(ops["d"]))
 
 
 def _emit_sts(g, ops):
     k = ops["k"]
     if 0x5F < k < g.size:
-        g.w(f"m[{k}] = m[{ops['d']}]")
+        g.w(f"m[{k}] = {g.reg(ops['d'])}")
     else:
         g.escape(f"data.write({k}, m[{ops['d']}])")
 
 
 def _emit_push(g, ops):
-    g.w("sp = m[0x5D] | (m[0x5E] << 8)")
-    g.mem_write("sp", f"m[{ops['d']}]")
+    g.sp_load()
+    g.precheck("sp")
+    g.mem_write("sp", g.reg(ops["d"]))
     g.w("sp = (sp - 1) & 0xFFFF")
-    g.w("m[0x5D] = sp & 0xFF; m[0x5E] = sp >> 8")
+    g.sp_store()
 
 
 def _emit_pop(g, ops):
-    g.w("sp = ((m[0x5D] | (m[0x5E] << 8)) + 1) & 0xFFFF")
-    g.w("m[0x5D] = sp & 0xFF; m[0x5E] = sp >> 8")
-    g.mem_read("v", "sp")
-    g.w(f"m[{ops['d']}] = v")
+    g.sp_load()
+    g.w("A = (sp + 1) & 0xFFFF")
+    g.precheck("A")
+    g.w("sp = A")
+    g.sp_store()
+    g.mem_read("v", "A")
+    g.wreg(ops["d"], "v")
 
 
 def _emit_in(g, ops):
     if ops["A"] == 0x3F:  # SREG is served from the live local
-        g.w(f"m[{ops['d']}] = sreg")
+        g.wreg(ops["d"], "sreg")
     else:
         g.escape(f"m[{ops['d']}] = data.io_read({ops['A']})")
 
 
 def _emit_out(g, ops):
     if ops["A"] == 0x3F:
-        g.w(f"v = m[{ops['d']}]")
+        g.w(f"v = {g.reg(ops['d'])}")
         g.w("m[0x5F] = v")
         g.w("sreg = v")
     else:
@@ -651,29 +839,36 @@ def _emit_sbi_cbi(g, ops, set_bit: bool):
 def _emit_lpm(g, ops, sem: str):
     pv = g.ptr_use(30)
     dest = 0 if sem == "lpm_r0" else ops["d"]
-    g.w(f"m[{dest}] = prog.read_byte({pv})")
+    g.wreg(dest, f"prog.read_byte({pv})")
     if sem == "lpm_zp":
         g.w(f"{pv} = ({pv} + 1) & 0xFFFF")
-        g.w(f"m[30] = {pv} & 0xFF; m[31] = {pv} >> 8")
+        g.ptr_sync(30)
 
 
 def _emit_push_return(g, return_pc: int) -> None:
     # Big-endian on the stack, high byte deeper, matching _push_return.
-    g.w("sp = m[0x5D] | (m[0x5E] << 8)")
-    g.mem_write("sp", str(return_pc & 0xFF))
+    # Both addresses are checked before either write commits, so a
+    # superblock side exit cannot leave a half-pushed return address.
+    g.sp_load()
     g.w("A = (sp - 1) & 0xFFFF")
+    g.precheck("sp")
+    g.precheck("A")
+    g.mem_write("sp", str(return_pc & 0xFF))
     g.mem_write("A", str((return_pc >> 8) & 0xFF))
     g.w("sp = (sp - 2) & 0xFFFF")
-    g.w("m[0x5D] = sp & 0xFF; m[0x5E] = sp >> 8")
+    g.sp_store()
 
 
 def _emit_pop_return(g) -> None:
-    g.w("sp = m[0x5D] | (m[0x5E] << 8)")
+    g.sp_load()
     g.w("A = (sp + 1) & 0xFFFF")
+    g.precheck("A")
     g.mem_read("hi", "A")
     g.w("A = (sp + 2) & 0xFFFF")
+    g.precheck("A")
     g.mem_read("lo", "A")
-    g.w("m[0x5D] = A & 0xFF; m[0x5E] = A >> 8")
+    g.w("sp = A")
+    g.sp_store()
     g.w("npc = (hi << 8) | lo")
 
 
@@ -726,9 +921,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
         # The instruction reads or writes accumulator registers directly:
         # R0..R8 must hold the truth before its body runs.  Writes are then
         # live in ``m``, so the cache stays invalid until the next MAC.
-        g.w("if dirty:")
-        g.w(f"    m[0:9] = (acc & {_ACC_MASK}).to_bytes(9, 'little')")
-        g.w("    dirty = False")
+        g.mac_flush_low()
 
     if sem in ("add", "adc"):
         _emit_add(g, ops, carry=(sem == "adc"))
@@ -758,25 +951,29 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
         _emit_swap(g, ops)
     elif sem == "bld":
         d, b = ops["d"], ops["b"]
-        g.w(f"m[{d}] = (m[{d}] | {1 << b}) if sreg & 0x40"
-            f" else m[{d}] & {~(1 << b) & 0xFF}")
+        rd = g.reg(d)
+        g.wreg(d, f"({rd} | {1 << b}) if sreg & 0x40"
+                  f" else {rd} & {~(1 << b) & 0xFF}")
     elif sem == "bst":
-        g.w(f"sreg = (sreg | 0x40) if m[{ops['d']}] >> {ops['b']} & 1"
-            " else sreg & 0xBF")
+        if g.flag_need(0x40):
+            g.w(f"sreg = (sreg | 0x40) if {g.reg(ops['d'])}"
+                f" >> {ops['b']} & 1 else sreg & 0xBF")
     elif sem == "bset":
-        g.w(f"sreg |= {1 << ops['s']}")
+        if g.flag_need(1 << ops["s"]):
+            g.w(f"sreg |= {1 << ops['s']}")
     elif sem == "bclr":
-        g.w(f"sreg &= {~(1 << ops['s']) & 0xFF}")
+        if g.flag_need(1 << ops["s"]):
+            g.w(f"sreg &= {~(1 << ops['s']) & 0xFF}")
     elif sem in ("mul", "muls", "mulsu", "fmul", "fmuls", "fmulsu"):
         _emit_mul(g, ops, sem)
     elif sem == "mov":
-        g.w(f"m[{ops['d']}] = m[{ops['r']}]")
+        g.wreg(ops["d"], g.reg(ops["r"]))
     elif sem == "movw":
         d, r = ops["d"], ops["r"]
-        g.w(f"m[{d}] = m[{r}]")
-        g.w(f"m[{d + 1}] = m[{r + 1}]")
+        g.wreg(d, g.reg(r))
+        g.wreg(d + 1, g.reg(r + 1))
     elif sem == "ldi":
-        g.w(f"m[{ops['d']}] = {ops['K']}")
+        g.wreg(ops["d"], str(ops["K"]))
     elif sem == "lds":
         _emit_lds(g, ops)
     elif sem in _INDIRECT and sem.startswith("ld"):
@@ -813,7 +1010,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
     elif sem == "jmp":
         g.w(f"npc = {ops['k']}")
     elif sem == "ijmp":
-        g.w("npc = m[30] | (m[31] << 8)")
+        g.w(f"npc = {g.reg(30)} | ({g.reg(31)} << 8)")
     elif sem == "rcall":
         _emit_push_return(g, pc + 1)
         g.w(f"npc = {pc + 1 + sign_extend(ops['k'], 12)}")
@@ -822,7 +1019,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
         g.w(f"npc = {ops['k']}")
     elif sem == "icall":
         _emit_push_return(g, pc + 1)
-        g.w("npc = m[30] | (m[31] << 8)")
+        g.w(f"npc = {g.reg(30)} | ({g.reg(31)} << 8)")
     elif sem in ("ret", "reti"):
         if sem == "reti":
             # step() sets I before the stack pops (exception-order parity).
@@ -844,9 +1041,9 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
         g.ind -= 1
     elif sem in ("cpse", "sbrc", "sbrs", "sbic", "sbis"):
         if sem == "cpse":
-            cond = f"m[{ops['d']}] == m[{ops['r']}]"
+            cond = f"{g.reg(ops['d'])} == {g.reg(ops['r'])}"
         elif sem in ("sbrc", "sbrs"):
-            bit = f"m[{ops['d']}] >> {ops['b']} & 1"
+            bit = f"{g.reg(ops['d'])} >> {ops['b']} & 1"
             cond = f"not ({bit})" if sem == "sbrc" else bit
         else:
             g.escape(f"v = data.io_read({ops['A']})")
@@ -874,7 +1071,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
 
     written = _written_regs(sem, ops)
     if g.ise and any(16 <= v <= 19 for v in written):
-        g.w("mok = False")
+        g.mac_invalidate_mulc()
     if sem in ("adiw", "sbiw") and ops["d"] in (26, 28, 30):
         # Pointer arithmetic: ``r_`` is the new pair value — refresh the
         # cache rather than dropping it.
@@ -883,7 +1080,7 @@ def _emit_instruction(g: _Gen, i: int, pc: int, spec: InstructionSpec,
     else:
         for v in written:
             if 26 <= v <= 31:
-                g.ptrs[v & ~1] = False
+                g.ptr_invalidate(v & ~1)
     if stalled:
         g.extra("sx")
     if sem not in _CONDITIONAL:

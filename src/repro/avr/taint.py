@@ -295,7 +295,10 @@ class TaintTracker:
             if self.any_live():
                 self.step()
                 steps += 1
-            elif core.engine == "fast":
+            elif core.engine in ("fast", "trace"):
+                # Superblocks carry no taint hooks: a trace-engine core
+                # drives the fast tier here, exactly as its dispatcher
+                # would (see the fallback ladder in repro.avr.trace).
                 if engine is None:
                     from .engine import FastEngine
 

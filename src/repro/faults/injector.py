@@ -78,7 +78,10 @@ class FaultInjector:
         self.faults = sorted(faults, key=lambda s: s.cycle)
         self.max_steps = max_steps
         self._engine = None
-        if core.engine == "fast":
+        if core.engine in ("fast", "trace"):
+            # Superblocks carry no fault hooks: trace-engine cores advance
+            # on the fast tier between triggers, exactly as the trace
+            # dispatcher's own fallback ladder prescribes.
             from ..avr.engine import FastEngine
             if core._fast_engine is None:
                 core._fast_engine = FastEngine(core)

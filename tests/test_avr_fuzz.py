@@ -80,6 +80,27 @@ def gen_negate(nbytes: int) -> str:
     return _pointer_setup() + "\n".join(body) + "\n    break\n"
 
 
+def gen_skip_chain(nbytes: int) -> str:
+    """dst = popcount-style fold with data-dependent SBRC/SBRS skips.
+
+    Every byte of A steers eight skip instructions, so a superblock's
+    predicted-not-taken arms side-exit mid-trace about half the time —
+    the resume path (dispatcher re-entry at the skip target) is exercised
+    on random data rather than only at block boundaries.
+    """
+    body = ["    clr r20", "    clr r21"]
+    for _ in range(nbytes):
+        body.append("    ld r0, X+")
+        for bit in range(8):
+            body.append(f"    sbrc r0, {bit}")
+            body.append("    inc r20")
+            body.append(f"    sbrs r0, {bit}")
+            body.append("    inc r21")
+    body.append("    st Z+, r20")
+    body.append("    st Z+, r21")
+    return _pointer_setup() + "\n".join(body) + "\n    break\n"
+
+
 def gen_byte_mul_accumulate(nbytes: int) -> str:
     """dst(2 bytes) = sum of a[i] * b[i] (mod 2^16)."""
     body = ["    clr r4", "    clr r5"]
@@ -169,15 +190,18 @@ class TestDifferentialFuzz:
 
 
 class TestEngineDifferentialFuzz:
-    """Fast engine vs reference interpreter on the random program pool.
+    """All three execution engines against each other on random programs.
 
     The value-level fuzz classes above check the simulator against big-int
-    ground truth; this one checks the *two execution engines against each
-    other* on the same programs, asserting the full architectural state —
-    memory image, SREG, PC, cycles and instructions retired — so block
-    compilation cannot silently diverge in flags or timing even where the
+    ground truth; this one checks the *engines against each other* —
+    ``step()`` reference, block-compiling fast, superblock trace — on the
+    same programs, asserting the full architectural state: memory image,
+    SREG, PC, cycles and instructions retired.  Compilation at either
+    tier cannot silently diverge in flags or timing even where the
     destination bytes happen to agree.
     """
+
+    ENGINES = ("reference", "fast", "trace")
 
     GENERATORS = [
         lambda n: gen_addsub_chain(n, subtract=False),
@@ -185,6 +209,7 @@ class TestEngineDifferentialFuzz:
         gen_shift_right,
         gen_negate,
         gen_byte_mul_accumulate,
+        gen_skip_chain,
     ]
 
     @staticmethod
@@ -197,8 +222,8 @@ class TestEngineDifferentialFuzz:
         return (bytes(core.data._mem), core.sreg.value, core.pc,
                 core.cycles, core.instructions_retired)
 
-    @pytest.mark.parametrize("mode", [Mode.CA, Mode.FAST])
-    def test_engines_agree_on_generated_programs(self, mode):
+    @pytest.mark.parametrize("mode", [Mode.CA, Mode.FAST, Mode.ISE])
+    def test_trace_three_way_on_generated_programs(self, mode):
         rng = random.Random(0xE46)
         for gen in self.GENERATORS:
             for nbytes in (1, 3, 9, 20):
@@ -206,13 +231,13 @@ class TestEngineDifferentialFuzz:
                 for _ in range(4):
                     a = rng.getrandbits(8 * nbytes)
                     b = rng.getrandbits(8 * nbytes)
-                    fast = self._run_engine("fast", source, a, b,
-                                            nbytes, mode)
-                    ref = self._run_engine("reference", source, a, b,
-                                           nbytes, mode)
+                    ref, fast, trace = (
+                        self._run_engine(e, source, a, b, nbytes, mode)
+                        for e in self.ENGINES)
                     assert fast == ref, (gen, nbytes, mode)
+                    assert trace == ref, (gen, nbytes, mode)
 
-    def test_engines_agree_on_random_alu_pipelines(self):
+    def test_trace_three_way_on_random_alu_pipelines(self):
         rng = random.Random(0xBEEF)
         ops = [asm for asm, _ in TestRandomAluPrograms.OPS]
         for _ in range(40):
@@ -222,14 +247,92 @@ class TestEngineDifferentialFuzz:
                 f"    {asm}" for asm in body
             ) + "\n    break\n"
             results = []
-            for engine in ("fast", "reference"):
+            for engine in self.ENGINES:
                 core = AvrCore(ProgramMemory(), engine=engine)
                 assemble(source).load_into(core.program)
                 core.run()
                 results.append((bytes(core.data._mem), core.sreg.value,
                                 core.pc, core.cycles,
                                 core.instructions_retired))
-            assert results[0] == results[1], source
+            assert results[0] == results[1] == results[2], source
+
+
+class TestTraceForcedFallback:
+    """Mid-run guard invalidations must resume bit-exactly.
+
+    A hooked OUT instruction is an I/O escape — the superblock containing
+    it has already side-exited before the hook runs — and the hook then
+    yanks a guard out from under the trace tier: a flash write bumping
+    ``ProgramMemory.version`` (all superblocks invalidated at the next
+    dispatch) or arming a watchpoint (the rest of the run hands over to
+    watched reference stepping).  Every engine must land in the identical
+    final state.
+    """
+
+    #: An unhooked I/O address the fuzz programs poke mid-run.
+    TRIGGER_IO = 0x10
+
+    def _run(self, engine, source, a, nbytes, hook_factory):
+        core = AvrCore(ProgramMemory(), mode=Mode.CA, engine=engine)
+        assemble(source).load_into(core.program)
+        core.data.load_bytes(SRC_ADDR_A, a.to_bytes(nbytes, "little"))
+        core.data.io_write_hooks[self.TRIGGER_IO] = hook_factory(core)
+        core.run()
+        state = (bytes(core.data._mem), core.sreg.value, core.pc,
+                 core.cycles, core.instructions_retired)
+        return state, list(core.watch_hits)
+
+    @staticmethod
+    def _interrupted_chain(nbytes: int) -> str:
+        """An add chain with a hooked OUT dropped mid-stream."""
+        lines = _pointer_setup().rstrip("\n").split("\n")
+        body = []
+        for i in range(nbytes):
+            body.append("    ld r0, X+")
+            body.append(f"    {'add' if i == 0 else 'adc'} r0, r0")
+            if i == nbytes // 2:
+                body.append(f"    out {TestTraceForcedFallback.TRIGGER_IO},"
+                            " r0")
+            body.append("    st Z+, r0")
+        return "\n".join(lines + body) + "\n    break\n"
+
+    @pytest.mark.parametrize("nbytes", [4, 9, 20])
+    def test_trace_resumes_after_flash_version_bump(self, nbytes):
+        rng = random.Random(nbytes + 0x7A)
+        source = self._interrupted_chain(nbytes)
+
+        def hook_factory(core):
+            # Rewrite a flash word far past the program: the code keeps
+            # its meaning but the version bump invalidates every
+            # compiled superblock before the next dispatch.
+            return lambda value: core.program.write_word(0x3000, value)
+
+        for _ in range(5):
+            a = rng.getrandbits(8 * nbytes)
+            states = [self._run(e, source, a, nbytes, hook_factory)[0]
+                      for e in TestEngineDifferentialFuzz.ENGINES]
+            assert states[0] == states[1] == states[2]
+
+    @pytest.mark.parametrize("nbytes", [4, 9, 20])
+    def test_trace_resumes_after_watchpoint_armed(self, nbytes):
+        rng = random.Random(nbytes + 0x7B)
+        source = self._interrupted_chain(nbytes)
+        watched = DST_ADDR + nbytes - 1  # written after the trigger
+
+        def hook_factory(core):
+            return lambda value: core.watchpoints.add(watched)
+
+        for _ in range(5):
+            a = rng.getrandbits(8 * nbytes)
+            results = [self._run(e, source, a, nbytes, hook_factory)
+                       for e in TestEngineDifferentialFuzz.ENGINES]
+            states = [state for state, _ in results]
+            assert states[0] == states[1] == states[2]
+            # Only the trace tier re-checks the watchpoint set at every
+            # dispatch, so only its run hands over to run_watched and
+            # records the hit on the watched destination byte.
+            _, trace_hits = results[2]
+            assert any(addr == watched for _, addr, _, _ in trace_hits)
 
 
 class TestRandomAluPrograms:
