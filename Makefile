@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-bench bench bench-smoke bench-check trace-smoke \
-        profile-smoke faults-smoke ctcheck-smoke serve-smoke docs \
-        docs-check tables
+        profile-smoke faults-smoke ctcheck-smoke serve-smoke \
+        obs-serve-smoke docs docs-check tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -80,6 +80,20 @@ serve-smoke:
 	$(PYTHON) -m repro loadgen --workers 2 --n 200 --seed 7 --check \
 	    --out /dev/null
 	$(PYTHON) -m repro loadgen --bench --smoke --bench-output none
+
+# Observability gate for the serving stack (DESIGN.md §4/§8): a traced
+# loadgen run must join every reply's trace id into a cross-process span
+# tree, pass the Chrome-trace schema check, dump a slowlog, and the
+# Prometheus stats endpoint must answer through the wire with the serve
+# counter families present.
+obs-serve-smoke:
+	$(PYTHON) -m repro loadgen --workers 2 --n 50 --seed 7 --trace \
+	    --slowlog /tmp/repro_slowlog.json --scrape --out /dev/null \
+	    | grep -q "serve_requests_total"
+	$(PYTHON) -c "import json; from repro.obs.export import \
+	    validate_chrome; \
+	    validate_chrome(json.load(open('/tmp/repro_slowlog.json'))); \
+	    print('slowlog chrome trace valid')"
 
 tables:
 	$(PYTHON) -m repro all

@@ -28,10 +28,17 @@
                                       # --check verifies pages + links
     python -m repro serve --workers 4 --port 9477   # the batched ECC
                                       # service (NDJSON over TCP)
+    python -m repro serve --workers 4 --tracing --slowlog-out slow.json
+                                      # trace every request; dump the
+                                      # slowest trees as Chrome JSON
     python -m repro loadgen --workers 1 --n 200 --seed 7 --check
                                       # deterministic load generator;
                                       # --bench appends BENCH_serve.json
                                       # and enforces the speedup floors
+    python -m repro loadgen --workers 2 --n 50 --trace --scrape
+                                      # traced run: join + validate the
+                                      # span trees, scrape Prometheus
+                                      # stats through the wire
 
 ``bench``, ``profile``, ``faults``, ``ctcheck``, ``docs``, ``serve``
 and ``loadgen`` own their flag sets — run them with ``--help`` for the full list.  The registry

@@ -21,6 +21,13 @@ DESIGN.md §7 "Fault model & countermeasures" and the constant-time
 verdict stream of DESIGN.md §9 "Constant-time verification".
 """
 
+from .assemble import (
+    FlightRecorder,
+    RequestTrace,
+    assemble,
+    assemble_one,
+    records_to_chrome,
+)
 from .export import (
     ctcheck_events,
     ctcheck_to_jsonl,
@@ -32,18 +39,37 @@ from .export import (
     to_jsonl,
     validate_chrome,
 )
-from .metrics import METRICS, MetricsRegistry
-from .trace import CURRENT, Span, Tracer, install, traced, uninstall
+from .metrics import METRICS, MetricsRegistry, render_prometheus
+from .trace import (
+    CURRENT,
+    Span,
+    Tracer,
+    install,
+    new_trace_id,
+    span_from_dict,
+    span_to_dict,
+    traced,
+    uninstall,
+)
 
 __all__ = [
     "METRICS",
     "MetricsRegistry",
+    "render_prometheus",
     "CURRENT",
     "Span",
     "Tracer",
     "install",
     "traced",
     "uninstall",
+    "new_trace_id",
+    "span_to_dict",
+    "span_from_dict",
+    "FlightRecorder",
+    "RequestTrace",
+    "assemble",
+    "assemble_one",
+    "records_to_chrome",
     "ctcheck_events",
     "ctcheck_to_jsonl",
     "fault_events",

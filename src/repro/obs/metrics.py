@@ -24,10 +24,12 @@ aggregation is explicit message passing.
 from __future__ import annotations
 
 import os
+import re
 from bisect import bisect_left
 from typing import Dict, List, Optional, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS",
+           "render_prometheus"]
 
 Number = Union[int, float]
 
@@ -188,6 +190,16 @@ class MetricsRegistry:
             snap[f"{name}_p99"] = summary["p99"]
         return snap
 
+    def histogram_summaries(self,
+                            prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Percentile summaries of every histogram (optionally filtered
+        by name prefix) — the structured form the served ``stats`` op
+        returns, where the flat :meth:`snapshot` spelling would force
+        clients to reassemble names."""
+        return {name: hist.summary()
+                for name, hist in sorted(self._histograms.items())
+                if name.startswith(prefix)}
+
     def counters_snapshot(self) -> Dict[str, Number]:
         """Counter values only — the mergeable subset a worker reports."""
         return {name: m.value for name, m in sorted(self._metrics.items())
@@ -229,6 +241,58 @@ class MetricsRegistry:
     def check_fork_isolation(self) -> bool:
         """True when this process owns the registry's tallies."""
         return self._pid == os.getpid()
+
+
+_PROM_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+def _prom_name(name: str) -> str:
+    """Coerce a registry name into the Prometheus metric-name alphabet."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _PROM_NAME_OK.fullmatch(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_num(value: Number) -> str:
+    """Numbers in exposition format (integers without a trailing .0)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: Optional["MetricsRegistry"] = None) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Counters and gauges render as single samples; histograms render as
+    the conventional cumulative ``_bucket{le=...}`` series (our fixed
+    power-of-two bounds plus ``+Inf``) with ``_sum`` and ``_count``
+    samples, so the output is directly scrapeable — the served ``stats``
+    op with ``format="prometheus"`` hands back exactly this string.
+    """
+    reg = registry if registry is not None else METRICS
+    lines: List[str] = []
+    for name, metric in sorted(reg._metrics.items()):
+        pname = _prom_name(name)
+        kind = "counter" if isinstance(metric, Counter) else "gauge"
+        if metric.help:
+            lines.append(f"# HELP {pname} {metric.help}")
+        lines.append(f"# TYPE {pname} {kind}")
+        lines.append(f"{pname} {_prom_num(metric.value)}")
+    for name, hist in sorted(reg._histograms.items()):
+        pname = _prom_name(name)
+        if hist.help:
+            lines.append(f"# HELP {pname} {hist.help}")
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(_BUCKET_BOUNDS, hist.buckets):
+            cumulative += count
+            lines.append(
+                f'{pname}_bucket{{le="{format(bound, "g")}"}} {cumulative}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{pname}_sum {_prom_num(hist.sum)}")
+        lines.append(f"{pname}_count {hist.count}")
+    return "\n".join(lines) + "\n"
 
 
 #: The process-wide registry every subsystem registers against.

@@ -12,6 +12,11 @@ them transparently.
 * :class:`AsyncServeClient` — asyncio twin with the same surface;
   ``call()`` is a coroutine and concurrent callers share one
   connection (a background reader task routes replies to futures).
+
+Both clients originate trace context: ``call(..., trace=True)`` stamps
+a fresh :func:`~repro.obs.trace.new_trace_id` on the request (or pass a
+specific id string), and ``stats()`` wraps the served telemetry op —
+``stats(format="prometheus")`` returns the scrape text directly.
 """
 
 from __future__ import annotations
@@ -19,11 +24,21 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
+from ..obs.trace import new_trace_id
 from . import protocol
 
 __all__ = ["ServeClient", "AsyncServeClient", "ServeError"]
+
+
+def _trace_field(trace: Union[bool, str, None]) -> Optional[str]:
+    """Resolve the ``trace=`` convenience argument to a wire trace id."""
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return new_trace_id()
+    return trace
 
 
 class ServeError(RuntimeError):
@@ -62,7 +77,8 @@ class ServeClient:
 
     def request(self, op: str, curve: Optional[str] = None,
                 params: Optional[Dict[str, Any]] = None,
-                deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+                deadline_ms: Optional[float] = None,
+                trace: Union[bool, str, None] = None) -> Dict[str, Any]:
         """Build a well-formed request dict with a fresh id."""
         req: Dict[str, Any] = {"id": next(self._ids), "op": op,
                                "params": params or {}}
@@ -70,15 +86,26 @@ class ServeClient:
             req["curve"] = curve
         if deadline_ms is not None:
             req["deadline_ms"] = deadline_ms
+        trace_id = _trace_field(trace)
+        if trace_id is not None:
+            req["trace"] = trace_id
         return req
 
     def call(self, op: str, curve: Optional[str] = None,
              params: Optional[Dict[str, Any]] = None,
-             deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+             deadline_ms: Optional[float] = None,
+             trace: Union[bool, str, None] = None) -> Dict[str, Any]:
         """One RPC; returns the result dict or raises :class:`ServeError`."""
-        req = self.request(op, curve, params, deadline_ms)
+        req = self.request(op, curve, params, deadline_ms, trace)
         [reply] = self.call_raw([req])
         return _raise_on_error(reply)
+
+    def stats(self, format: Optional[str] = None) -> Any:
+        """The served ``stats`` op.  ``format="prometheus"`` returns the
+        exposition text; default returns the structured result dict."""
+        params = {"format": format} if format else None
+        result = self.call("stats", params=params)
+        return result["text"] if format == "prometheus" else result
 
     def call_raw(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         """Pipeline a request list; replies in *request* order, errors
@@ -178,15 +205,25 @@ class AsyncServeClient:
 
     async def call(self, op: str, curve: Optional[str] = None,
                    params: Optional[Dict[str, Any]] = None,
-                   deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+                   deadline_ms: Optional[float] = None,
+                   trace: Union[bool, str, None] = None) -> Dict[str, Any]:
         req: Dict[str, Any] = {"id": next(self._ids), "op": op,
                                "params": params or {}}
         if curve is not None:
             req["curve"] = curve
         if deadline_ms is not None:
             req["deadline_ms"] = deadline_ms
+        trace_id = _trace_field(trace)
+        if trace_id is not None:
+            req["trace"] = trace_id
         reply = await self.call_raw_one(req)
         return _raise_on_error(reply)
+
+    async def stats(self, format: Optional[str] = None) -> Any:
+        """Async twin of :meth:`ServeClient.stats`."""
+        params = {"format": format} if format else None
+        result = await self.call("stats", params=params)
+        return result["text"] if format == "prometheus" else result
 
     async def call_raw(
             self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

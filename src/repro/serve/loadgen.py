@@ -18,16 +18,28 @@ measured through four execution paths —
 * ``fixedbase``   one request at a time through the comb tables of
                   :mod:`repro.scalarmult.fixed_base`,
 * ``pool<N>``     the full pipeline: pipelined client, batching
-                  server, N-worker pool, fixed-base tables.
+                  server, N-worker pool, fixed-base tables,
+* ``pool<N>_traced``  the widest pool with end-to-end request tracing
+                  on — its ratio to the untraced twin is the measured
+                  tracing overhead.
 
 Results append to ``BENCH_serve.json`` using the run-record schema of
 :mod:`repro.analysis.bench` (``family: "serve"``; ``ips`` is operations
-per second).  Two floors gate the run (both env-overridable):
-``pool4/direct >= SERVE_MIN_SCALING`` and ``fixedbase/direct >=
-FIXED_BASE_MIN_SPEEDUP``.  On a single-core host the scaling floor is
-carried by the fixed-base algorithmic win (measured ~4-5x on
-secp160r1), not by parallelism — by design, so the gate is meaningful
-on any CI shape.
+per second).  Served entries also carry a ``latency_ms`` summary
+(count/mean/p50/p95/p99 of per-request accept-to-reply latency).
+Three floors gate the run (all env-overridable):
+``pool4/direct >= SERVE_MIN_SCALING``, ``fixedbase/direct >=
+FIXED_BASE_MIN_SPEEDUP`` and ``pool<N>_traced/pool<N> >=
+TRACED_MIN_RATIO`` (the tracing hot-path guard).  On a single-core
+host the scaling floor is carried by the fixed-base algorithmic win
+(measured ~4-5x on secp160r1), not by parallelism — by design, so the
+gate is meaningful on any CI shape.
+
+``--trace`` turns on request tracing for the normal (non-bench) run:
+every reply's trace id is joined into a cross-process span tree by
+:mod:`repro.obs.assemble`, the merged Chrome export is schema-checked,
+and ``--slowlog PATH`` dumps the slowest trees.  ``--scrape`` pulls the
+Prometheus text exposition through the wire after the run.
 """
 
 from __future__ import annotations
@@ -45,6 +57,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import bench
 from ..curves.params import CurveSuite, make_suite
+from ..obs.assemble import FlightRecorder, RequestTrace, assemble, \
+    records_to_chrome
+from ..obs.export import validate_chrome
 from ..scalarmult import adapter_for, montgomery_ladder_x, scalar_mult_naf
 from ..scalarmult.fixed_base import TABLE_CACHE
 from . import protocol, worker
@@ -58,6 +73,7 @@ __all__ = [
     "FIXED_BASE_MIN_SPEEDUP",
     "SERVE_MIN_SCALING",
     "SERVE_OUTPUT",
+    "TRACED_MIN_RATIO",
     "build_requests",
     "check_serve_against_baseline",
     "main",
@@ -84,6 +100,12 @@ SERVE_MIN_SCALING = float(os.environ.get("REPRO_SERVE_MIN_SCALING", "2.0"))
 #: Floor on the fixed-base comb speedup over variable-base NAF alone.
 FIXED_BASE_MIN_SPEEDUP = float(
     os.environ.get("REPRO_FIXED_BASE_MIN_SPEEDUP", "1.5"))
+
+#: Floor on traced/untraced pool throughput: the tracing hot-path
+#: guard.  A same-run ratio (not an absolute wall-clock) so it holds on
+#: any CI shape; measured ~0.9+ locally, the floor leaves headroom for
+#: noisy shared runners.
+TRACED_MIN_RATIO = float(os.environ.get("REPRO_SERVE_TRACED_MIN", "0.70"))
 
 SERVE_OUTPUT = "BENCH_serve.json"
 
@@ -229,9 +251,15 @@ def run_direct(requests: Sequence[Dict[str, Any]],
 
 
 async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
-                 rate: float = 0.0
+                 rate: float = 0.0,
+                 client_times: Optional[Dict[str, Tuple[int, int]]] = None
                  ) -> Tuple[List[Dict[str, Any]], List[float], float]:
-    """Pipeline the stream at one server; per-request latencies in ms."""
+    """Pipeline the stream at one server; per-request latencies in ms.
+
+    With *client_times*, each traced reply's send/receive
+    ``perf_counter_ns`` stamps are stored under its trace id — the
+    client half of the joined span tree.
+    """
     client = await AsyncServeClient.connect(host, port)
     latencies: List[float] = [0.0] * len(requests)
     try:
@@ -243,9 +271,14 @@ async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
                 delay = t_start + i / rate - loop.time()
                 if delay > 0:
                     await asyncio.sleep(delay)
-            t0 = time.perf_counter()
+            t0_ns = time.perf_counter_ns()
             reply = await client.call_raw_one(req)
-            latencies[i] = (time.perf_counter() - t0) * 1e3
+            t1_ns = time.perf_counter_ns()
+            latencies[i] = (t1_ns - t0_ns) / 1e6
+            if client_times is not None:
+                trace_id = (reply.get("meta") or {}).get("trace")
+                if trace_id:
+                    client_times[trace_id] = (t0_ns, t1_ns)
             return reply
 
         t0 = time.perf_counter()
@@ -257,28 +290,59 @@ async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
     return replies, latencies, wall
 
 
+async def _scrape(host: str, port: int) -> str:
+    """One wire round-trip of the Prometheus stats exposition."""
+    async with await AsyncServeClient.connect(host, port) as client:
+        return await client.stats(format="prometheus")
+
+
 async def run_served(requests: Sequence[Dict[str, Any]],
                      workers: int = 1, rate: float = 0.0,
                      target: Optional[Tuple[str, int]] = None,
                      batch_max: int = 16,
                      queue_depth: Optional[int] = None,
                      fixed_base: bool = True,
-                     warm: Sequence[str] = ("secp160r1",)
+                     warm: Sequence[str] = ("secp160r1",),
+                     tracing: bool = False,
+                     trace_sink: Optional[List[RequestTrace]] = None,
+                     scrape_sink: Optional[List[str]] = None,
+                     client_times: Optional[Dict[str, Tuple[int, int]]] = None
                      ) -> Tuple[List[Dict[str, Any]], List[float], float]:
-    """Drive the stream at ``target`` or a fresh in-process server."""
+    """Drive the stream at ``target`` or a fresh in-process server.
+
+    In-process extras: ``tracing`` turns on server-side trace stamping,
+    ``trace_sink`` receives the server's :class:`RequestTrace` records
+    after the run, ``scrape_sink`` receives one Prometheus exposition
+    scraped through the wire while the server is still up, and
+    ``client_times`` collects client-side stamps (see :func:`_drive`).
+    """
     if target is not None:
-        return await _drive(target[0], target[1], requests, rate)
+        result = await _drive(target[0], target[1], requests, rate,
+                              client_times)
+        if scrape_sink is not None:
+            scrape_sink.append(await _scrape(target[0], target[1]))
+        return result
     if queue_depth is None:
         # Open-loop pipelining enqueues the whole stream at once; size
         # the queue so the loadgen itself never triggers load-shedding.
         queue_depth = max(2 * len(requests), 128)
+    # When the caller wants every record, the flight recorder must not
+    # evict: size it past the stream length.
+    slowlog = max(64, 2 * len(requests)) if trace_sink is not None else 64
     config = ServeConfig(port=0, workers=workers, batch_max=batch_max,
                          queue_depth=queue_depth, fixed_base=fixed_base,
-                         warm_curves=tuple(warm))
+                         warm_curves=tuple(warm), tracing=tracing,
+                         slowlog=slowlog)
     server = EccServer(config)
     await server.start()
     try:
-        return await _drive(config.host, server.port, requests, rate)
+        result = await _drive(config.host, server.port, requests, rate,
+                              client_times)
+        if scrape_sink is not None:
+            scrape_sink.append(await _scrape(config.host, server.port))
+        if trace_sink is not None:
+            trace_sink.extend(server.recorder.slowest())
+        return result
     finally:
         await server.stop()
 
@@ -303,11 +367,24 @@ def _latency_report(latencies: Sequence[float], wall: float,
             f"p99={_percentile(ordered, 99):.1f}")
 
 
+def _latency_summary(latencies: Sequence[float]) -> Dict[str, float]:
+    """Per-request latency histogram summary for a bench entry (ms)."""
+    ordered = sorted(latencies)
+    n = len(ordered)
+    return {"count": n,
+            "mean": sum(ordered) / n if n else 0.0,
+            "p50": _percentile(ordered, 50),
+            "p95": _percentile(ordered, 95),
+            "p99": _percentile(ordered, 99)}
+
+
 # -- serving benchmark -------------------------------------------------------
 
 
-def _bench_entry(engine: str, n: int, wall: float) -> Dict[str, Any]:
-    return {
+def _bench_entry(engine: str, n: int, wall: float,
+                 latencies: Optional[Sequence[float]] = None
+                 ) -> Dict[str, Any]:
+    entry = {
         "name": f"keygen/secp160r1/{engine}",
         "family": "serve",
         "kernel": "keygen",
@@ -319,6 +396,9 @@ def _bench_entry(engine: str, n: int, wall: float) -> Dict[str, Any]:
         "wall_s": wall,
         "ips": n / wall if wall > 0 else 0.0,
     }
+    if latencies:
+        entry["latency_ms"] = _latency_summary(latencies)
+    return entry
 
 
 def _assert_all_ok(replies: Sequence[Dict[str, Any]], what: str) -> None:
@@ -355,16 +435,30 @@ def run_bench_serve(n: Optional[int] = None, smoke: bool = False,
     entries.append(_bench_entry("fixedbase", n, wall))
 
     for workers in pools:
-        replies, _lat, wall = asyncio.run(
+        replies, lat, wall = asyncio.run(
             run_served(requests, workers=workers))
         _assert_all_ok(replies, f"pool{workers}")
-        entries.append(_bench_entry(f"pool{workers}", n, wall))
+        entries.append(_bench_entry(f"pool{workers}", n, wall, lat))
+
+    # Tracing-overhead leg: the widest pool again, with per-request
+    # tracing on.  Its ratio to the untraced twin is the measured
+    # overhead, floor-checked by check_floors.
+    traced_workers = max(pools) if pools else 1
+    replies, lat, wall = asyncio.run(
+        run_served(requests, workers=traced_workers, tracing=True))
+    _assert_all_ok(replies, f"pool{traced_workers}_traced")
+    entries.append(_bench_entry(f"pool{traced_workers}_traced", n, wall, lat))
 
     direct_ips = entries[0]["ips"]
     speedups = {
         f"keygen/secp160r1/{e['engine']}:direct": e["ips"] / direct_ips
         for e in entries[1:]
     }
+    untraced = next(e for e in entries
+                    if e["engine"] == f"pool{traced_workers}")
+    speedups[f"keygen/secp160r1/pool{traced_workers}_traced:"
+             f"pool{traced_workers}"] = (
+        entries[-1]["ips"] / untraced["ips"] if untraced["ips"] else 0.0)
     record = {
         "schema": 1,
         "timestamp": datetime.datetime.now(
@@ -398,8 +492,9 @@ def render_serve(record: Dict[str, Any]) -> str:
 
 def check_floors(record: Dict[str, Any],
                  scaling_floor: float = SERVE_MIN_SCALING,
-                 fixed_base_floor: float = FIXED_BASE_MIN_SPEEDUP) -> int:
-    """Enforce the two serve speedup floors; returns a shell exit code."""
+                 fixed_base_floor: float = FIXED_BASE_MIN_SPEEDUP,
+                 traced_floor: float = TRACED_MIN_RATIO) -> int:
+    """Enforce the serve speedup floors; returns a shell exit code."""
     speedups = record["speedups"]
     failed = False
     fb = speedups.get("keygen/secp160r1/fixedbase:direct", 0.0)
@@ -407,16 +502,27 @@ def check_floors(record: Dict[str, Any],
         print(f"FAIL: fixed-base speedup {fb:.2f}x is below the "
               f"{fixed_base_floor:.2f}x floor")
         failed = True
-    pool_keys = [k for k in speedups if "/pool" in k]
+    pool_keys = [k for k in speedups
+                 if "/pool" in k and k.endswith(":direct")
+                 and "_traced" not in k]
     best_key = max(pool_keys, key=lambda k: speedups[k], default=None)
     if best_key is None or speedups[best_key] < scaling_floor:
         got = speedups.get(best_key, 0.0) if best_key else 0.0
         print(f"FAIL: served throughput scaling {got:.2f}x is below the "
               f"{scaling_floor:.2f}x floor")
         failed = True
+    # The tracing hot-path guard: traced throughput as a fraction of
+    # its untraced twin, from the same run.
+    for key in sorted(k for k in speedups if "_traced:pool" in k):
+        ratio = speedups[key]
+        if ratio < traced_floor:
+            print(f"FAIL: traced/untraced throughput ratio {ratio:.2f} "
+                  f"({key}) is below the {traced_floor:.2f} floor")
+            failed = True
     if not failed:
         print(f"OK: fixed-base {fb:.2f}x >= {fixed_base_floor:.2f}x, "
-              f"served {speedups[best_key]:.2f}x >= {scaling_floor:.2f}x")
+              f"served {speedups[best_key]:.2f}x >= {scaling_floor:.2f}x, "
+              "traced ratio floors hold")
     return 1 if failed else 0
 
 
@@ -455,6 +561,45 @@ def check_serve_against_baseline(path: str = SERVE_OUTPUT,
     print("FAIL: serving throughput regressed beyond tolerance" if failed
           else "OK: serving throughput within tolerance")
     return 1 if failed else 0
+
+
+# -- trace reporting ---------------------------------------------------------
+
+
+def _report_traces(records: List[RequestTrace],
+                   client_times: Dict[str, Tuple[int, int]],
+                   replies: Sequence[Dict[str, Any]],
+                   slowlog_path: Optional[str]) -> int:
+    """Join, validate and (optionally) dump the run's trace records.
+
+    Every traced reply must resolve to an assembled span tree and the
+    merged Chrome export must pass :func:`validate_chrome`; returns a
+    shell exit code.
+    """
+    for rec in records:
+        stamps = client_times.get(rec.trace_id)
+        if stamps is not None:
+            rec.client_t0_ns, rec.client_t1_ns = stamps
+    trees = assemble(records)
+    chrome = records_to_chrome(records)
+    validate_chrome(chrome)
+    traced = [r for r in replies if (r.get("meta") or {}).get("trace")]
+    joined = sum(1 for r in traced if r["meta"]["trace"] in trees)
+    print(f"tracing: {joined}/{len(traced)} traced replies joined into "
+          f"span trees ({len(chrome['traceEvents'])} chrome events, "
+          "validate_chrome clean)", file=sys.stderr)
+    if not traced or joined != len(traced):
+        print("loadgen --trace: FAIL, not every reply resolved to an "
+              "assembled span tree", file=sys.stderr)
+        return 1
+    if slowlog_path:
+        ring = FlightRecorder(capacity=min(32, max(1, len(records))))
+        for rec in records:
+            ring.record(rec)
+        written = ring.dump(slowlog_path)
+        print(f"slowlog: wrote the {written} slowest request trees to "
+              f"{slowlog_path}", file=sys.stderr)
+    return 0
 
 
 # -- CLI ---------------------------------------------------------------------
@@ -515,6 +660,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--batch-max", type=int, default=16)
     parser.add_argument("--label", default=None,
                         help="free-form label stored in the bench record")
+    parser.add_argument("--trace", action="store_true",
+                        help="end-to-end request tracing: stamp every "
+                             "request, join the cross-process span trees "
+                             "and schema-check the merged Chrome export "
+                             "(in-process server only)")
+    parser.add_argument("--slowlog", default=None, metavar="PATH",
+                        help="with --trace: dump the slowest request "
+                             "trees as Chrome trace JSON to PATH")
+    parser.add_argument("--scrape", action="store_true",
+                        help="scrape the server's Prometheus stats "
+                             "exposition through the wire after the run "
+                             "and print it to stdout")
     args = parser.parse_args(argv)
 
     if args.bench:
@@ -536,6 +693,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     fixed_base = not args.no_fixed_base
     requests = build_requests(n, mix=args.mix, seed=args.seed)
 
+    if args.trace and args.target is not None:
+        parser.error("--trace joins records from the in-process server; "
+                     "it cannot be used with --target")
+    if (args.trace or args.scrape) and args.target is None \
+            and args.workers == 0:
+        parser.error("--trace/--scrape need a server (--workers >= 1 "
+                     "or --target)")
+    if args.slowlog and not args.trace:
+        parser.error("--slowlog requires --trace")
+    trace_sink: Optional[List[RequestTrace]] = [] if args.trace else None
+    scrape_sink: Optional[List[str]] = [] if args.scrape else None
+    client_times: Dict[str, Tuple[int, int]] = {}
+
     def one_run() -> Tuple[List[Dict[str, Any]], List[float], float]:
         if args.target is None and args.workers == 0:
             replies, wall = run_direct(requests, fixed_base=fixed_base)
@@ -543,7 +713,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return asyncio.run(run_served(
             requests, workers=args.workers, rate=args.rate,
             target=args.target, batch_max=args.batch_max,
-            fixed_base=fixed_base))
+            fixed_base=fixed_base, tracing=args.trace,
+            trace_sink=trace_sink, scrape_sink=scrape_sink,
+            client_times=client_times if args.trace else None))
 
     replies, latencies, wall = one_run()
     summary = summarize(requests, replies)
@@ -570,6 +742,14 @@ def main(argv: Optional[List[str]] = None) -> int:
           else f"{n} requests in {wall:.2f} s "
                f"({n / wall if wall else 0.0:.1f} ops/s), {n_err} errors",
           file=sys.stderr)
+    if trace_sink is not None:
+        status = _report_traces(trace_sink, client_times, replies,
+                                args.slowlog)
+        if status:
+            return status
+    if scrape_sink:
+        sys.stdout.write(scrape_sink[-1])
+        sys.stdout.flush()
     return 0
 
 

@@ -7,12 +7,26 @@ requests and worker completion order is not arrival order).
 Request grammar::
 
     {"id": <int>=0>, "op": <op>, "curve": <curve|absent>,
-     "params": {...}, "deadline_ms": <number, optional>}
+     "params": {...}, "deadline_ms": <number, optional>,
+     "trace": <8..32 lowercase hex chars, optional>}
 
 Reply grammar::
 
-    {"id": <int>, "ok": true,  "result": {...}}
-    {"id": <int>, "ok": false, "error": {"type": <type>, "message": str}}
+    {"id": <int>, "ok": true,  "result": {...}, "meta": {...}?}
+    {"id": <int>, "ok": false, "error": {"type": <type>, "message": str},
+     "meta": {...}?}
+
+``trace`` is the distributed-tracing context (DESIGN.md §8): a client
+that sets it (or a server started with ``--tracing``, which stamps one
+at accept) gets worker-side spans recorded under that id and the id
+echoed back in the reply's ``meta.trace``, joinable into one
+end-to-end span tree by :mod:`repro.obs.assemble`.  The ``stats`` op is
+the operational telemetry endpoint: it takes no curve, is answered by
+the server front-end without queueing (so it stays reachable under
+overload), and returns queue depth, batch occupancy, shed counts and
+per-(op, curve) latency percentiles — or, with ``params.format =
+"prometheus"``, the whole metrics registry in Prometheus text
+exposition format.
 
 Error types are closed-world (:data:`ERROR_TYPES`): ``BadRequest``
 (malformed or semantically invalid request — never retry),
@@ -32,6 +46,7 @@ all of it server-side so workers only ever see well-formed requests.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Optional
 
@@ -44,6 +59,7 @@ __all__ = [
     "Overloaded",
     "DeadlineExceeded",
     "OpSpec",
+    "TRACE_ID",
     "decode_reply",
     "decode_request",
     "encode_reply",
@@ -66,6 +82,10 @@ CURVES: FrozenSet[str] = frozenset(
 ORDER_CURVES: FrozenSet[str] = frozenset({"secp160r1", "glv"})
 
 ERROR_TYPES = ("BadRequest", "Overloaded", "DeadlineExceeded", "Internal")
+
+#: Wire form of a trace id: 8..32 lowercase hex chars (the generator,
+#: :func:`repro.obs.trace.new_trace_id`, emits 16).
+TRACE_ID = re.compile(r"[0-9a-f]{8,32}")
 
 
 class ProtocolError(ValueError):
@@ -140,6 +160,10 @@ OPS: Dict[str, OpSpec] = {spec.name: spec for spec in (
     _spec("schnorr_verify", ORDER_CURVES, ["public", "msg", "e", "s"]),
     _spec("rsa_sign", (), ["n", "e", "d", "digest"]),
     _spec("rsa_verify", (), ["n", "e", "digest", "sig"]),
+    # Operational telemetry: answered inline by the server front-end
+    # (never queued, so it works under overload); the worker handler
+    # covers the pool-free direct path.
+    _spec("stats", (), [], ["format"]),
 )}
 
 
@@ -186,7 +210,13 @@ def validate_request(obj: Any) -> Dict[str, Any]:
         if not isinstance(deadline, (int, float)) or isinstance(
                 deadline, bool) or deadline <= 0:
             raise ProtocolError("deadline_ms must be a positive number")
-    unknown_top = obj.keys() - {"id", "op", "curve", "params", "deadline_ms"}
+    trace = obj.get("trace")
+    if trace is not None:
+        if not isinstance(trace, str) or not TRACE_ID.fullmatch(trace):
+            raise ProtocolError(
+                "trace must be 8..32 lowercase hex characters")
+    unknown_top = obj.keys() - {"id", "op", "curve", "params",
+                                "deadline_ms", "trace"}
     if unknown_top:
         raise ProtocolError(
             f"unknown request fields {sorted(unknown_top)}")

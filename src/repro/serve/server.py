@@ -21,11 +21,25 @@ stage metered)::
   .ProcessPoolExecutor`.  Batches from different groups run
   concurrently across workers.
 * **Observability**: latency histograms (``serve_queue_us``,
-  ``serve_worker_us``, ``serve_latency_us``) and throughput/shed
-  counters live in the process-wide registry; worker-side counters
-  merge in per batch reply (fork-safe by construction — see
-  :mod:`repro.obs.metrics`).  When a tracer is installed each batch
-  runs under a ``serve_batch`` span with queue/worker timing attrs.
+  ``serve_worker_us``, ``serve_latency_us``, and one
+  ``serve_op_latency_us_<op>_<curve>`` per op/curve pair) and
+  throughput/shed counters live in the process-wide registry;
+  worker-side counters merge in per batch reply (fork-safe by
+  construction — see :mod:`repro.obs.metrics`).  When a tracer is
+  installed each batch runs under a ``serve_batch`` span with
+  queue/worker timing attrs.
+* **Distributed tracing** (``--tracing``, or a client-set ``trace``
+  field): traced requests carry their id through the queue, the batch
+  and the worker, whose per-request span shard ships back with the
+  batch reply; the server joins shard + stage timestamps into a
+  :class:`~repro.obs.assemble.RequestTrace` and feeds the
+  :class:`~repro.obs.assemble.FlightRecorder` tail-sampling ring
+  (``--slowlog`` capacity, ``--slowlog-out`` Chrome-trace dump).
+* **Operational endpoint**: the ``stats`` op is answered inline at
+  accept — queue depth, batch occupancy, shed counts, per-(op, curve)
+  latency percentiles, or the full registry as Prometheus text
+  exposition (``params.format = "prometheus"``) — so telemetry stays
+  reachable even when the bounded queue is shedding.
 
 ``python -m repro serve`` is this module's CLI; the in-process
 :class:`EccServer` API is what the load generator, the benchmark
@@ -37,6 +51,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 import time
@@ -45,7 +60,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs import trace as _trace
-from ..obs.metrics import METRICS
+from ..obs.assemble import FlightRecorder, RequestTrace
+from ..obs.metrics import METRICS, render_prometheus
+from ..obs.trace import new_trace_id
 from ..scalarmult.fixed_base import DEFAULT_WIDTH
 from . import protocol
 from .worker import execute_batch, init_worker
@@ -88,6 +105,13 @@ class ServeConfig:
     fb_width: int = DEFAULT_WIDTH
     #: Curve suites whose fixed-base tables each worker pre-builds.
     warm_curves: Tuple[str, ...] = ("secp160r1",)
+    #: Stamp a trace id on every accepted request (clients may also set
+    #: their own ``trace`` field regardless of this switch).
+    tracing: bool = False
+    #: Flight-recorder capacity: the N slowest traced requests kept.
+    slowlog: int = 64
+    #: Dump the flight recorder as Chrome trace JSON here on stop().
+    slowlog_out: Optional[str] = None
 
 
 @dataclass
@@ -96,6 +120,13 @@ class _Pending:
     future: "asyncio.Future[Dict[str, Any]]"
     t_enqueue: float
     deadline_s: Optional[float]  # absolute perf_counter() instant
+    # Distributed-tracing fields (None/0 on the untraced hot path).
+    trace_id: Optional[str] = None
+    t_accept_ns: int = 0
+    t_dispatch_ns: Optional[int] = None
+    worker_pid: Optional[int] = None
+    worker_spans: Optional[List[Dict[str, Any]]] = None
+    batch_size: int = 0
 
 
 class EccServer:
@@ -112,6 +143,8 @@ class EccServer:
         self._connections: set = set()
         #: Last reported cumulative counters per worker pid (merge base).
         self._worker_baselines: Dict[int, Dict[str, float]] = {}
+        #: Tail-sampling ring of the slowest traced requests (--slowlog).
+        self.recorder = FlightRecorder(self.config.slowlog)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -153,6 +186,10 @@ class EccServer:
             await asyncio.gather(*self._dispatches, return_exceptions=True)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.config.slowlog_out and len(self.recorder):
+            written = self.recorder.dump(self.config.slowlog_out)
+            print(f"slowlog: {written} slowest request trees -> "
+                  f"{self.config.slowlog_out}", file=sys.stderr)
 
     async def __aenter__(self) -> "EccServer":
         return await self.start()
@@ -176,8 +213,16 @@ class EccServer:
 
         async def await_and_reply(pending: _Pending) -> None:
             reply = await pending.future
-            _LATENCY_US.observe(
-                (time.perf_counter() - pending.t_enqueue) * 1e6)
+            lat_us = (time.perf_counter() - pending.t_enqueue) * 1e6
+            _LATENCY_US.observe(lat_us)
+            req = pending.request
+            METRICS.histogram(
+                f"serve_op_latency_us_{req['op']}_{req.get('curve') or 'all'}",
+                "enqueue-to-reply per (op, curve), microseconds",
+            ).observe(lat_us)
+            if pending.trace_id is not None:
+                reply.setdefault("meta", {})["trace"] = pending.trace_id
+                self._record_trace(pending, reply)
             await write_reply(reply)
 
         try:
@@ -196,6 +241,13 @@ class EccServer:
                         req_id, "BadRequest", str(exc)))
                     continue
                 _REQUESTS.inc()
+                if request["op"] == "stats":
+                    # Telemetry is answered inline, never queued — the
+                    # whole point is reachability while overloaded.
+                    await write_reply(self._stats_reply(request))
+                    continue
+                if self.config.tracing and "trace" not in request:
+                    request["trace"] = new_trace_id()
                 pending = self._make_pending(request)
                 try:
                     self._queue.put_nowait(pending)
@@ -229,9 +281,32 @@ class EccServer:
         now = time.perf_counter()
         deadline_ms = request.get("deadline_ms", self.config.deadline_ms)
         deadline_s = None if deadline_ms is None else now + deadline_ms / 1e3
+        trace_id = request.get("trace")
         return _Pending(request=request,
                         future=asyncio.get_running_loop().create_future(),
-                        t_enqueue=now, deadline_s=deadline_s)
+                        t_enqueue=now, deadline_s=deadline_s,
+                        trace_id=trace_id,
+                        t_accept_ns=(time.perf_counter_ns()
+                                     if trace_id is not None else 0))
+
+    def _record_trace(self, pending: _Pending,
+                      reply: Dict[str, Any]) -> None:
+        """Close the book on one traced request: join-ready record in."""
+        self.recorder.record(RequestTrace(
+            trace_id=pending.trace_id,
+            req_id=pending.request["id"],
+            op=pending.request["op"],
+            curve=pending.request.get("curve"),
+            server_pid=os.getpid(),
+            t_accept_ns=pending.t_accept_ns,
+            t_dispatch_ns=pending.t_dispatch_ns,
+            t_reply_ns=time.perf_counter_ns(),
+            worker_pid=pending.worker_pid,
+            worker_spans=pending.worker_spans or [],
+            batch_size=pending.batch_size,
+            status="ok" if reply.get("ok") else
+                   reply.get("error", {}).get("type", "Internal"),
+        ))
 
     @staticmethod
     def _salvage_id(line: bytes) -> int:
@@ -272,6 +347,7 @@ class EccServer:
 
     async def _dispatch(self, chunk: List[_Pending]) -> None:
         now = time.perf_counter()
+        now_ns = time.perf_counter_ns()
         live: List[_Pending] = []
         for item in chunk:
             _QUEUE_US.observe((now - item.t_enqueue) * 1e6)
@@ -281,9 +357,13 @@ class EccServer:
                     item.request["id"], "DeadlineExceeded",
                     "deadline elapsed while queued"))
             else:
+                if item.trace_id is not None:
+                    item.t_dispatch_ns = now_ns
                 live.append(item)
         if not live:
             return
+        for item in live:
+            item.batch_size = len(live)
         _BATCHES.inc()
         payload = [item.request for item in live]
         op, curve = live[0].request["op"], live[0].request.get("curve")
@@ -306,7 +386,11 @@ class EccServer:
                 tracer.end(span)
         _WORKER_US.observe((time.perf_counter() - t0) * 1e6)
         self._merge_worker_metrics(result["pid"], result["metrics"])
-        for item, reply in zip(live, result["replies"]):
+        shards = result.get("spans") or [None] * len(live)
+        for item, reply, shard in zip(live, result["replies"], shards):
+            if item.trace_id is not None:
+                item.worker_pid = result["pid"]
+                item.worker_spans = shard
             if not item.future.done():
                 item.future.set_result(reply)
 
@@ -331,6 +415,59 @@ class EccServer:
         snap = METRICS.snapshot()
         return {name: value for name, value in snap.items()
                 if name.startswith(("serve_", "fixed_base_"))}
+
+    def stats_result(self, params: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
+        """The ``stats`` op's result object (protocol schema in
+        :mod:`repro.serve.protocol`): live queue/batch state plus the
+        per-(op, curve) latency percentiles, or the whole registry in
+        Prometheus text exposition with ``format="prometheus"``."""
+        fmt = (params or {}).get("format", "json")
+        if fmt == "prometheus":
+            self._refresh_gauges()
+            return {"format": "prometheus",
+                    "text": render_prometheus(METRICS)}
+        if fmt != "json":
+            raise protocol.ProtocolError(
+                f"stats format must be 'json' or 'prometheus', got {fmt!r}")
+        counters = {name: value
+                    for name, value in METRICS.counters_snapshot().items()
+                    if name.startswith(("serve_", "fixed_base_"))}
+        batches = counters.get("serve_batches_total", 0)
+        executed = counters.get("serve_worker_requests_total", 0)
+        return {
+            "format": "json",
+            "pid": os.getpid(),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_capacity": self.config.queue_depth,
+            "batch_occupancy": round(executed / batches, 3) if batches
+            else 0.0,
+            "counters": counters,
+            "histograms": METRICS.histogram_summaries(prefix="serve_"),
+            "slowlog": {"capacity": self.recorder.capacity,
+                        "size": len(self.recorder),
+                        "recorded": self.recorder.recorded},
+        }
+
+    def _refresh_gauges(self) -> None:
+        METRICS.gauge(
+            "serve_queue_depth", "requests queued right now",
+        ).set(self._queue.qsize() if self._queue else 0)
+        METRICS.gauge(
+            "serve_slowlog_size", "traced requests held by the recorder",
+        ).set(len(self.recorder))
+
+    def _stats_reply(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            result = self.stats_result(request.get("params"))
+        except protocol.ProtocolError as exc:
+            return protocol.error_reply(request["id"], "BadRequest",
+                                        str(exc))
+        reply = protocol.ok_reply(request["id"], result)
+        trace_id = request.get("trace")
+        if trace_id is not None:
+            reply.setdefault("meta", {})["trace"] = trace_id
+        return reply
 
 
 async def _serve_forever(config: ServeConfig) -> int:
@@ -385,17 +522,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--warm", default="secp160r1",
                         help="comma-separated curves whose tables each "
                              "worker pre-builds ('' = none)")
+    parser.add_argument("--tracing", action="store_true",
+                        help="stamp a trace id on every request, collect "
+                             "worker span shards and keep the slowest "
+                             "request trees in the flight recorder")
+    parser.add_argument("--slowlog", type=int, default=64,
+                        help="flight-recorder capacity: N slowest traced "
+                             "requests retained (default 64)")
+    parser.add_argument("--slowlog-out", default=None, metavar="PATH",
+                        help="dump the flight recorder as Chrome trace "
+                             "JSON on shutdown")
     args = parser.parse_args(argv)
     warm = tuple(c for c in args.warm.split(",") if c)
     for curve in warm:
         if curve not in protocol.CURVES:
             parser.error(f"unknown curve {curve!r} in --warm")
+    if args.slowlog < 1:
+        parser.error("--slowlog must be >= 1")
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         batch_max=args.batch_max, queue_depth=args.queue_depth,
         deadline_ms=args.deadline_ms, hardened=args.hardened,
         fixed_base=not args.no_fixed_base, fb_width=args.fb_width,
-        warm_curves=warm,
+        warm_curves=warm, tracing=args.tracing, slowlog=args.slowlog,
+        slowlog_out=args.slowlog_out,
     )
     try:
         return asyncio.run(_serve_forever(config))

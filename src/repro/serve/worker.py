@@ -25,12 +25,13 @@ suite's pool-free harness).
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..curves.params import CurveSuite, make_suite
 from ..curves.point import AffinePoint
 from ..faults.model import FaultDetectedError
-from ..obs.metrics import METRICS
+from ..obs.metrics import METRICS, render_prometheus
+from ..obs.trace import Tracer, span_to_dict
 from ..protocols import Ecdsa, Rsa, RsaKeyPair, Schnorr, XOnlyEcdh
 from ..protocols.ecdh import FullPointEcdh, KeyPair
 from ..scalarmult import adapter_for, montgomery_ladder_x, scalar_mult_naf
@@ -405,7 +406,35 @@ def _handle_rsa_verify(state: WorkerState, curve: Optional[str],
     return {"valid": bool(valid)}
 
 
+def _handle_stats(state: WorkerState, curve: Optional[str],
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-local telemetry (the pool-free direct path's ``stats``).
+
+    A live :class:`~repro.serve.server.EccServer` intercepts ``stats``
+    at accept and answers with server-level queue/batch state; this
+    handler serves the same schema from a single process's registry so
+    ``--workers 0`` / in-process callers get a useful answer too.
+    """
+    fmt = params.get("format", "json")
+    if fmt == "prometheus":
+        return {"format": "prometheus", "text": render_prometheus(METRICS)}
+    if fmt != "json":
+        raise ProtocolError(
+            f"stats format must be 'json' or 'prometheus', got {fmt!r}")
+    return {
+        "format": "json",
+        "pid": os.getpid(),
+        "queue_depth": 0,
+        "queue_capacity": 0,
+        "batch_occupancy": 0.0,
+        "counters": {k: v for k, v in METRICS.counters_snapshot().items()
+                     if k.startswith(("serve_", "fixed_base_"))},
+        "histograms": METRICS.histogram_summaries(prefix="serve_"),
+    }
+
+
 _HANDLERS: Dict[str, Callable] = {
+    "stats": _handle_stats,
     "keygen": _handle_keygen,
     "ecdh": _handle_ecdh,
     "scalarmult": _handle_scalarmult,
@@ -446,21 +475,54 @@ def execute_request(req: Dict[str, Any],
                                     f"{type(exc).__name__}: {exc}")
 
 
+def _execute_traced(
+        req: Dict[str, Any], state: WorkerState, trace_id: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Run one request under a fresh tracer; returns (reply, span dicts).
+
+    The root span is tagged with the inbound trace context and this
+    worker's pid; the spans PR 2 threaded through scalarmult / curves /
+    field nest underneath automatically, so the shard the server joins
+    (:mod:`repro.obs.assemble`) reaches down to the kernel level.
+    """
+    tracer = Tracer()
+    with tracer:
+        with tracer.span("worker", kind="serve", trace=trace_id,
+                         op=req["op"], curve=req.get("curve"),
+                         pid=os.getpid()):
+            reply = execute_request(req, state)
+    return reply, [span_to_dict(root) for root in tracer.roots]
+
+
 def execute_batch(requests: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Pool entry point: one batch in, replies + isolated metrics out.
 
     The metrics field carries this worker's *cumulative* counter values;
     the server keeps a per-worker baseline and merges only the delta, so
-    restarts and multiple pools aggregate correctly.
+    restarts and multiple pools aggregate correctly.  Requests carrying
+    a ``trace`` id additionally return their worker-side span shard in
+    the parallel ``spans`` list (``None`` for untraced requests — the
+    hot path pays one dict lookup).
     """
     state = worker_state()
     _BATCHES.inc()
-    replies = [execute_request(req, state) for req in requests]
+    replies: List[Dict[str, Any]] = []
+    spans: List[Optional[List[Dict[str, Any]]]] = []
+    for req in requests:
+        trace_id = req.get("trace")
+        if trace_id is None:
+            replies.append(execute_request(req, state))
+            spans.append(None)
+        else:
+            reply, shard = _execute_traced(req, state, trace_id)
+            replies.append(reply)
+            spans.append(shard)
     for op, delta in state.field_ops_delta().items():
         if delta:
             METRICS.counter(f"serve_field_{op}_total").inc(delta)
     return {
         "pid": os.getpid(),
         "replies": replies,
+        "spans": spans,
         "metrics": METRICS.counters_snapshot(),
     }

@@ -1,11 +1,12 @@
-"""Metrics registry: histograms, cross-process counter merging, and
-fork isolation (the worker-safety audit of the serving PR)."""
+"""Metrics registry: histograms, cross-process counter merging, fork
+isolation (the worker-safety audit of the serving PR), and the
+Prometheus text exposition."""
 
 import os
 
 import pytest
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, render_prometheus
 
 
 class TestCountersAndGauges:
@@ -77,6 +78,78 @@ class TestHistogram:
         assert snap["lat_count"] == 1
         assert snap["lat_p50"] > 0
         assert "lat_p95" in snap and "lat_p99" in snap
+
+    def test_percentile_empty_histogram_is_zero(self):
+        hist = Histogram("lat")
+        for q in (0, 50, 99, 100):
+            assert hist.percentile(q) == 0.0
+
+    def test_percentile_single_sample(self):
+        hist = Histogram("lat")
+        hist.observe(100)
+        # Every percentile must land in the sample's bucket (64, 128].
+        for q in (0, 50, 95, 99, 100):
+            assert 64 <= hist.percentile(q) <= 128
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == pytest.approx(100.0)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_snapshot_flattens_empty_histogram_to_zeroes(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        snap = reg.snapshot()
+        assert snap["lat_count"] == 0
+        assert snap["lat_p50"] == 0.0
+        assert snap["lat_p99"] == 0.0
+
+    def test_histogram_summaries_filters_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve_latency_us").observe(5)
+        reg.histogram("other_us").observe(7)
+        summaries = reg.histogram_summaries(prefix="serve_")
+        assert set(summaries) == {"serve_latency_us"}
+        assert summaries["serve_latency_us"]["count"] == 1
+        assert set(reg.histogram_summaries()) == {"other_us",
+                                                  "serve_latency_us"}
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_and_help(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", help="requests seen").inc(3)
+        reg.gauge("depth").set(7)
+        text = render_prometheus(reg)
+        assert "# HELP reqs_total requests seen\n" in text
+        assert "# TYPE reqs_total counter\n" in text
+        assert "\nreqs_total 3\n" in text
+        assert "# TYPE depth gauge\n" in text
+        assert "\ndepth 7\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_us")
+        for v in (1, 3, 1000):
+            hist.observe(v)
+        text = render_prometheus(reg)
+        assert "# TYPE lat_us histogram\n" in text
+        assert 'lat_us_bucket{le="1"} 1\n' in text
+        assert 'lat_us_bucket{le="4"} 2\n' in text
+        assert 'lat_us_bucket{le="+Inf"} 3\n' in text
+        assert "lat_us_sum 1004\n" in text
+        assert "lat_us_count 3\n" in text
+        # Cumulative series must be monotone non-decreasing.
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("lat_us_bucket")]
+        assert counts == sorted(counts)
+
+    def test_metric_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.op-latency us").inc()
+        text = render_prometheus(reg)
+        assert "serve_op_latency_us 1\n" in text
 
 
 class TestCrossProcessMerge:

@@ -98,6 +98,27 @@ class TestBenchRecord:
         validate_entry(entry)
         assert entry["ips"] == pytest.approx(16.0)
 
+    def test_traced_engine_validates_and_carries_latency(self):
+        entry = loadgen._bench_entry("pool4_traced", 8, 0.5,
+                                     latencies=[1.0, 2.0, 3.0, 10.0])
+        validate_entry(entry)
+        summary = entry["latency_ms"]
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_traced_ratio_floor_enforced(self, capsys):
+        record = {"speedups": {
+            "keygen/secp160r1/fixedbase:direct": 4.0,
+            "keygen/secp160r1/pool4:direct": 3.0,
+            "keygen/secp160r1/pool4_traced:direct": 1.2,
+            "keygen/secp160r1/pool4_traced:pool4": 0.4,
+        }}
+        assert loadgen.check_floors(record) == 1
+        assert "traced/untraced" in capsys.readouterr().out
+        record["speedups"]["keygen/secp160r1/pool4_traced:pool4"] = 0.9
+        assert loadgen.check_floors(record) == 0
+
     def test_bad_serve_entries_rejected(self):
         entry = loadgen._bench_entry("pool4", 8, 0.5)
         with pytest.raises(ValueError, match="engine"):

@@ -99,6 +99,31 @@ class TestValidateRequest:
         with pytest.raises(ProtocolError, match="unknown request fields"):
             validate_request(_req(priority=9))
 
+    def test_trace_field_accepts_hex_ids(self):
+        for good in ("deadbeef", "0123456789abcdef", "a" * 32):
+            assert validate_request(_req(trace=good))["trace"] == good
+
+    def test_trace_field_rejects_bad_ids(self):
+        for bad in ("", "xyz", "DEADBEEF", "ab", "a" * 33, 7, True):
+            with pytest.raises(ProtocolError, match="trace"):
+                validate_request(_req(trace=bad))
+
+
+class TestStatsOp:
+    def test_stats_is_curveless_with_optional_format(self):
+        assert not OPS["stats"].curves
+        assert OPS["stats"].required == frozenset()
+        assert OPS["stats"].optional == frozenset({"format"})
+
+    def test_stats_request_validates(self):
+        req = {"id": 1, "op": "stats", "params": {}}
+        assert validate_request(req)["op"] == "stats"
+        req["params"]["format"] = "prometheus"
+        validate_request(req)
+        with pytest.raises(ProtocolError, match="takes no curve"):
+            validate_request({"id": 1, "op": "stats", "curve": "secp160r1",
+                              "params": {}})
+
 
 class TestOpTable:
     def test_order_ops_restricted(self):
