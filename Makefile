@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-bench bench bench-smoke bench-check trace-smoke \
         profile-smoke faults-smoke ctcheck-smoke serve-smoke \
-        obs-serve-smoke docs docs-check tables
+        shard-smoke obs-serve-smoke docs docs-check tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -80,6 +80,15 @@ serve-smoke:
 	$(PYTHON) -m repro loadgen --workers 2 --n 200 --seed 7 --check \
 	    --out /dev/null
 	$(PYTHON) -m repro loadgen --bench --smoke --bench-output none
+
+# Scale-out gate (DESIGN.md §8 "Scale-out"): the deterministic --check
+# stream against a fresh 2-shard cluster (port-per-shard ingress,
+# deterministic round-robin over 8 connections, comb tables attached
+# from the shared store) — zero errors and byte-identical summaries
+# across two runs, whatever the shard topology.
+shard-smoke:
+	$(PYTHON) -m repro loadgen --shards 2 --connections 8 --workers 1 \
+	    --n 200 --seed 7 --check --out /dev/null
 
 # Observability gate for the serving stack (DESIGN.md §4/§8): a traced
 # loadgen run must join every reply's trace id into a cross-process span

@@ -31,10 +31,18 @@
     python -m repro serve --workers 4 --tracing --slowlog-out slow.json
                                       # trace every request; dump the
                                       # slowest trees as Chrome JSON
+    python -m repro serve --shards 4 --workers 1   # scale-out: four
+                                      # shard processes on one port
+                                      # (SO_REUSEPORT or a round-robin
+                                      # redirector), comb tables served
+                                      # from one shared-memory store
     python -m repro loadgen --workers 1 --n 200 --seed 7 --check
                                       # deterministic load generator;
                                       # --bench appends BENCH_serve.json
                                       # and enforces the speedup floors
+    python -m repro loadgen --shards 2 --connections 8 --n 200
+                                      # high-concurrency mode against a
+                                      # fresh 2-shard cluster
     python -m repro loadgen --workers 2 --n 50 --trace --scrape
                                       # traced run: join + validate the
                                       # span trees, scrape Prometheus
@@ -68,7 +76,7 @@ SUBCOMMANDS: Dict[str, Tuple[str, str]] = {
     "docs": ("repro.docgen",
              "generate (or --check) the docs/ API reference"),
     "serve": ("repro.serve.server",
-              "batched multi-worker ECC service over NDJSON/TCP"),
+              "batched ECC service over NDJSON/TCP; --shards scales out"),
     "loadgen": ("repro.serve.loadgen",
                 "deterministic load generator + serving benchmark"),
 }

@@ -262,9 +262,11 @@ _ENTRY_FIELDS = {
 
 #: Execution paths a ``family: "serve"`` entry may carry (the serving
 #: benchmark of :mod:`repro.serve.loadgen`): the one-at-a-time baseline,
-#: the fixed-base comb path, the full batched pool at any width, or the
-#: pool with request tracing enabled (the tracing-overhead row).
-_SERVE_ENGINE = re.compile(r"direct|fixedbase|pool[0-9]+(_traced)?")
+#: the fixed-base comb path, the full batched pool at any width, the
+#: pool with request tracing enabled (the tracing-overhead row), or an
+#: N-shard cluster of :mod:`repro.serve.shard` (the scale-out rows).
+_SERVE_ENGINE = re.compile(
+    r"direct|fixedbase|pool[0-9]+(_traced)?|shard[0-9]+")
 
 
 def validate_entry(entry: Dict[str, Any]) -> None:

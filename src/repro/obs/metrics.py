@@ -139,6 +139,29 @@ class MetricsRegistry:
         self._metrics: Dict[str, Union[Counter, Gauge]] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._pid = os.getpid()
+        #: Default labels stamped on every Prometheus sample — process
+        #: identity (e.g. ``shard="2"``), never per-request dimensions.
+        self._labels: Dict[str, str] = {}
+
+    def set_label(self, name: str, value: Optional[str]) -> None:
+        """Set (or with ``None``, drop) a registry-wide default label.
+
+        The shard supervisor labels each shard process once at entry;
+        :meth:`reset_for_fork` deliberately keeps labels, so pool
+        workers forked under a shard inherit its identity in their own
+        expositions.
+        """
+        if not _PROM_NAME_OK.fullmatch(name):
+            raise ValueError(f"label name {name!r} is not a valid "
+                             "Prometheus label name")
+        if value is None:
+            self._labels.pop(name, None)
+        else:
+            self._labels[name] = str(value)
+
+    def labels(self) -> Dict[str, str]:
+        """A copy of the registry-wide default labels."""
+        return dict(self._labels)
 
     def counter(self, name: str, help: str = "") -> Counter:
         metric = self._metrics.get(name)
@@ -261,6 +284,17 @@ def _prom_num(value: Number) -> str:
     return repr(value)
 
 
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    """Render a label set (plus a pre-formatted *extra* pair like
+    ``le="8"``) as ``{k="v",...}``; empty string when there are none."""
+    pairs = [f'{name}="' + value.replace("\\", "\\\\").replace('"', '\\"')
+             .replace("\n", "\\n") + '"'
+             for name, value in sorted(labels.items())]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
 def render_prometheus(registry: Optional["MetricsRegistry"] = None) -> str:
     """The registry in Prometheus text exposition format (version 0.0.4).
 
@@ -269,8 +303,12 @@ def render_prometheus(registry: Optional["MetricsRegistry"] = None) -> str:
     power-of-two bounds plus ``+Inf``) with ``_sum`` and ``_count``
     samples, so the output is directly scrapeable — the served ``stats``
     op with ``format="prometheus"`` hands back exactly this string.
+    Registry-wide default labels (:meth:`MetricsRegistry.set_label`,
+    e.g. the shard index) are stamped on every sample, merged with the
+    histogram ``le`` pair.
     """
     reg = registry if registry is not None else METRICS
+    labels = _prom_labels(reg._labels)
     lines: List[str] = []
     for name, metric in sorted(reg._metrics.items()):
         pname = _prom_name(name)
@@ -278,7 +316,7 @@ def render_prometheus(registry: Optional["MetricsRegistry"] = None) -> str:
         if metric.help:
             lines.append(f"# HELP {pname} {metric.help}")
         lines.append(f"# TYPE {pname} {kind}")
-        lines.append(f"{pname} {_prom_num(metric.value)}")
+        lines.append(f"{pname}{labels} {_prom_num(metric.value)}")
     for name, hist in sorted(reg._histograms.items()):
         pname = _prom_name(name)
         if hist.help:
@@ -287,11 +325,13 @@ def render_prometheus(registry: Optional["MetricsRegistry"] = None) -> str:
         cumulative = 0
         for bound, count in zip(_BUCKET_BOUNDS, hist.buckets):
             cumulative += count
-            lines.append(
-                f'{pname}_bucket{{le="{format(bound, "g")}"}} {cumulative}')
-        lines.append(f'{pname}_bucket{{le="+Inf"}} {hist.count}')
-        lines.append(f"{pname}_sum {_prom_num(hist.sum)}")
-        lines.append(f"{pname}_count {hist.count}")
+            bucket = _prom_labels(reg._labels,
+                                  extra=f'le="{format(bound, "g")}"')
+            lines.append(f"{pname}_bucket{bucket} {cumulative}")
+        inf = _prom_labels(reg._labels, extra='le="+Inf"')
+        lines.append(f"{pname}_bucket{inf} {hist.count}")
+        lines.append(f"{pname}_sum{labels} {_prom_num(hist.sum)}")
+        lines.append(f"{pname}_count{labels} {hist.count}")
     return "\n".join(lines) + "\n"
 
 

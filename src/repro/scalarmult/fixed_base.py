@@ -129,6 +129,37 @@ class FixedBaseTable:
             self.rows = self._build()
         _TABLES_BUILT.inc()
 
+    @classmethod
+    def from_rows(cls, curve, base: AffinePoint, width: int, bits: int,
+                  rows: List[List[Optional[AffinePoint]]],
+                  ) -> "FixedBaseTable":
+        """A table around precomputed *rows* — the deserialization path
+        of :mod:`repro.scalarmult.table_store`.
+
+        Skips :meth:`_build` entirely and does **not** tick
+        ``fixed_base_tables_built`` (the acceptance signal that workers
+        attach the shared store instead of precomputing); the caller
+        vouches for the rows (the store's sha256 digest does).
+        """
+        if width < 1 or width > 8:
+            raise ValueError("comb width must be in 1..8")
+        if bits < 1:
+            raise ValueError("scalar length must be positive")
+        table = cls.__new__(cls)
+        table.curve = curve
+        table.base = base
+        table.width = width
+        table.bits = bits
+        table.windows = -(-bits // width)
+        table._mask = (1 << width) - 1
+        if len(rows) != table.windows \
+                or any(len(row) != table._mask for row in rows):
+            raise ValueError(
+                f"rows must be {table.windows} windows of "
+                f"{table._mask} entries")
+        table.rows = rows
+        return table
+
     # -- construction --------------------------------------------------------
 
     def _build(self) -> List[List[Optional[AffinePoint]]]:
@@ -264,6 +295,13 @@ class FixedBaseCache:
     processes either inherit built tables copy-on-write (fork start
     method — free sharing) or build their own on first use; they never
     write back to the parent.
+
+    With a :class:`~repro.scalarmult.table_store.TableStore` attached
+    (:meth:`attach_store` — the shard supervisor's workers do this),
+    the cache becomes the in-process tier of a two-level hierarchy:
+    L1 hit -> shared-store deserialize -> local build, in that order.
+    A corrupt store entry degrades to a local build instead of failing
+    the request.
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES):
@@ -271,6 +309,12 @@ class FixedBaseCache:
             raise ValueError("budget must be positive")
         self.budget_bytes = budget_bytes
         self._tables: "OrderedDict[CacheKey, FixedBaseTable]" = OrderedDict()
+        #: Optional read-only shared tier consulted on an LRU miss.
+        self.store = None
+
+    def attach_store(self, store) -> None:
+        """Install (or with ``None``, detach) the shared-store tier."""
+        self.store = store
 
     @staticmethod
     def _key(curve, base: AffinePoint, width: int, bits: int) -> CacheKey:
@@ -288,17 +332,32 @@ class FixedBaseCache:
             self._tables.move_to_end(key)
             _CACHE_HITS.inc()
             return table
+        if self.store is not None:
+            try:
+                table = self.store.load(curve, base, width=width, bits=bits)
+            except ValueError:  # TableStoreError: corrupt entry/segment
+                table = None
+            if table is not None:
+                # Over-budget loaded tables are served uncached rather
+                # than refused: the store already paid the build.
+                if table.ram_bytes <= self.budget_bytes:
+                    self._admit(key, table)
+                return table
         table = FixedBaseTable(curve, base, width=width, bits=bits)
         if table.ram_bytes > self.budget_bytes:
             raise ValueError(
                 f"fixed-base table needs {table.ram_bytes} bytes, over the "
                 f"{self.budget_bytes}-byte budget; lower the width")
+        self._admit(key, table)
+        return table
+
+    def _admit(self, key: CacheKey, table: FixedBaseTable) -> None:
+        """Insert under the byte budget, evicting LRU entries to fit."""
         while (self.ram_bytes + table.ram_bytes > self.budget_bytes
                and self._tables):
             self._tables.popitem(last=False)
             _CACHE_EVICTIONS.inc()
         self._tables[key] = table
-        return table
 
     @property
     def ram_bytes(self) -> int:

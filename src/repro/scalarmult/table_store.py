@@ -1,0 +1,404 @@
+"""Shared-memory store of precomputed fixed-base comb tables.
+
+One process (the shard supervisor of :mod:`repro.serve.shard`) builds
+the comb tables for the warm curves once, serializes them into a single
+``multiprocessing.shared_memory`` segment, and every shard's worker
+processes **attach read-only**: on a cache miss they deserialize the
+table from the segment instead of re-running the EC precomputation.
+Today's value-keyed LRU (:class:`~repro.scalarmult.fixed_base
+.FixedBaseCache`) stays as the in-process tier above this store — the
+store removes the *build* cost (the `fixed_base_tables_built` counter
+stays flat across worker-pool growth), while the per-process LRU keeps
+deserialized tables hot and budget-bounded.
+
+Segment layout (all integers big-endian, header JSON ASCII)::
+
+    b"RCTS" | u32 version | u32 index_len | index JSON | blob...blob
+
+The index maps a canonical key string — ``curve|p|base_x|base_y|width
+|bits`` in lowercase hex — to the ``(offset, length)`` of its table
+blob.  Each blob is self-delimiting::
+
+    b"FBCT" | u32 header_len | header JSON | presence bitmap |
+    packed big-endian affine coordinates | 32-byte sha256
+
+The trailing digest covers everything before it, so a short or
+corrupted segment is rejected with :class:`TableStoreError` at load
+time rather than yielding wrong points.  The digest is an *integrity*
+check (torn writes, size bugs), not an authenticity mechanism — the
+segment is only ever attached by processes forked from its creator.
+
+Attach-side detail: Python 3.11 auto-registers attached segments with
+the ``resource_tracker`` (bpo-39959; 3.12 grew ``track=False``).  All
+attachers here are fork-descendants sharing the creator's tracker, so
+the duplicate registration is idempotent and only the creating
+supervisor ever unlinks — see :func:`_untrack`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..curves.point import AffinePoint
+from ..obs.metrics import METRICS
+from .fixed_base import DEFAULT_WIDTH, FixedBaseTable, default_scalar_bits
+
+__all__ = [
+    "STORE_VERSION",
+    "TableStore",
+    "TableStoreError",
+    "build_store",
+    "deserialize_table",
+    "serialize_table",
+    "store_key",
+]
+
+STORE_VERSION = 1
+
+_STORE_MAGIC = b"RCTS"
+_TABLE_MAGIC = b"FBCT"
+_U32 = struct.Struct(">I")
+_DIGEST_LEN = hashlib.sha256().digest_size
+
+_TABLES_LOADED = METRICS.counter(
+    "fixed_base_tables_loaded",
+    "comb tables deserialized from the shared store (vs built locally)")
+_STORE_ERRORS = METRICS.counter(
+    "fixed_base_store_errors",
+    "corrupt/short shared-store loads that fell back to a local build")
+
+
+class TableStoreError(ValueError):
+    """The shared segment (or one blob in it) is corrupt or truncated."""
+
+
+def store_key(curve, base: AffinePoint, width: int, bits: int) -> str:
+    """Canonical index key; value-based like the LRU's cache key."""
+    return "|".join((curve.name, format(curve.field.p, "x"),
+                     format(base.x.to_int(), "x"),
+                     format(base.y.to_int(), "x"),
+                     format(width, "x"), format(bits, "x")))
+
+
+# -- one table <-> bytes -----------------------------------------------------
+
+
+def serialize_table(table: FixedBaseTable) -> bytes:
+    """One comb table as a self-delimiting, digest-trailed byte blob."""
+    field_bytes = (table.curve.field.p.bit_length() + 7) // 8
+    header = {
+        "curve": table.curve.name,
+        "p": format(table.curve.field.p, "x"),
+        "base_x": format(table.base.x.to_int(), "x"),
+        "base_y": format(table.base.y.to_int(), "x"),
+        "width": table.width,
+        "bits": table.bits,
+        "windows": table.windows,
+        "row_len": (1 << table.width) - 1,
+        "field_bytes": field_bytes,
+    }
+    header_json = json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode("ascii")
+    entries = [p for row in table.rows for p in row]
+    bitmap = bytearray((len(entries) + 7) // 8)
+    coords = bytearray()
+    for i, point in enumerate(entries):
+        if point is None:
+            continue  # infinity (small-order toy bases only)
+        bitmap[i // 8] |= 1 << (i % 8)
+        coords += point.x.to_int().to_bytes(field_bytes, "big")
+        coords += point.y.to_int().to_bytes(field_bytes, "big")
+    body = (_TABLE_MAGIC + _U32.pack(len(header_json)) + header_json
+            + bytes(bitmap) + bytes(coords))
+    return body + hashlib.sha256(body).digest()
+
+
+def deserialize_table(blob: bytes, curve) -> FixedBaseTable:
+    """Rebuild a :class:`FixedBaseTable` from :func:`serialize_table`
+    output, without re-running the precomputation (and without ticking
+    the ``fixed_base_tables_built`` counter).
+
+    *curve* must be the caller's own suite curve for the blob's header
+    ``(name, p)`` — table entries are lifted into that curve's field so
+    the worker's op accounting sees its own field instance.
+    """
+    if len(blob) < len(_TABLE_MAGIC) + _U32.size + _DIGEST_LEN:
+        raise TableStoreError("table blob is truncated")
+    if blob[:len(_TABLE_MAGIC)] != _TABLE_MAGIC:
+        raise TableStoreError("table blob has a bad magic")
+    body, digest = blob[:-_DIGEST_LEN], blob[-_DIGEST_LEN:]
+    if hashlib.sha256(body).digest() != digest:
+        raise TableStoreError("table blob fails its sha256 digest")
+    (header_len,) = _U32.unpack_from(blob, len(_TABLE_MAGIC))
+    header_start = len(_TABLE_MAGIC) + _U32.size
+    try:
+        header = json.loads(blob[header_start:header_start + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TableStoreError(f"table header is not JSON: {exc}") from None
+    if header.get("curve") != curve.name \
+            or header.get("p") != format(curve.field.p, "x"):
+        raise TableStoreError(
+            f"table blob is for {header.get('curve')!r}, "
+            f"not {curve.name!r}")
+    windows, row_len = header["windows"], header["row_len"]
+    field_bytes = header["field_bytes"]
+    entry_count = windows * row_len
+    bitmap_len = (entry_count + 7) // 8
+    bitmap_start = header_start + header_len
+    coords_start = bitmap_start + bitmap_len
+    bitmap = body[bitmap_start:coords_start]
+    if len(bitmap) != bitmap_len:
+        raise TableStoreError("table bitmap is truncated")
+    present = sum(bin(b).count("1") for b in bitmap)
+    if len(body) - coords_start != present * 2 * field_bytes:
+        raise TableStoreError("table coordinate section has a bad length")
+    field = curve.field
+    rows: List[List[Optional[AffinePoint]]] = []
+    offset = coords_start
+    for i in range(windows):
+        row: List[Optional[AffinePoint]] = []
+        for j in range(row_len):
+            idx = i * row_len + j
+            if bitmap[idx // 8] & (1 << (idx % 8)):
+                x = int.from_bytes(body[offset:offset + field_bytes], "big")
+                y = int.from_bytes(
+                    body[offset + field_bytes:offset + 2 * field_bytes],
+                    "big")
+                offset += 2 * field_bytes
+                row.append(AffinePoint(field.from_int(x), field.from_int(y)))
+            else:
+                row.append(None)
+        rows.append(row)
+    base = AffinePoint(field.from_int(int(header["base_x"], 16)),
+                       field.from_int(int(header["base_y"], 16)))
+    table = FixedBaseTable.from_rows(curve, base, header["width"],
+                                     header["bits"], rows)
+    # Cheap sanity past the digest: T[0][1] is 1 * 2^0 * G = G itself.
+    first = table.rows[0][0]
+    if first is None or first.x.to_int() != base.x.to_int() \
+            or first.y.to_int() != base.y.to_int():
+        raise TableStoreError("table row 0 does not start at the base point")
+    return table
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Keep the resource tracker's books balanced on attach.
+
+    Python 3.11's ``SharedMemory`` registers the segment with the
+    resource tracker on *attach* as well as on create (bpo-39959).  In
+    this codebase every attacher is a fork-descendant of the creator,
+    so they all share ONE tracker process and its registry is a set:
+    the duplicate attach-time REGISTER is idempotent, and the
+    creator's eventual ``unlink()`` removes the single entry.  Sending
+    an UNREGISTER here (the usual bpo-39959 workaround for *separate*
+    process trees) would strip that shared entry and make the
+    creator's unlink crash the tracker with a KeyError — so for the
+    shared-tracker fork topology the correct bookkeeping is: do
+    nothing."""
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class TableStore:
+    """A read-mostly shared-memory segment of serialized comb tables.
+
+    The creator (:meth:`create`) writes once and later :meth:`unlink`\\ s;
+    attachers (:meth:`attach`, typically pool workers after fork) only
+    read.  :meth:`load` is keyed exactly like the in-process LRU, so
+    :class:`~repro.scalarmult.fixed_base.FixedBaseCache` can consult the
+    store transparently on a miss (see ``attach_store``).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 index: Dict[str, Tuple[int, int]], owner: bool):
+        self._shm = shm
+        self._index = index
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The segment name attachers pass to :meth:`attach`."""
+        return self._shm.name
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, tables: Sequence[FixedBaseTable],
+               name: Optional[str] = None) -> "TableStore":
+        """Serialize *tables* into a fresh shared segment (creator side)."""
+        if not tables:
+            raise ValueError("a table store needs at least one table")
+        blobs: Dict[str, bytes] = {}
+        for table in tables:
+            key = store_key(table.curve, table.base, table.width, table.bits)
+            blobs[key] = serialize_table(table)
+        index: Dict[str, Tuple[int, int]] = {}
+        offset = 0  # relative to the blob section; rebased below
+        for key in sorted(blobs):
+            index[key] = (offset, len(blobs[key]))
+            offset += len(blobs[key])
+        index_json = json.dumps(index, sort_keys=True,
+                                separators=(",", ":")).encode("ascii")
+        prefix_len = len(_STORE_MAGIC) + 2 * _U32.size + len(index_json)
+        index = {key: (off + prefix_len, length)
+                 for key, (off, length) in index.items()}
+        total = prefix_len + offset
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        buf = shm.buf
+        buf[:len(_STORE_MAGIC)] = _STORE_MAGIC
+        pos = len(_STORE_MAGIC)
+        buf[pos:pos + _U32.size] = _U32.pack(STORE_VERSION)
+        pos += _U32.size
+        buf[pos:pos + _U32.size] = _U32.pack(len(index_json))
+        pos += _U32.size
+        buf[pos:pos + len(index_json)] = index_json
+        pos += len(index_json)
+        for key in sorted(blobs):
+            blob = blobs[key]
+            buf[pos:pos + len(blob)] = blob
+            pos += len(blob)
+        return cls(shm, index, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "TableStore":
+        """Open an existing segment read-only (worker side).
+
+        Raises :class:`TableStoreError` when the segment is not a table
+        store or its index is truncated; ``FileNotFoundError`` when no
+        segment of that name exists.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        try:
+            buf = bytes(shm.buf[:len(_STORE_MAGIC) + 2 * _U32.size])
+            if len(buf) < len(_STORE_MAGIC) + 2 * _U32.size \
+                    or buf[:len(_STORE_MAGIC)] != _STORE_MAGIC:
+                raise TableStoreError(
+                    f"segment {name!r} is not a comb-table store")
+            (version,) = _U32.unpack_from(buf, len(_STORE_MAGIC))
+            if version != STORE_VERSION:
+                raise TableStoreError(
+                    f"store version {version} != {STORE_VERSION}")
+            (index_len,) = _U32.unpack_from(
+                buf, len(_STORE_MAGIC) + _U32.size)
+            index_start = len(_STORE_MAGIC) + 2 * _U32.size
+            if shm.size < index_start + index_len:
+                raise TableStoreError("store index is truncated")
+            try:
+                raw = json.loads(
+                    bytes(shm.buf[index_start:index_start + index_len]))
+                # The serialized index is relative to the blob section
+                # (its own length can't appear inside itself); rebase
+                # to absolute segment offsets, like the creator's copy.
+                blob_base = index_start + index_len
+                index = {key: (blob_base + int(off), int(length))
+                         for key, (off, length) in raw.items()}
+            except (json.JSONDecodeError, UnicodeDecodeError, TypeError,
+                    ValueError) as exc:
+                raise TableStoreError(
+                    f"store index is not valid JSON: {exc}") from None
+            for key, (off, length) in index.items():
+                if off < 0 or length < 0 or off + length > shm.size:
+                    raise TableStoreError(
+                        f"store entry {key!r} points outside the segment")
+        except TableStoreError:
+            shm.close()
+            raise
+        return cls(shm, index, owner=False)
+
+    def close(self) -> None:
+        """Unmap this process's view (idempotent; the segment lives on)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; attach will then fail)."""
+        if not self._owner:
+            raise TableStoreError("only the creating process may unlink")
+        self.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "TableStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- reads ---------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        return sorted(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def load(self, curve, base: AffinePoint, width: int = DEFAULT_WIDTH,
+             bits: Optional[int] = None) -> Optional[FixedBaseTable]:
+        """The stored table for this tuple, or ``None`` when absent.
+
+        Deserializes into the *caller's* curve/field objects and ticks
+        ``fixed_base_tables_loaded``; corruption raises
+        :class:`TableStoreError` (and ticks
+        ``fixed_base_store_errors``) so callers can degrade to a local
+        build.
+        """
+        if self._closed:
+            raise TableStoreError("store is closed")
+        if bits is None:
+            bits = default_scalar_bits(curve)
+        entry = self._index.get(store_key(curve, base, width, bits))
+        if entry is None:
+            return None
+        offset, length = entry
+        try:
+            table = deserialize_table(
+                bytes(self._shm.buf[offset:offset + length]), curve)
+        except TableStoreError:
+            _STORE_ERRORS.inc()
+            raise
+        _TABLES_LOADED.inc()
+        return table
+
+    def stats(self) -> Dict[str, int]:
+        return {"tables": len(self._index), "segment_bytes": self._shm.size}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TableStore({self.name!r}, tables={len(self._index)}, "
+                f"bytes={self._shm.size}, owner={self._owner})")
+
+
+def build_store(curve_keys: Sequence[str], width: int = DEFAULT_WIDTH,
+                name: Optional[str] = None) -> TableStore:
+    """Build the comb tables for *curve_keys* and serialize them into a
+    fresh store (the shard supervisor's one-time setup).
+
+    ``montgomery`` is skipped like ``WorkerState.warm`` does — the
+    x-only ladder path consumes no comb table.
+    """
+    from ..curves.params import make_suite
+
+    tables: List[FixedBaseTable] = []
+    for key in dict.fromkeys(curve_keys):  # de-dup, keep order
+        if key == "montgomery":
+            continue
+        suite = make_suite(key)
+        tables.append(FixedBaseTable(suite.curve, suite.base, width=width))
+    if not tables:
+        raise ValueError(
+            "no comb-capable curves among "
+            f"{list(curve_keys)!r} (montgomery is ladder-only)")
+    return TableStore.create(tables, name=name)

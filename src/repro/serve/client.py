@@ -100,11 +100,15 @@ class ServeClient:
         [reply] = self.call_raw([req])
         return _raise_on_error(reply)
 
-    def stats(self, format: Optional[str] = None) -> Any:
+    def stats(self, format: Optional[str] = None,
+              scope: Optional[str] = None) -> Any:
         """The served ``stats`` op.  ``format="prometheus"`` returns the
-        exposition text; default returns the structured result dict."""
-        params = {"format": format} if format else None
-        result = self.call("stats", params=params)
+        exposition text; default returns the structured result dict.
+        ``scope="cluster"`` aggregates across a sharded server's lanes
+        (JSON only)."""
+        params = {k: v for k, v in (("format", format), ("scope", scope))
+                  if v}
+        result = self.call("stats", params=params or None)
         return result["text"] if format == "prometheus" else result
 
     def call_raw(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -219,10 +223,12 @@ class AsyncServeClient:
         reply = await self.call_raw_one(req)
         return _raise_on_error(reply)
 
-    async def stats(self, format: Optional[str] = None) -> Any:
+    async def stats(self, format: Optional[str] = None,
+                    scope: Optional[str] = None) -> Any:
         """Async twin of :meth:`ServeClient.stats`."""
-        params = {"format": format} if format else None
-        result = await self.call("stats", params=params)
+        params = {k: v for k, v in (("format", format), ("scope", scope))
+                  if v}
+        result = await self.call("stats", params=params or None)
         return result["text"] if format == "prometheus" else result
 
     async def call_raw(

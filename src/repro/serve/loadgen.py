@@ -21,19 +21,28 @@ measured through four execution paths —
                   server, N-worker pool, fixed-base tables,
 * ``pool<N>_traced``  the widest pool with end-to-end request tracing
                   on — its ratio to the untraced twin is the measured
-                  tracing overhead.
+                  tracing overhead,
+
+plus the scale-out legs ``mixed/secp160r1/shard<N>``: the default
+mixed workload against a fresh N-shard cluster of
+:mod:`repro.serve.shard` (port-per-shard mode, ``4*N`` round-robin
+client connections, one worker per shard so the shard count is the
+only parallelism knob).
 
 Results append to ``BENCH_serve.json`` using the run-record schema of
 :mod:`repro.analysis.bench` (``family: "serve"``; ``ips`` is operations
 per second).  Served entries also carry a ``latency_ms`` summary
 (count/mean/p50/p95/p99 of per-request accept-to-reply latency).
-Three floors gate the run (all env-overridable):
+Four floors gate the run (all env-overridable):
 ``pool4/direct >= SERVE_MIN_SCALING``, ``fixedbase/direct >=
-FIXED_BASE_MIN_SPEEDUP`` and ``pool<N>_traced/pool<N> >=
-TRACED_MIN_RATIO`` (the tracing hot-path guard).  On a single-core
-host the scaling floor is carried by the fixed-base algorithmic win
-(measured ~4-5x on secp160r1), not by parallelism — by design, so the
-gate is meaningful on any CI shape.
+FIXED_BASE_MIN_SPEEDUP``, ``pool<N>_traced/pool<N> >=
+TRACED_MIN_RATIO`` (the tracing hot-path guard) and ``shard<N>/shard1
+>= SHARD_MIN_SCALING`` — with two or more cores; a single-core host
+falls back to the ``SHARD_SINGLE_CORE_MIN`` anti-regression check,
+since parallel shards cannot outrun one shard there.  On a single-core
+host the *pool* scaling floor is carried by the fixed-base algorithmic
+win (measured ~4-5x on secp160r1), not by parallelism — by design, so
+the gate is meaningful on any CI shape.
 
 ``--trace`` turns on request tracing for the normal (non-bench) run:
 every reply's trace id is joined into a cross-process span tree by
@@ -73,6 +82,8 @@ __all__ = [
     "FIXED_BASE_MIN_SPEEDUP",
     "SERVE_MIN_SCALING",
     "SERVE_OUTPUT",
+    "SHARD_MIN_SCALING",
+    "SHARD_SINGLE_CORE_MIN",
     "TRACED_MIN_RATIO",
     "build_requests",
     "check_serve_against_baseline",
@@ -81,6 +92,7 @@ __all__ = [
     "run_bench_serve",
     "run_direct",
     "run_served",
+    "run_sharded",
     "summarize",
 ]
 
@@ -106,6 +118,18 @@ FIXED_BASE_MIN_SPEEDUP = float(
 #: any CI shape; measured ~0.9+ locally, the floor leaves headroom for
 #: noisy shared runners.
 TRACED_MIN_RATIO = float(os.environ.get("REPRO_SERVE_TRACED_MIN", "0.70"))
+
+#: Floor on multi-shard vs one-shard throughput (same run, mixed
+#: workload) — the scale-out gate.  Only meaningful where there are
+#: cores to scale onto; see :data:`SHARD_SINGLE_CORE_MIN`.
+SHARD_MIN_SCALING = float(os.environ.get("REPRO_SHARD_MIN_SCALING", "1.5"))
+
+#: On a single-core host sharding cannot beat one shard — the gate
+#: degrades to an anti-regression check: the supervisor/redirector
+#: fan-out must not *collapse* throughput below this fraction of the
+#: one-shard figure.
+SHARD_SINGLE_CORE_MIN = float(
+    os.environ.get("REPRO_SHARD_SINGLE_CORE_MIN", "0.6"))
 
 SERVE_OUTPUT = "BENCH_serve.json"
 
@@ -250,19 +274,34 @@ def run_direct(requests: Sequence[Dict[str, Any]],
     return replies, time.perf_counter() - t0
 
 
-async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
+async def _drive(targets: Sequence[Tuple[str, int]],
+                 requests: Sequence[Dict[str, Any]],
                  rate: float = 0.0,
-                 client_times: Optional[Dict[str, Tuple[int, int]]] = None
+                 client_times: Optional[Dict[str, Tuple[int, int]]] = None,
+                 connections: int = 1
                  ) -> Tuple[List[Dict[str, Any]], List[float], float]:
-    """Pipeline the stream at one server; per-request latencies in ms.
+    """Pipeline the stream at *targets*; per-request latencies in ms.
+
+    Opens ``connections`` client connections, connection *j* to
+    ``targets[j % len(targets)]`` (deterministic round-robin — this is
+    how the shard benchmark spreads load without depending on the
+    kernel's SO_REUSEPORT hashing), and sends request *i* down
+    connection ``i % connections``.  The single-server single-connection
+    case is ``targets=[(host, port)], connections=1``.
 
     With *client_times*, each traced reply's send/receive
     ``perf_counter_ns`` stamps are stored under its trace id — the
     client half of the joined span tree.
     """
-    client = await AsyncServeClient.connect(host, port)
-    latencies: List[float] = [0.0] * len(requests)
+    if not targets:
+        raise ValueError("need at least one (host, port) target")
+    connections = max(1, min(connections, max(1, len(requests))))
+    clients = []
     try:
+        for j in range(connections):
+            host, port = targets[j % len(targets)]
+            clients.append(await AsyncServeClient.connect(host, port))
+        latencies: List[float] = [0.0] * len(requests)
         loop = asyncio.get_running_loop()
         t_start = loop.time()
 
@@ -272,7 +311,7 @@ async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
                 if delay > 0:
                     await asyncio.sleep(delay)
             t0_ns = time.perf_counter_ns()
-            reply = await client.call_raw_one(req)
+            reply = await clients[i % connections].call_raw_one(req)
             t1_ns = time.perf_counter_ns()
             latencies[i] = (t1_ns - t0_ns) / 1e6
             if client_times is not None:
@@ -286,7 +325,8 @@ async def _drive(host: str, port: int, requests: Sequence[Dict[str, Any]],
             *(one(i, req) for i, req in enumerate(requests))))
         wall = time.perf_counter() - t0
     finally:
-        await client.close()
+        for client in clients:
+            await client.close()
     return replies, latencies, wall
 
 
@@ -306,10 +346,13 @@ async def run_served(requests: Sequence[Dict[str, Any]],
                      tracing: bool = False,
                      trace_sink: Optional[List[RequestTrace]] = None,
                      scrape_sink: Optional[List[str]] = None,
-                     client_times: Optional[Dict[str, Tuple[int, int]]] = None
+                     client_times: Optional[Dict[str, Tuple[int, int]]] = None,
+                     connections: int = 1
                      ) -> Tuple[List[Dict[str, Any]], List[float], float]:
     """Drive the stream at ``target`` or a fresh in-process server.
 
+    ``connections`` client connections share the stream round-robin
+    (the high-concurrency mode; default one pipelined connection).
     In-process extras: ``tracing`` turns on server-side trace stamping,
     ``trace_sink`` receives the server's :class:`RequestTrace` records
     after the run, ``scrape_sink`` receives one Prometheus exposition
@@ -317,8 +360,8 @@ async def run_served(requests: Sequence[Dict[str, Any]],
     ``client_times`` collects client-side stamps (see :func:`_drive`).
     """
     if target is not None:
-        result = await _drive(target[0], target[1], requests, rate,
-                              client_times)
+        result = await _drive([target], requests, rate, client_times,
+                              connections)
         if scrape_sink is not None:
             scrape_sink.append(await _scrape(target[0], target[1]))
         return result
@@ -336,8 +379,8 @@ async def run_served(requests: Sequence[Dict[str, Any]],
     server = EccServer(config)
     await server.start()
     try:
-        result = await _drive(config.host, server.port, requests, rate,
-                              client_times)
+        result = await _drive([(config.host, server.port)], requests,
+                              rate, client_times, connections)
         if scrape_sink is not None:
             scrape_sink.append(await _scrape(config.host, server.port))
         if trace_sink is not None:
@@ -345,6 +388,47 @@ async def run_served(requests: Sequence[Dict[str, Any]],
         return result
     finally:
         await server.stop()
+
+
+async def run_sharded(requests: Sequence[Dict[str, Any]],
+                      shards: int, workers: int = 1,
+                      connections: Optional[int] = None,
+                      rate: float = 0.0, batch_max: int = 16,
+                      fixed_base: bool = True,
+                      warm: Sequence[str] = ("secp160r1",),
+                      reuseport: bool = False
+                      ) -> Tuple[List[Dict[str, Any]], List[float], float]:
+    """Drive the stream at a fresh N-shard cluster of
+    :mod:`repro.serve.shard`.
+
+    Defaults to port-per-shard mode with the client round-robining its
+    connections across the shards' direct ports — deterministic load
+    placement, which is what the benchmark legs need (the kernel's
+    SO_REUSEPORT hashing assigns whole connections arbitrarily).  With
+    ``reuseport=True`` every connection goes to the one shared public
+    port instead.  ``connections`` defaults to ``4 * shards`` so each
+    shard sees concurrent load.
+    """
+    from .shard import ShardCluster  # deferred: keeps import cycles out
+
+    if connections is None:
+        connections = 4 * shards
+    queue_depth = max(2 * len(requests), 128)
+    config = ServeConfig(port=0, workers=workers, batch_max=batch_max,
+                         queue_depth=queue_depth, fixed_base=fixed_base,
+                         warm_curves=tuple(warm))
+    cluster = ShardCluster(shards, config, reuseport=reuseport)
+    await cluster.start()
+    try:
+        if reuseport:
+            targets = [(config.host, cluster.port)]
+        else:
+            targets = [(config.host, port)
+                       for port in cluster.shard_ports if port is not None]
+        return await _drive(targets, requests, rate,
+                            connections=connections)
+    finally:
+        await cluster.stop()
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -382,12 +466,12 @@ def _latency_summary(latencies: Sequence[float]) -> Dict[str, float]:
 
 
 def _bench_entry(engine: str, n: int, wall: float,
-                 latencies: Optional[Sequence[float]] = None
-                 ) -> Dict[str, Any]:
+                 latencies: Optional[Sequence[float]] = None,
+                 kernel: str = "keygen") -> Dict[str, Any]:
     entry = {
-        "name": f"keygen/secp160r1/{engine}",
+        "name": f"{kernel}/secp160r1/{engine}",
         "family": "serve",
-        "kernel": "keygen",
+        "kernel": kernel,
         "mode": "secp160r1",
         "engine": engine,
         "reps": n,
@@ -411,14 +495,22 @@ def _assert_all_ok(replies: Sequence[Dict[str, Any]], what: str) -> None:
 
 def run_bench_serve(n: Optional[int] = None, smoke: bool = False,
                     pools: Sequence[int] = (1, 2, 4),
+                    shard_counts: Optional[Sequence[int]] = None,
                     label: Optional[str] = None) -> Dict[str, Any]:
-    """Measure the four execution paths; return a schema-1 run record.
+    """Measure the serving execution paths; return a schema-1 run record.
 
-    Raises ``RuntimeError`` on any error reply.  Floor checking is the
-    caller's job (:func:`main` gates on the record's speedups).
+    Covers the single-server paths (direct / fixedbase / pool<N> /
+    traced) on a keygen stream, then the shard-scaling legs
+    (``mixed/secp160r1/shard<N>``): the DEFAULT_MIX workload against a
+    fresh N-shard cluster in deterministic port-per-shard mode, with
+    ``4 * N`` client connections.  Raises ``RuntimeError`` on any error
+    reply.  Floor checking is the caller's job (:func:`main` gates on
+    the record's speedups).
     """
     if n is None:
         n = 8 if smoke else 24
+    if shard_counts is None:
+        shard_counts = (1, 2) if smoke else (1, 2, 4)
     requests = build_requests(n, mix="keygen:secp160r1=1", seed=1601)
     # Warm the parent's comb table before any pool exists: forked
     # workers inherit it copy-on-write and skip the per-worker build.
@@ -459,6 +551,30 @@ def run_bench_serve(n: Optional[int] = None, smoke: bool = False,
     speedups[f"keygen/secp160r1/pool{traced_workers}_traced:"
              f"pool{traced_workers}"] = (
         entries[-1]["ips"] / untraced["ips"] if untraced["ips"] else 0.0)
+
+    # Shard-scaling legs: the mixed workload against fresh N-shard
+    # clusters, port-per-shard + client round-robin for deterministic
+    # placement, one worker per shard so the shard count is the only
+    # parallelism knob.
+    n_shard = 24 if smoke else 60
+    shard_requests = build_requests(n_shard, mix=DEFAULT_MIX, seed=1602)
+    shard_ips: Dict[int, float] = {}
+    for count in shard_counts:
+        replies, lat, wall = asyncio.run(run_sharded(
+            shard_requests, shards=count, workers=1,
+            connections=4 * count))
+        _assert_all_ok(replies, f"shard{count}")
+        entry = _bench_entry(f"shard{count}", n_shard, wall, lat,
+                             kernel="mixed")
+        entries.append(entry)
+        shard_ips[count] = entry["ips"]
+    base_count = min(shard_counts) if shard_counts else None
+    if base_count is not None and shard_ips.get(base_count):
+        for count in shard_counts:
+            if count == base_count:
+                continue
+            speedups[f"mixed/secp160r1/shard{count}:shard{base_count}"] = (
+                shard_ips[count] / shard_ips[base_count])
     record = {
         "schema": 1,
         "timestamp": datetime.datetime.now(
@@ -475,16 +591,16 @@ def run_bench_serve(n: Optional[int] = None, smoke: bool = False,
 
 
 def render_serve(record: Dict[str, Any]) -> str:
-    lines = [f"serving throughput ({record['label']}, keygen/secp160r1, "
-             f"n={record['entries'][0]['reps']})", ""]
+    lines = [f"serving throughput ({record['label']}; keygen legs "
+             f"n={record['entries'][0]['reps']}, shard legs run the "
+             "default mixed workload)", ""]
     lines.append(f"{'path':<28}{'reps':>6}{'wall s':>9}{'ops/s':>10}")
     lines.append("-" * 53)
     for entry in record["entries"]:
         lines.append(f"{entry['name']:<28}{entry['reps']:>6}"
                      f"{entry['wall_s']:>9.2f}{entry['ips']:>10.1f}")
     lines.append("")
-    lines.append("speedup over the direct (one-at-a-time, variable-base) "
-                 "path:")
+    lines.append("speedups (vs the direct path; shardN vs one shard):")
     for key in sorted(record["speedups"]):
         lines.append(f"  {key:<40}{record['speedups'][key]:>6.2f}x")
     return "\n".join(lines)
@@ -493,8 +609,17 @@ def render_serve(record: Dict[str, Any]) -> str:
 def check_floors(record: Dict[str, Any],
                  scaling_floor: float = SERVE_MIN_SCALING,
                  fixed_base_floor: float = FIXED_BASE_MIN_SPEEDUP,
-                 traced_floor: float = TRACED_MIN_RATIO) -> int:
-    """Enforce the serve speedup floors; returns a shell exit code."""
+                 traced_floor: float = TRACED_MIN_RATIO,
+                 shard_floor: float = SHARD_MIN_SCALING,
+                 cpus: Optional[int] = None) -> int:
+    """Enforce the serve speedup floors; returns a shell exit code.
+
+    The shard floor compares multi-shard to one-shard throughput from
+    the same run and needs cores to be meaningful: with ``cpus`` (or
+    ``os.cpu_count()``) below 2, it degrades to the
+    :data:`SHARD_SINGLE_CORE_MIN` anti-regression check instead.
+    Records without shard legs (pre-scale-out history) skip the gate.
+    """
     speedups = record["speedups"]
     failed = False
     fb = speedups.get("keygen/secp160r1/fixedbase:direct", 0.0)
@@ -519,10 +644,37 @@ def check_floors(record: Dict[str, Any],
             print(f"FAIL: traced/untraced throughput ratio {ratio:.2f} "
                   f"({key}) is below the {traced_floor:.2f} floor")
             failed = True
+    # The scale-out gate: best multi-shard/one-shard ratio.
+    shard_keys = [k for k in speedups
+                  if k.startswith("mixed/secp160r1/shard")
+                  and ":shard" in k]
+    shard_note = ""
+    if shard_keys:
+        if cpus is None:
+            cpus = os.cpu_count() or 1
+        best_shard = max(speedups[k] for k in shard_keys)
+        if cpus >= 2:
+            if best_shard < shard_floor:
+                print(f"FAIL: shard scaling {best_shard:.2f}x is below "
+                      f"the {shard_floor:.2f}x floor ({cpus} cpus)")
+                failed = True
+            shard_note = (f", shards {best_shard:.2f}x >= "
+                          f"{shard_floor:.2f}x")
+        else:
+            # One core: parallel shards cannot outrun one shard; only
+            # guard against the fan-out collapsing throughput.
+            if best_shard < SHARD_SINGLE_CORE_MIN:
+                print(f"FAIL: single-core shard throughput ratio "
+                      f"{best_shard:.2f} is below the "
+                      f"{SHARD_SINGLE_CORE_MIN:.2f} anti-regression floor")
+                failed = True
+            shard_note = (f", shards {best_shard:.2f}x >= "
+                          f"{SHARD_SINGLE_CORE_MIN:.2f}x "
+                          "(single-core fallback)")
     if not failed:
         print(f"OK: fixed-base {fb:.2f}x >= {fixed_base_floor:.2f}x, "
               f"served {speedups[best_key]:.2f}x >= {scaling_floor:.2f}x, "
-              "traced ratio floors hold")
+              f"traced ratio floors hold{shard_note}")
     return 1 if failed else 0
 
 
@@ -625,7 +777,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "start an in-process one)")
     parser.add_argument("--workers", type=int, default=1,
                         help="in-process server pool size; 0 = no server "
-                             "(direct in-process execution)")
+                             "(direct in-process execution); per shard "
+                             "with --shards")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="drive a fresh N-shard cluster (port-per-"
+                             "shard, deterministic round-robin); 0 = "
+                             "single server (default)")
+    parser.add_argument("--connections", type=int, default=0,
+                        help="client connections to spread the stream "
+                             "over (default 1, or 4 per shard with "
+                             "--shards)")
     parser.add_argument("--n", type=int, default=200,
                         help="requests to send (ignored with --duration)")
     parser.add_argument("--mix", default=DEFAULT_MIX,
@@ -646,9 +807,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "and identical summary bytes")
     parser.add_argument("--bench", action="store_true",
                         help="serving benchmark (direct / fixedbase / "
-                             "pool1 / pool2 / pool4 on keygen/secp160r1); "
-                             "appends to BENCH_serve.json and enforces "
-                             "the speedup floors")
+                             "pool1 / pool2 / pool4 on keygen/secp160r1, "
+                             "plus shard1 / shard2 / shard4 clusters on "
+                             "the mixed workload); appends to "
+                             "BENCH_serve.json and enforces the speedup "
+                             "floors")
     parser.add_argument("--bench-output", default=SERVE_OUTPUT,
                         help="run-record file for --bench (default "
                              f"{SERVE_OUTPUT}; 'none' disables writing)")
@@ -693,6 +856,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     fixed_base = not args.no_fixed_base
     requests = build_requests(n, mix=args.mix, seed=args.seed)
 
+    if args.shards < 0:
+        parser.error("--shards must be >= 0")
+    if args.connections < 0:
+        parser.error("--connections must be >= 0")
+    if args.shards:
+        if args.target is not None:
+            parser.error("--shards starts its own cluster; it cannot be "
+                         "used with --target")
+        if args.trace:
+            parser.error("--trace joins in-process records; shard "
+                         "processes are out of reach (use the server's "
+                         "--tracing + slowlog instead)")
+        if args.scrape:
+            parser.error("--scrape reads one server; against a cluster "
+                         "use the stats op with scope=cluster")
+        if args.workers < 1:
+            parser.error("--shards needs --workers >= 1 per shard")
     if args.trace and args.target is not None:
         parser.error("--trace joins records from the in-process server; "
                      "it cannot be used with --target")
@@ -702,11 +882,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "or --target)")
     if args.slowlog and not args.trace:
         parser.error("--slowlog requires --trace")
+    connections = args.connections or (4 * args.shards if args.shards
+                                       else 1)
     trace_sink: Optional[List[RequestTrace]] = [] if args.trace else None
     scrape_sink: Optional[List[str]] = [] if args.scrape else None
     client_times: Dict[str, Tuple[int, int]] = {}
 
     def one_run() -> Tuple[List[Dict[str, Any]], List[float], float]:
+        if args.shards:
+            return asyncio.run(run_sharded(
+                requests, shards=args.shards, workers=args.workers,
+                connections=connections, rate=args.rate,
+                batch_max=args.batch_max, fixed_base=fixed_base))
         if args.target is None and args.workers == 0:
             replies, wall = run_direct(requests, fixed_base=fixed_base)
             return replies, [], wall
@@ -715,7 +902,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             target=args.target, batch_max=args.batch_max,
             fixed_base=fixed_base, tracing=args.trace,
             trace_sink=trace_sink, scrape_sink=scrape_sink,
-            client_times=client_times if args.trace else None))
+            client_times=client_times if args.trace else None,
+            connections=connections))
 
     replies, latencies, wall = one_run()
     summary = summarize(requests, replies)

@@ -26,7 +26,11 @@ the server front-end without queueing (so it stays reachable under
 overload), and returns queue depth, batch occupancy, shed counts and
 per-(op, curve) latency percentiles — or, with ``params.format =
 "prometheus"``, the whole metrics registry in Prometheus text
-exposition format.
+exposition format.  Under the shard supervisor of
+:mod:`repro.serve.shard`, ``params.scope = "cluster"`` makes any one
+shard answer for the whole cluster (counters summed across the
+shards' stats board); the default ``scope = "shard"`` stays local and
+carries the answering shard's index.
 
 Error types are closed-world (:data:`ERROR_TYPES`): ``BadRequest``
 (malformed or semantically invalid request — never retry),
@@ -162,8 +166,9 @@ OPS: Dict[str, OpSpec] = {spec.name: spec for spec in (
     _spec("rsa_verify", (), ["n", "e", "digest", "sig"]),
     # Operational telemetry: answered inline by the server front-end
     # (never queued, so it works under overload); the worker handler
-    # covers the pool-free direct path.
-    _spec("stats", (), [], ["format"]),
+    # covers the pool-free direct path.  ``scope="cluster"`` asks a
+    # sharded server to aggregate across its sibling shards.
+    _spec("stats", (), [], ["format", "scope"]),
 )}
 
 

@@ -1,12 +1,18 @@
 """The asyncio front-end: batching, backpressure, and the worker pool.
 
 Request lifecycle (the "per-stage" pipeline DESIGN.md §8 documents, each
-stage metered)::
+stage metered).  One of these pipelines is a *shard*; ``--shards N``
+runs N of them behind one listening port (SO_REUSEPORT, or the
+port-per-shard redirector of :mod:`repro.serve.shard`), all of whose
+workers attach one shared comb-table store::
 
-    accept -> decode -> [bounded queue] -> batcher -> worker pool -> reply
-                 |            |               |            |
-             BadRequest   Overloaded     (curve, op)   multiprocessing
-             replies      load-shed      batching      (true parallelism)
+    listen port (SO_REUSEPORT / redirector)
+        |-- shard 0 ---------------------------------------------------.
+        |   accept -> decode -> [bounded queue] -> batcher -> pool -> reply
+        |                |            |               |          |
+        |            BadRequest   Overloaded     (curve, op)  workers attach
+        |            replies      load-shed      batching     the table store
+        |-- shard 1 ... (same pipeline, own event loop + pool)
 
 * **Backpressure** is an explicit bounded :class:`asyncio.Queue`
   (``queue_depth``).  A full queue does not slow the reader down — it
@@ -39,7 +45,9 @@ stage metered)::
   accept — queue depth, batch occupancy, shed counts, per-(op, curve)
   latency percentiles, or the full registry as Prometheus text
   exposition (``params.format = "prometheus"``) — so telemetry stays
-  reachable even when the bounded queue is shedding.
+  reachable even when the bounded queue is shedding.  Under the shard
+  supervisor, ``params.scope = "cluster"`` aggregates counters across
+  every shard via the shared stats board, from any one shard's socket.
 
 ``python -m repro serve`` is this module's CLI; the in-process
 :class:`EccServer` API is what the load generator, the benchmark
@@ -105,6 +113,16 @@ class ServeConfig:
     fb_width: int = DEFAULT_WIDTH
     #: Curve suites whose fixed-base tables each worker pre-builds.
     warm_curves: Tuple[str, ...] = ("secp160r1",)
+    #: Attach pool workers to this shared comb-table store segment
+    #: (:mod:`repro.scalarmult.table_store`); None = each worker builds
+    #: its own tables (pre-shard behaviour).
+    store_name: Optional[str] = None
+    #: This server's index under the shard supervisor (labels metrics
+    #: and the ``stats`` reply); None = unsharded.
+    shard: Optional[int] = None
+    #: Bind the listener with SO_REUSEPORT so sibling shard processes
+    #: can share one (host, port) accept queue.
+    reuse_port: bool = False
     #: Stamp a trace id on every accepted request (clients may also set
     #: their own ``trace`` field regardless of this switch).
     tracing: bool = False
@@ -145,6 +163,10 @@ class EccServer:
         self._worker_baselines: Dict[int, Dict[str, float]] = {}
         #: Tail-sampling ring of the slowest traced requests (--slowlog).
         self.recorder = FlightRecorder(self.config.slowlog)
+        #: Cross-shard stats board (:class:`~repro.serve.shard
+        #: .StatsBoard`), installed by the shard runtime before start();
+        #: None on an unsharded server.
+        self.board = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -156,12 +178,13 @@ class EccServer:
             max_workers=cfg.workers,
             initializer=init_worker,
             initargs=(cfg.hardened, cfg.fb_width, cfg.fixed_base,
-                      tuple(cfg.warm_curves)),
+                      tuple(cfg.warm_curves), cfg.store_name),
         )
         self._queue = asyncio.Queue(maxsize=cfg.queue_depth)
         self._batcher = asyncio.create_task(self._batch_loop())
         self._server = await asyncio.start_server(
-            self._on_connection, cfg.host, cfg.port)
+            self._on_connection, cfg.host, cfg.port,
+            reuse_port=cfg.reuse_port or None)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
@@ -421,15 +444,35 @@ class EccServer:
         """The ``stats`` op's result object (protocol schema in
         :mod:`repro.serve.protocol`): live queue/batch state plus the
         per-(op, curve) latency percentiles, or the whole registry in
-        Prometheus text exposition with ``format="prometheus"``."""
-        fmt = (params or {}).get("format", "json")
+        Prometheus text exposition with ``format="prometheus"``.
+
+        ``scope="cluster"`` (JSON only) answers for every shard on the
+        stats board — counters summed, per-shard payloads attached —
+        so any one shard's socket serves whole-cluster telemetry."""
+        params = params or {}
+        fmt = params.get("format", "json")
+        scope = params.get("scope", "shard")
+        if scope not in ("shard", "cluster"):
+            raise protocol.ProtocolError(
+                f"stats scope must be 'shard' or 'cluster', got {scope!r}")
         if fmt == "prometheus":
+            if scope == "cluster":
+                raise protocol.ProtocolError(
+                    "cluster scope is JSON-only; scrape each shard for "
+                    "labelled expositions")
             self._refresh_gauges()
             return {"format": "prometheus",
                     "text": render_prometheus(METRICS)}
         if fmt != "json":
             raise protocol.ProtocolError(
                 f"stats format must be 'json' or 'prometheus', got {fmt!r}")
+        if scope == "cluster":
+            return self._cluster_stats()
+        return self._shard_payload()
+
+    def _shard_payload(self) -> Dict[str, Any]:
+        """This process's shard-scope JSON stats (also what the shard
+        runtime publishes to the stats board)."""
         counters = {name: value
                     for name, value in METRICS.counters_snapshot().items()
                     if name.startswith(("serve_", "fixed_base_"))}
@@ -437,6 +480,8 @@ class EccServer:
         executed = counters.get("serve_worker_requests_total", 0)
         return {
             "format": "json",
+            "scope": "shard",
+            "shard": self.config.shard,
             "pid": os.getpid(),
             "queue_depth": self._queue.qsize() if self._queue else 0,
             "queue_capacity": self.config.queue_depth,
@@ -447,6 +492,37 @@ class EccServer:
             "slowlog": {"capacity": self.recorder.capacity,
                         "size": len(self.recorder),
                         "recorded": self.recorder.recorded},
+        }
+
+    def _cluster_stats(self) -> Dict[str, Any]:
+        """Cluster-scope aggregation over the shard stats board.
+
+        Publishes this shard's own fresh payload first (so the answer
+        is never staler than the asking request), then sums counters
+        and queue state across every readable slot.  Unsharded servers
+        degrade to a one-shard cluster.  Histogram summaries are
+        per-shard only — percentile summaries do not merge — so they
+        stay inside each ``shards[i]`` payload.
+        """
+        own = self._shard_payload()
+        if self.board is None:
+            shards = [own]
+        else:
+            self.board.publish(self.config.shard or 0, own)
+            shards = self.board.read_all()
+        counters: Dict[str, float] = {}
+        for payload in shards:
+            for name, value in payload.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+        return {
+            "format": "json",
+            "scope": "cluster",
+            "shard_count": len(shards),
+            "queue_depth": sum(p.get("queue_depth", 0) for p in shards),
+            "queue_capacity": sum(p.get("queue_capacity", 0)
+                                  for p in shards),
+            "counters": dict(sorted(counters.items())),
+            "shards": shards,
         }
 
     def _refresh_gauges(self) -> None:
@@ -504,7 +580,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--port", type=int, default=9477,
                         help="TCP port (default 9477; 0 = ephemeral)")
     parser.add_argument("--workers", type=int, default=2,
-                        help="worker processes in the pool")
+                        help="worker processes in the pool (per shard "
+                             "when --shards > 1)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="accept-loop server processes sharing the "
+                             "listening port (1 = single process; N > 1 "
+                             "starts the shard supervisor with a shared "
+                             "comb-table store)")
+    parser.add_argument("--no-reuseport", action="store_true",
+                        help="with --shards: force the port-per-shard "
+                             "supervisor + round-robin redirector even "
+                             "where SO_REUSEPORT is available")
+    parser.add_argument("--no-store", action="store_true",
+                        help="with --shards: skip the shared comb-table "
+                             "store (each worker builds its own tables)")
     parser.add_argument("--batch-max", type=int, default=16,
                         help="max requests per dispatched batch")
     parser.add_argument("--queue-depth", type=int, default=128,
@@ -539,6 +628,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown curve {curve!r} in --warm")
     if args.slowlog < 1:
         parser.error("--slowlog must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         batch_max=args.batch_max, queue_depth=args.queue_depth,
@@ -547,6 +638,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         warm_curves=warm, tracing=args.tracing, slowlog=args.slowlog,
         slowlog_out=args.slowlog_out,
     )
+    if args.shards > 1:
+        from .shard import run_cluster
+
+        return run_cluster(config, shards=args.shards,
+                           reuseport=False if args.no_reuseport else None,
+                           store=not args.no_store)
     try:
         return asyncio.run(_serve_forever(config))
     except KeyboardInterrupt:

@@ -25,6 +25,7 @@ suite's pool-free harness).
 from __future__ import annotations
 
 import os
+import sys
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..curves.params import CurveSuite, make_suite
@@ -234,15 +235,33 @@ def worker_state() -> WorkerState:
 
 
 def init_worker(hardened: bool = False, fb_width: int = DEFAULT_WIDTH,
-                fixed_base: bool = True, warm_curves: tuple = ()) -> None:
+                fixed_base: bool = True, warm_curves: tuple = (),
+                store_name: Optional[str] = None) -> None:
     """Pool initializer: isolate inherited metrics, build fresh state.
 
     Runs in the child process.  The inherited ``METRICS`` registry is
     reset so the worker reports only its own deltas; the parent merges
     them back per batch reply (never shared memory).
+
+    With *store_name*, the worker attaches the supervisor's shared
+    comb-table store read-only (:mod:`repro.scalarmult.table_store`)
+    before warming: warm tables deserialize from the segment instead of
+    precomputing, so ``fixed_base_tables_built`` stays flat however
+    many workers fork.  A missing or corrupt segment degrades to local
+    builds rather than killing the pool.
     """
     global _STATE
     METRICS.reset_for_fork()
+    if store_name is not None:
+        from ..scalarmult.table_store import TableStore, TableStoreError
+
+        try:
+            TABLE_CACHE.attach_store(TableStore.attach(store_name))
+        except (TableStoreError, FileNotFoundError, OSError) as exc:
+            TABLE_CACHE.attach_store(None)
+            print(f"worker {os.getpid()}: table store {store_name!r} "
+                  f"unusable ({exc}); building tables locally",
+                  file=sys.stderr)
     _STATE = WorkerState(hardened=hardened, fb_width=fb_width,
                          fixed_base=fixed_base)
     _STATE.warm(warm_curves)
@@ -416,6 +435,11 @@ def _handle_stats(state: WorkerState, curve: Optional[str],
     ``--workers 0`` / in-process callers get a useful answer too.
     """
     fmt = params.get("format", "json")
+    scope = params.get("scope", "shard")
+    if scope not in ("shard", "cluster"):
+        raise ProtocolError(
+            f"stats scope must be 'shard' or 'cluster', got {scope!r}")
+    # No shard siblings on the direct path: "cluster" is this process.
     if fmt == "prometheus":
         return {"format": "prometheus", "text": render_prometheus(METRICS)}
     if fmt != "json":
@@ -423,6 +447,8 @@ def _handle_stats(state: WorkerState, curve: Optional[str],
             f"stats format must be 'json' or 'prometheus', got {fmt!r}")
     return {
         "format": "json",
+        "scope": "shard",
+        "shard": None,
         "pid": os.getpid(),
         "queue_depth": 0,
         "queue_capacity": 0,

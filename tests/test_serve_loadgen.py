@@ -119,6 +119,45 @@ class TestBenchRecord:
         record["speedups"]["keygen/secp160r1/pool4_traced:pool4"] = 0.9
         assert loadgen.check_floors(record) == 0
 
+    def test_shard_entries_validate(self):
+        entry = loadgen._bench_entry("shard2", 60, 0.8, kernel="mixed",
+                                     latencies=[1.0, 2.0])
+        validate_entry(entry)
+        assert entry["name"] == "mixed/secp160r1/shard2"
+
+    def test_shard_floor_multicore(self, capsys):
+        record = {"speedups": {
+            "keygen/secp160r1/fixedbase:direct": 4.0,
+            "keygen/secp160r1/pool2:direct": 3.0,
+            "mixed/secp160r1/shard2:shard1": 1.8,
+        }}
+        assert loadgen.check_floors(record, cpus=4) == 0
+        capsys.readouterr()
+        record["speedups"]["mixed/secp160r1/shard2:shard1"] = 1.1
+        assert loadgen.check_floors(record, cpus=4) == 1
+        assert "shard scaling" in capsys.readouterr().out
+
+    def test_shard_floor_single_core_fallback(self, capsys):
+        """On one core shards can't scale; only the anti-regression
+        bound applies (REPRO_SHARD_SINGLE_CORE_MIN, default 0.6)."""
+        record = {"speedups": {
+            "keygen/secp160r1/fixedbase:direct": 4.0,
+            "keygen/secp160r1/pool2:direct": 3.0,
+            "mixed/secp160r1/shard2:shard1": 1.01,
+        }}
+        assert loadgen.check_floors(record, cpus=1) == 0
+        assert "single-core" in capsys.readouterr().out
+        record["speedups"]["mixed/secp160r1/shard2:shard1"] = 0.3
+        assert loadgen.check_floors(record, cpus=1) == 1
+        assert "anti-regression" in capsys.readouterr().out
+
+    def test_records_without_shard_legs_skip_the_gate(self):
+        record = {"speedups": {
+            "keygen/secp160r1/fixedbase:direct": 4.0,
+            "keygen/secp160r1/pool2:direct": 3.0,
+        }}
+        assert loadgen.check_floors(record, cpus=1) == 0
+
     def test_bad_serve_entries_rejected(self):
         entry = loadgen._bench_entry("pool4", 8, 0.5)
         with pytest.raises(ValueError, match="engine"):

@@ -113,12 +113,14 @@ class TestStatsOp:
     def test_stats_is_curveless_with_optional_format(self):
         assert not OPS["stats"].curves
         assert OPS["stats"].required == frozenset()
-        assert OPS["stats"].optional == frozenset({"format"})
+        assert OPS["stats"].optional == frozenset({"format", "scope"})
 
     def test_stats_request_validates(self):
         req = {"id": 1, "op": "stats", "params": {}}
         assert validate_request(req)["op"] == "stats"
         req["params"]["format"] = "prometheus"
+        validate_request(req)
+        req["params"] = {"scope": "cluster"}
         validate_request(req)
         with pytest.raises(ProtocolError, match="takes no curve"):
             validate_request({"id": 1, "op": "stats", "curve": "secp160r1",

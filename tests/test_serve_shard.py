@@ -1,0 +1,253 @@
+"""The scale-out layer: stats board, shard cluster, respawn, cluster
+stats aggregation, and the shared-store acceptance property.
+
+No pytest-asyncio in the image: every test drives its own event loop
+through ``asyncio.run``.  Cluster tests fork real shard processes
+(each with a 1-worker pool), so they are the slowest tests in the
+serving suite — kept few and multi-purpose on purpose.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig
+from repro.serve.shard import (
+    ShardCluster,
+    StatsBoard,
+    reuseport_available,
+)
+
+SEED = "shard-test-seed"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _config(**overrides):
+    defaults = dict(port=0, workers=1, warm_curves=("secp160r1",))
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+# -- the stats board ---------------------------------------------------------
+
+
+class TestStatsBoard:
+    def test_publish_read_roundtrip(self):
+        board = StatsBoard.create(2)
+        try:
+            board.publish(0, {"shard": 0, "counters": {"a": 1}})
+            board.publish(1, {"shard": 1, "counters": {"a": 2}})
+            assert board.read(0)["counters"] == {"a": 1}
+            payloads = board.read_all()
+            assert [p["shard"] for p in payloads] == [0, 1]
+        finally:
+            board.close()
+            board.unlink()
+
+    def test_empty_slot_reads_none_and_is_skipped(self):
+        board = StatsBoard.create(3)
+        try:
+            board.publish(1, {"shard": 1})
+            assert board.read(0) is None
+            assert board.read(2) is None
+            assert [p["shard"] for p in board.read_all()] == [1]
+        finally:
+            board.close()
+            board.unlink()
+
+    def test_torn_slot_is_skipped_not_parsed(self):
+        board = StatsBoard.create(1)
+        try:
+            board.publish(0, {"shard": 0, "x": "y" * 64})
+            # Corrupt one payload byte behind the crc header: a reader
+            # racing a torn write must skip the slot, never parse junk.
+            offset = board._slot_offset(0) + 16
+            board._shm.buf[offset] ^= 0xFF
+            assert board.read(0) is None
+            assert board.read_all() == []
+        finally:
+            board.close()
+            board.unlink()
+
+    def test_attach_sees_creator_payloads(self):
+        board = StatsBoard.create(2)
+        try:
+            board.publish(0, {"shard": 0})
+            attached = StatsBoard.attach(board.name)
+            try:
+                assert attached.slots == 2
+                assert attached.read(0) == {"shard": 0}
+            finally:
+                attached.close()
+        finally:
+            board.close()
+            board.unlink()
+
+    def test_oversized_payload_drops_histograms_then_raises(self):
+        board = StatsBoard.create(1, slot_size=256)
+        try:
+            board.publish(0, {"histograms": {"h": "x" * 512}, "ok": 1})
+            assert board.read(0) == {"ok": 1}
+            with pytest.raises(ValueError, match="slot"):
+                board.publish(0, {"blob": "x" * 512})
+        finally:
+            board.close()
+            board.unlink()
+
+    def test_slot_index_bounds(self):
+        board = StatsBoard.create(1)
+        try:
+            with pytest.raises(IndexError):
+                board.read(1)
+            with pytest.raises(IndexError):
+                board.publish(-1, {})
+        finally:
+            board.close()
+            board.unlink()
+
+
+# -- the cluster -------------------------------------------------------------
+
+
+def _keygen(port):
+    with ServeClient(port=port) as client:
+        return client.call("keygen", "secp160r1", {"seed": SEED})
+
+
+def _cluster_stats(port, deadline_s=10.0, want_shards=2, min_per_shard=0):
+    """Poll one shard's cluster-scope stats until every shard is on the
+    board (publish interval 0.25 s) **and** every shard's own payload
+    shows at least *min_per_shard* served requests — the answering
+    shard publishes itself fresh, but the other slots lag by up to one
+    publish interval, so waiting on the summed counter alone is racy."""
+    deadline = time.monotonic() + deadline_s
+    stats = None
+    with ServeClient(port=port) as client:
+        while time.monotonic() < deadline:
+            stats = client.stats(scope="cluster")
+            per_shard = [p["counters"].get("serve_requests_total", 0)
+                         for p in stats["shards"]]
+            if stats["shard_count"] >= want_shards \
+                    and all(n >= min_per_shard for n in per_shard):
+                return stats
+            time.sleep(0.1)
+    raise AssertionError(f"cluster stats never converged: {stats}")
+
+
+class TestShardCluster:
+    def test_redirector_cluster_end_to_end(self):
+        """One multi-purpose scenario over a 2-shard redirector-mode
+        cluster: requests through the public port and through each
+        shard's direct port, deterministic results across shards,
+        cluster-scope stats aggregation, and the shared-store
+        acceptance property (workers load, never build)."""
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            async with ShardCluster(2, _config(),
+                                    reuseport=False) as cluster:
+                assert cluster.port and cluster.store is not None
+                assert len(cluster.shard_ports) == 2
+                # Through the redirector (round-robin placement).
+                via_public = [
+                    await loop.run_in_executor(None, _keygen, cluster.port)
+                    for _ in range(2)]
+                # Straight at each shard.
+                via_direct = [
+                    await loop.run_in_executor(None, _keygen, port)
+                    for port in cluster.shard_ports]
+                stats = await loop.run_in_executor(
+                    None, lambda: _cluster_stats(
+                        cluster.shard_ports[0], min_per_shard=1))
+            return via_public, via_direct, stats
+
+        via_public, via_direct, stats = run(scenario())
+        # Same seed -> same key, whichever shard served it.
+        assert len({r["private"] for r in via_public + via_direct}) == 1
+        assert stats["scope"] == "cluster"
+        assert stats["shard_count"] == 2
+        assert {p["shard"] for p in stats["shards"]} == {0, 1}
+        # Counters are summed across shards: the two direct requests
+        # alone guarantee both shards contributed.
+        per_shard = [p["counters"].get("serve_requests_total", 0)
+                     for p in stats["shards"]]
+        assert all(n >= 1 for n in per_shard)
+        assert stats["counters"]["serve_requests_total"] == sum(per_shard)
+        # The tentpole's acceptance signal: every worker attached the
+        # supervisor's store read-only — tables were *loaded*, and the
+        # build counter stays flat (zero) across the whole cluster.
+        assert stats["counters"].get("fixed_base_tables_built", 0) == 0
+        assert stats["counters"].get("fixed_base_tables_loaded", 0) >= 2
+        assert stats["counters"].get("fixed_base_store_errors", 0) == 0
+
+    def test_dead_shard_respawns_and_port_survives(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            async with ShardCluster(2, _config(),
+                                    reuseport=False) as cluster:
+                await loop.run_in_executor(None, _keygen, cluster.port)
+                victim = cluster._procs[0]
+                # SIGTERM, not SIGKILL: the shard dies through its
+                # graceful path (joining its pool worker), so the test
+                # does not leak an orphaned worker stuck on the call
+                # pipe — the respawn monitor only checks liveness, so
+                # the supervisor behaviour under test is identical.
+                victim.terminate()
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    proc = cluster._procs[0]
+                    if cluster.respawns >= 1 and proc is not None \
+                            and proc.is_alive() and proc is not victim:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    raise AssertionError("shard 0 was never respawned")
+                # The public port answered before, during and after.
+                result = await loop.run_in_executor(
+                    None, _keygen, cluster.port)
+                respawns = cluster.respawns
+            return result, respawns
+
+        result, respawns = run(scenario())
+        assert "private" in result
+        assert respawns >= 1
+
+    @pytest.mark.skipif(not reuseport_available(),
+                        reason="platform lacks SO_REUSEPORT")
+    def test_reuseport_cluster_smoke(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            async with ShardCluster(2, _config(),
+                                    reuseport=True) as cluster:
+                assert cluster.port > 0
+                # Every shard binds the same public port.
+                assert cluster.shard_ports == [cluster.port] * 2
+                return await loop.run_in_executor(
+                    None, _keygen, cluster.port)
+
+        assert "private" in run(scenario())
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ShardCluster(0)
+
+    def test_no_store_mode_builds_locally(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            async with ShardCluster(1, _config(), reuseport=False,
+                                    store=False) as cluster:
+                assert cluster.store is None
+                await loop.run_in_executor(None, _keygen, cluster.port)
+                return await loop.run_in_executor(
+                    None, lambda: _cluster_stats(
+                        cluster.shard_ports[0], want_shards=1,
+                        min_per_shard=1))
+
+        stats = run(scenario())
+        # Without the store the worker builds its warm table itself.
+        assert stats["counters"].get("fixed_base_tables_built", 0) >= 1
+        assert stats["counters"].get("fixed_base_tables_loaded", 0) == 0

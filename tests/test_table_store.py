@@ -1,0 +1,229 @@
+"""The shared-memory comb-table store: round-trips, fork attach,
+corruption rejection, and the two-tier cache integration.
+
+The acceptance property of the store (DESIGN.md §8 "Scale-out") is that
+attaching workers *load* tables instead of *building* them — asserted
+here via the `fixed_base_tables_built` / `fixed_base_tables_loaded`
+counter deltas.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.curves.params import make_suite
+from repro.obs.metrics import METRICS
+from repro.scalarmult.fixed_base import FixedBaseCache, FixedBaseTable
+from repro.scalarmult.table_store import (
+    TableStore,
+    TableStoreError,
+    build_store,
+    deserialize_table,
+    serialize_table,
+    store_key,
+)
+
+SUITE = make_suite("secp160r1")
+
+
+def counter(name):
+    return METRICS.counters_snapshot().get(name, 0)
+
+
+@pytest.fixture
+def store():
+    st = build_store(["secp160r1"])
+    yield st
+    st.unlink()
+
+
+class TestBlobRoundTrip:
+    def test_serialize_deserialize_preserves_every_row(self):
+        table = FixedBaseTable(SUITE.curve, SUITE.base)
+        clone = deserialize_table(serialize_table(table), SUITE.curve)
+        assert clone.width == table.width and clone.bits == table.bits
+        for row_a, row_b in zip(table.rows, clone.rows):
+            for a, b in zip(row_a, row_b):
+                if a is None:
+                    assert b is None
+                else:
+                    assert a.x.to_int() == b.x.to_int()
+                    assert a.y.to_int() == b.y.to_int()
+
+    def test_deserialized_table_multiplies_correctly(self):
+        table = deserialize_table(
+            serialize_table(FixedBaseTable(SUITE.curve, SUITE.base)),
+            SUITE.curve)
+        k = 0xDEADBEEFCAFE
+        expected = SUITE.curve.affine_scalar_mult(k, SUITE.base)
+        got = table.multiply(k)
+        assert got.x.to_int() == expected.x.to_int()
+        assert got.y.to_int() == expected.y.to_int()
+
+    def test_deserialize_does_not_tick_built(self):
+        blob = serialize_table(FixedBaseTable(SUITE.curve, SUITE.base))
+        before = counter("fixed_base_tables_built")
+        deserialize_table(blob, SUITE.curve)
+        assert counter("fixed_base_tables_built") == before
+
+    def test_digest_rejects_a_flipped_byte(self):
+        blob = bytearray(
+            serialize_table(FixedBaseTable(SUITE.curve, SUITE.base)))
+        blob[len(blob) // 2] ^= 0x01
+        with pytest.raises(TableStoreError, match="sha256"):
+            deserialize_table(bytes(blob), SUITE.curve)
+
+    def test_truncated_blob_rejected(self):
+        blob = serialize_table(FixedBaseTable(SUITE.curve, SUITE.base))
+        with pytest.raises(TableStoreError, match="truncated"):
+            deserialize_table(blob[:8], SUITE.curve)
+
+    def test_wrong_curve_rejected(self):
+        blob = serialize_table(FixedBaseTable(SUITE.curve, SUITE.base))
+        other = make_suite("glv")
+        with pytest.raises(TableStoreError, match="not"):
+            deserialize_table(blob, other.curve)
+
+
+class TestStoreSegment:
+    def test_create_then_load_same_process(self, store):
+        assert len(store) == 1
+        table = store.load(SUITE.curve, SUITE.base)
+        assert table is not None
+        assert table.rows[0][0].x.to_int() == SUITE.base.x.to_int()
+
+    def test_index_keys_are_value_based(self, store):
+        key = store.keys()[0]
+        assert key.startswith("secp160r1|")
+        assert key == store_key(SUITE.curve, SUITE.base, 4,
+                                store.load(SUITE.curve, SUITE.base).bits)
+
+    def test_attach_then_load(self, store):
+        attached = TableStore.attach(store.name)
+        try:
+            assert attached.keys() == store.keys()
+            table = attached.load(SUITE.curve, SUITE.base)
+            assert table is not None
+        finally:
+            attached.close()
+
+    def test_load_unknown_tuple_returns_none(self, store):
+        other = make_suite("glv")
+        assert store.load(other.curve, other.base) is None
+
+    def test_attach_missing_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            TableStore.attach("repro_no_such_segment")
+
+    def test_attach_rejects_non_store_segment(self):
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            shm.buf[:4] = b"JUNK"
+            with pytest.raises(TableStoreError, match="not a comb-table"):
+                TableStore.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_corrupted_coordinate_ticks_error_counter(self, store):
+        attached = TableStore.attach(store.name)
+        try:
+            # Flip one byte deep in the blob section through the
+            # creator's buffer; the attacher's next load must fail the
+            # digest and tick the error counter, never return points.
+            store._shm.buf[store._shm.size - 40] ^= 0x01
+            before = counter("fixed_base_store_errors")
+            with pytest.raises(TableStoreError):
+                attached.load(SUITE.curve, SUITE.base)
+            assert counter("fixed_base_store_errors") == before + 1
+        finally:
+            attached.close()
+
+    def test_attacher_may_not_unlink(self, store):
+        attached = TableStore.attach(store.name)
+        try:
+            with pytest.raises(TableStoreError, match="unlink"):
+                attached.unlink()
+        finally:
+            attached.close()
+
+    def test_build_store_skips_montgomery(self):
+        st = build_store(["secp160r1", "montgomery"])
+        try:
+            assert len(st) == 1
+        finally:
+            st.unlink()
+        with pytest.raises(ValueError, match="ladder-only"):
+            build_store(["montgomery"])
+
+
+def _fork_probe(name, conn):
+    """Fork-child side of the attach test: attach, load, report."""
+    try:
+        attached = TableStore.attach(name)
+        try:
+            table = attached.load(SUITE.curve, SUITE.base)
+            conn.send({
+                "keys": len(attached),
+                "built_delta": 0 if table is not None else -1,
+                "x": table.rows[0][0].x.to_int(),
+            })
+        finally:
+            attached.close()
+    except Exception as exc:  # surfaced by the parent's assert
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+class TestForkAttach:
+    def test_fork_child_attaches_and_loads(self, store):
+        ctx = multiprocessing.get_context("fork")
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_fork_probe, args=(store.name, send))
+        proc.start()
+        send.close()
+        assert recv.poll(30), "fork child never reported"
+        msg = recv.recv()
+        recv.close()
+        proc.join(10)
+        assert "error" not in msg, msg
+        assert msg["keys"] == 1
+        assert msg["x"] == SUITE.base.x.to_int()
+        # The child detached (close) and exited; the creator's segment
+        # must still be intact and unlink must not raise.
+        assert store.load(SUITE.curve, SUITE.base) is not None
+        assert proc.exitcode == 0
+
+
+class TestCacheTier:
+    def test_cache_miss_loads_from_store_without_building(self, store):
+        cache = FixedBaseCache()
+        cache.attach_store(store)
+        built, loaded = (counter("fixed_base_tables_built"),
+                         counter("fixed_base_tables_loaded"))
+        table = cache.get(SUITE.curve, SUITE.base)
+        assert counter("fixed_base_tables_built") == built
+        assert counter("fixed_base_tables_loaded") == loaded + 1
+        # Second get is an L1 hit: no further store traffic.
+        assert cache.get(SUITE.curve, SUITE.base) is table
+        assert counter("fixed_base_tables_loaded") == loaded + 1
+
+    def test_store_miss_falls_back_to_local_build(self, store):
+        other = make_suite("glv")
+        cache = FixedBaseCache()
+        cache.attach_store(store)
+        built = counter("fixed_base_tables_built")
+        assert cache.get(other.curve, other.base) is not None
+        assert counter("fixed_base_tables_built") == built + 1
+
+    def test_corrupt_store_degrades_to_local_build(self, store):
+        store._shm.buf[store._shm.size - 40] ^= 0x01
+        cache = FixedBaseCache()
+        cache.attach_store(store)
+        built = counter("fixed_base_tables_built")
+        errors = counter("fixed_base_store_errors")
+        assert cache.get(SUITE.curve, SUITE.base) is not None
+        assert counter("fixed_base_tables_built") == built + 1
+        assert counter("fixed_base_store_errors") == errors + 1
