@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-bench bench bench-smoke bench-check trace-smoke \
         profile-smoke faults-smoke ctcheck-smoke serve-smoke \
-        shard-smoke obs-serve-smoke docs docs-check tables
+        shard-smoke keys-smoke obs-serve-smoke docs docs-check tables
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -89,6 +89,21 @@ serve-smoke:
 shard-smoke:
 	$(PYTHON) -m repro loadgen --shards 2 --connections 8 --workers 1 \
 	    --n 200 --seed 7 --check --out /dev/null
+
+# Named-key gate (DESIGN.md §8 "Named keys", docs/tenancy.md): the
+# deterministic --check stream with secret-bearing ops rewritten onto
+# server-resident keys over two tenants, against a fresh 2-shard
+# cluster (key setup lands through shard 0, resolution rides the shared
+# journal everywhere) — then the targeted acceptance tests: the
+# create/rotate/use round-trip with generation pinning, and the
+# cluster scenario (cross-shard visibility, per-tenant counters in
+# cluster stats, no secret on the wire, keys surviving a forced shard
+# respawn).
+keys-smoke:
+	$(PYTHON) -m repro loadgen --shards 2 --tenants 2 --workers 1 \
+	    --n 100 --seed 7 --check --out /dev/null
+	$(PYTHON) -m pytest -q tests/test_serve_keys.py \
+	    -k "cluster or generation_pinning or quota_shed"
 
 # Observability gate for the serving stack (DESIGN.md §4/§8): a traced
 # loadgen run must join every reply's trace id into a cross-process span

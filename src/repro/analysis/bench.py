@@ -263,10 +263,14 @@ _ENTRY_FIELDS = {
 #: Execution paths a ``family: "serve"`` entry may carry (the serving
 #: benchmark of :mod:`repro.serve.loadgen`): the one-at-a-time baseline,
 #: the fixed-base comb path, the full batched pool at any width, the
-#: pool with request tracing enabled (the tracing-overhead row), or an
-#: N-shard cluster of :mod:`repro.serve.shard` (the scale-out rows).
+#: pool with request tracing enabled (the tracing-overhead row), an
+#: N-shard cluster of :mod:`repro.serve.shard` (the scale-out rows),
+#: the named-key vs inline-key shard twins of the tenancy benchmark
+#: (``inline_shard<N>`` / ``named_shard<N>``), or the quota-shed leg
+#: (``quota``: a deliberately over-budget tenant stream).
 _SERVE_ENGINE = re.compile(
-    r"direct|fixedbase|pool[0-9]+(_traced)?|shard[0-9]+")
+    r"direct|fixedbase|pool[0-9]+(_traced)?|shard[0-9]+"
+    r"|inline_shard[0-9]+|named_shard[0-9]+|quota")
 
 
 def validate_entry(entry: Dict[str, Any]) -> None:

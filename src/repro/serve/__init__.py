@@ -5,30 +5,43 @@ newline-delimited JSON (:mod:`repro.serve.protocol`), dispatching
 batches of compatible requests to a :mod:`multiprocessing` worker pool
 (:mod:`repro.serve.worker`) whose fixed-base comb tables
 (:mod:`repro.scalarmult.fixed_base`) make the common fixed-point
-operations several times faster than the variable-base path.  Clients
-live in :mod:`repro.serve.client`; the deterministic load generator /
-benchmark driver in :mod:`repro.serve.loadgen`.
+operations several times faster than the variable-base path.
+Server-resident named keys, tenancy and quotas live in
+:mod:`repro.serve.keys` (the ``key_create`` / ``key_rotate`` /
+``key_delete`` / ``key_info`` ops, plus ``params.key`` on sign/ECDH).
+Clients live in :mod:`repro.serve.client`; the deterministic load
+generator / benchmark driver in :mod:`repro.serve.loadgen`.
 """
 
+from .keys import KeyRegistry, TokenBucket, tenant_token
 from .protocol import (
     CURVES,
     ERROR_TYPES,
+    KEY_OPS,
     OPS,
     ORDER_CURVES,
     DeadlineExceeded,
     Overloaded,
     ProtocolError,
+    QuotaExceeded,
+    Unauthorized,
 )
 from .server import EccServer, ServeConfig
 
 __all__ = [
     "CURVES",
     "ERROR_TYPES",
+    "KEY_OPS",
+    "KeyRegistry",
     "OPS",
     "ORDER_CURVES",
     "DeadlineExceeded",
     "EccServer",
     "Overloaded",
     "ProtocolError",
+    "QuotaExceeded",
     "ServeConfig",
+    "TokenBucket",
+    "Unauthorized",
+    "tenant_token",
 ]

@@ -17,6 +17,15 @@ Both clients originate trace context: ``call(..., trace=True)`` stamps
 a fresh :func:`~repro.obs.trace.new_trace_id` on the request (or pass a
 specific id string), and ``stats()`` wraps the served telemetry op —
 ``stats(format="prometheus")`` returns the scrape text directly.
+
+Tenant-scoped requests (the named-key subsystem of
+:mod:`repro.serve.keys`) take ``tenant=`` on ``call()`` /
+``request()``: the auth token defaults to the open-mode derived token
+(:func:`~repro.serve.keys.tenant_token`), or pass ``token=`` for
+strict-mode deployments.  The ``key_create`` / ``key_rotate`` /
+``key_delete`` / ``key_info`` convenience methods wrap the lifecycle
+ops; afterwards sign/ECDH with ``params={"key": "<name>"}`` instead of
+an inline ``private``.
 """
 
 from __future__ import annotations
@@ -39,6 +48,18 @@ def _trace_field(trace: Union[bool, str, None]) -> Optional[str]:
     if trace is True:
         return new_trace_id()
     return trace
+
+
+def _tenant_fields(req: Dict[str, Any], tenant: Optional[str],
+                   token: Optional[str]) -> Dict[str, Any]:
+    """Stamp tenant/token on *req* (token defaults to the derived
+    open-mode token of the tenant)."""
+    if tenant is not None:
+        from .keys import tenant_token
+
+        req["tenant"] = tenant
+        req["token"] = token if token is not None else tenant_token(tenant)
+    return req
 
 
 class ServeError(RuntimeError):
@@ -78,7 +99,9 @@ class ServeClient:
     def request(self, op: str, curve: Optional[str] = None,
                 params: Optional[Dict[str, Any]] = None,
                 deadline_ms: Optional[float] = None,
-                trace: Union[bool, str, None] = None) -> Dict[str, Any]:
+                trace: Union[bool, str, None] = None,
+                tenant: Optional[str] = None,
+                token: Optional[str] = None) -> Dict[str, Any]:
         """Build a well-formed request dict with a fresh id."""
         req: Dict[str, Any] = {"id": next(self._ids), "op": op,
                                "params": params or {}}
@@ -89,16 +112,56 @@ class ServeClient:
         trace_id = _trace_field(trace)
         if trace_id is not None:
             req["trace"] = trace_id
-        return req
+        return _tenant_fields(req, tenant, token)
 
     def call(self, op: str, curve: Optional[str] = None,
              params: Optional[Dict[str, Any]] = None,
              deadline_ms: Optional[float] = None,
-             trace: Union[bool, str, None] = None) -> Dict[str, Any]:
+             trace: Union[bool, str, None] = None,
+             tenant: Optional[str] = None,
+             token: Optional[str] = None) -> Dict[str, Any]:
         """One RPC; returns the result dict or raises :class:`ServeError`."""
-        req = self.request(op, curve, params, deadline_ms, trace)
+        req = self.request(op, curve, params, deadline_ms, trace,
+                           tenant, token)
         [reply] = self.call_raw([req])
         return _raise_on_error(reply)
+
+    # -- named-key lifecycle (repro.serve.keys) ------------------------------
+
+    def key_create(self, tenant: str, name: str,
+                   curve: str = "secp160r1", seed: Optional[str] = None,
+                   token: Optional[str] = None) -> Dict[str, Any]:
+        """Create a server-resident key; returns its public half.
+
+        Sign afterwards with ``params={"key": name}`` — the private
+        scalar never travels on the wire."""
+        params: Dict[str, Any] = {"name": name}
+        if seed is not None:
+            params["seed"] = seed
+        return self.call("key_create", curve, params,
+                         tenant=tenant, token=token)
+
+    def key_rotate(self, tenant: str, name: str,
+                   seed: Optional[str] = None,
+                   token: Optional[str] = None) -> Dict[str, Any]:
+        """Rotate in a new key generation (old ones stay resolvable)."""
+        params: Dict[str, Any] = {"name": name}
+        if seed is not None:
+            params["seed"] = seed
+        return self.call("key_rotate", params=params,
+                         tenant=tenant, token=token)
+
+    def key_delete(self, tenant: str, name: str,
+                   token: Optional[str] = None) -> Dict[str, Any]:
+        """Retire a named key (all generations)."""
+        return self.call("key_delete", params={"name": name},
+                         tenant=tenant, token=token)
+
+    def key_info(self, tenant: str, name: str,
+                 token: Optional[str] = None) -> Dict[str, Any]:
+        """Public metadata of a named key (never secret material)."""
+        return self.call("key_info", params={"name": name},
+                         tenant=tenant, token=token)
 
     def stats(self, format: Optional[str] = None,
               scope: Optional[str] = None) -> Any:
@@ -210,7 +273,9 @@ class AsyncServeClient:
     async def call(self, op: str, curve: Optional[str] = None,
                    params: Optional[Dict[str, Any]] = None,
                    deadline_ms: Optional[float] = None,
-                   trace: Union[bool, str, None] = None) -> Dict[str, Any]:
+                   trace: Union[bool, str, None] = None,
+                   tenant: Optional[str] = None,
+                   token: Optional[str] = None) -> Dict[str, Any]:
         req: Dict[str, Any] = {"id": next(self._ids), "op": op,
                                "params": params or {}}
         if curve is not None:
@@ -220,8 +285,41 @@ class AsyncServeClient:
         trace_id = _trace_field(trace)
         if trace_id is not None:
             req["trace"] = trace_id
-        reply = await self.call_raw_one(req)
+        reply = await self.call_raw_one(_tenant_fields(req, tenant, token))
         return _raise_on_error(reply)
+
+    async def key_create(self, tenant: str, name: str,
+                         curve: str = "secp160r1",
+                         seed: Optional[str] = None,
+                         token: Optional[str] = None) -> Dict[str, Any]:
+        """Async twin of :meth:`ServeClient.key_create`."""
+        params: Dict[str, Any] = {"name": name}
+        if seed is not None:
+            params["seed"] = seed
+        return await self.call("key_create", curve, params,
+                               tenant=tenant, token=token)
+
+    async def key_rotate(self, tenant: str, name: str,
+                         seed: Optional[str] = None,
+                         token: Optional[str] = None) -> Dict[str, Any]:
+        """Async twin of :meth:`ServeClient.key_rotate`."""
+        params: Dict[str, Any] = {"name": name}
+        if seed is not None:
+            params["seed"] = seed
+        return await self.call("key_rotate", params=params,
+                               tenant=tenant, token=token)
+
+    async def key_delete(self, tenant: str, name: str,
+                         token: Optional[str] = None) -> Dict[str, Any]:
+        """Async twin of :meth:`ServeClient.key_delete`."""
+        return await self.call("key_delete", params={"name": name},
+                               tenant=tenant, token=token)
+
+    async def key_info(self, tenant: str, name: str,
+                       token: Optional[str] = None) -> Dict[str, Any]:
+        """Async twin of :meth:`ServeClient.key_info`."""
+        return await self.call("key_info", params={"name": name},
+                               tenant=tenant, token=token)
 
     async def stats(self, format: Optional[str] = None,
                     scope: Optional[str] = None) -> Any:

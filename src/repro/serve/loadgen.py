@@ -27,7 +27,19 @@ plus the scale-out legs ``mixed/secp160r1/shard<N>``: the default
 mixed workload against a fresh N-shard cluster of
 :mod:`repro.serve.shard` (port-per-shard mode, ``4*N`` round-robin
 client connections, one worker per shard so the shard count is the
-only parallelism knob).
+only parallelism knob), and the tenancy legs of
+:mod:`repro.serve.keys` — ``ecdsa/secp160r1/inline_shard<N>`` vs
+``named_shard<N>`` (the same ECDSA stream with inline private scalars
+vs server-resident named keys, per shard count; their ratio is the
+named-key overhead, floored by ``REPRO_NAMED_MIN_RATIO``) and
+``ecdsa/secp160r1/quota`` (a deliberately over-budget tenant stream;
+the recorded ``named/quota_shed_fraction`` must clear
+``REPRO_QUOTA_SHED_MIN``, proving the token bucket actually sheds).
+
+``--tenants N`` switches the normal run to named-key mode: the
+secret-bearing ops in the mix reference per-tenant server-resident
+keys (created by a deterministic setup phase before the clock starts)
+instead of carrying inline scalars, spread round-robin over N tenants.
 
 Results append to ``BENCH_serve.json`` using the run-record schema of
 :mod:`repro.analysis.bench` (``family: "serve"``; ``ips`` is operations
@@ -73,6 +85,7 @@ from ..scalarmult import adapter_for, montgomery_ladder_x, scalar_mult_naf
 from ..scalarmult.fixed_base import TABLE_CACHE
 from . import protocol, worker
 from .client import AsyncServeClient
+from .keys import tenant_token
 from .protocol import to_hex
 from .server import EccServer, ServeConfig
 from .worker import WorkerState, derive_scalar, execute_request
@@ -80,11 +93,14 @@ from .worker import WorkerState, derive_scalar, execute_request
 __all__ = [
     "DEFAULT_MIX",
     "FIXED_BASE_MIN_SPEEDUP",
+    "NAMED_MIN_RATIO",
+    "QUOTA_SHED_MIN",
     "SERVE_MIN_SCALING",
     "SERVE_OUTPUT",
     "SHARD_MIN_SCALING",
     "SHARD_SINGLE_CORE_MIN",
     "TRACED_MIN_RATIO",
+    "build_key_setup",
     "build_requests",
     "check_serve_against_baseline",
     "main",
@@ -130,6 +146,18 @@ SHARD_MIN_SCALING = float(os.environ.get("REPRO_SHARD_MIN_SCALING", "1.5"))
 #: one-shard figure.
 SHARD_SINGLE_CORE_MIN = float(
     os.environ.get("REPRO_SHARD_SINGLE_CORE_MIN", "0.6"))
+
+#: Floor on named-key vs inline-key throughput at the same shard count.
+#: Named use adds admission work (auth, token bucket, generation pin)
+#: and a worker-side registry lookup, but no extra curve arithmetic —
+#: it must stay within striking distance of the inline path.
+NAMED_MIN_RATIO = float(os.environ.get("REPRO_NAMED_MIN_RATIO", "0.6"))
+
+#: Floor on the quota leg's shed fraction: a stream sized several times
+#: over its tenant's burst+rate budget must actually get the majority
+#: of itself shed with QuotaExceeded — a bucket that admits everything
+#: is a bug the throughput numbers would never catch.
+QUOTA_SHED_MIN = float(os.environ.get("REPRO_QUOTA_SHED_MIN", "0.2"))
 
 SERVE_OUTPUT = "BENCH_serve.json"
 
@@ -196,9 +224,48 @@ def _peer_param(suites: _SuiteCache, curve: str, seed: str) -> Any:
     return {"x": to_hex(public.x.to_int()), "y": to_hex(public.y.to_int())}
 
 
-def build_requests(n: int, mix: str = DEFAULT_MIX,
-                   seed: int = 0) -> List[Dict[str, Any]]:
-    """The deterministic request stream: same (n, mix, seed) -> same list."""
+def _key_name(curve: str) -> str:
+    """The loadgen's per-curve named-key name (one key per tenant per
+    curve keeps the setup phase small)."""
+    return f"lg-{curve}"
+
+
+def build_key_setup(tenants: int, mix: str = DEFAULT_MIX,
+                    seed: int = 0) -> List[Dict[str, Any]]:
+    """The deterministic ``key_create`` phase for a named-key stream.
+
+    One key per (tenant, curve-with-a-secret-op-in-the-mix) pair, ids
+    from 1000001 so they never collide with stream ids.  Driven before
+    the clock starts; :func:`build_requests` with the same *tenants*
+    emits the matching ``params.key`` references.
+    """
+    weights = parse_mix(mix)
+    curves = sorted({curve for (op, curve), _ in weights
+                     if protocol.OPS[op].secret is not None})
+    requests: List[Dict[str, Any]] = []
+    rid = 1000000
+    for t in range(tenants):
+        tenant = f"t{t}"
+        for curve in curves:
+            rid += 1
+            requests.append({
+                "id": rid, "op": "key_create", "curve": curve,
+                "params": {"name": _key_name(curve),
+                           "seed": f"lg:{seed}"},
+                "tenant": tenant, "token": tenant_token(tenant)})
+    return requests
+
+
+def build_requests(n: int, mix: str = DEFAULT_MIX, seed: int = 0,
+                   tenants: int = 0) -> List[Dict[str, Any]]:
+    """The deterministic request stream: same (n, mix, seed) -> same list.
+
+    With ``tenants > 0`` the secret-bearing ops (sign, ECDH) reference
+    the per-tenant server-resident keys of :func:`build_key_setup`
+    (``params.key``) instead of carrying inline scalars, round-robin
+    over ``t0 .. t<tenants-1>`` — still fully deterministic, since the
+    named keys derive from the same seed machinery.
+    """
     weights = parse_mix(mix)
     pattern: List[Tuple[str, str]] = []
     for opcurve, weight in weights:
@@ -210,6 +277,7 @@ def build_requests(n: int, mix: str = DEFAULT_MIX,
         op, curve = pattern[i % len(pattern)]
         tag = hashlib.sha256(
             f"repro-loadgen:{seed}:{i}".encode()).hexdigest()
+        named = tenants > 0 and protocol.OPS[op].secret is not None
         if op == "keygen":
             params: Dict[str, Any] = {"seed": tag}
         elif op == "scalarmult":
@@ -217,21 +285,32 @@ def build_requests(n: int, mix: str = DEFAULT_MIX,
         elif op == "ecdh":
             if curve not in peers:
                 peers[curve] = _peer_param(suites, curve, str(seed))
-            suite = suites(curve)
-            if curve == "montgomery":
-                private = derive_scalar(tag, bits=suite.scalar_bits)
-            elif suite.order is not None:
-                private = derive_scalar(tag, order=suite.order)
+            if named:
+                params = {"key": _key_name(curve), "peer": peers[curve]}
             else:
-                private = derive_scalar(tag)
-            params = {"private": to_hex(private), "peer": peers[curve]}
+                suite = suites(curve)
+                if curve == "montgomery":
+                    private = derive_scalar(tag, bits=suite.scalar_bits)
+                elif suite.order is not None:
+                    private = derive_scalar(tag, order=suite.order)
+                else:
+                    private = derive_scalar(tag)
+                params = {"private": to_hex(private),
+                          "peer": peers[curve]}
         else:  # ecdsa_sign / schnorr_sign: order curves only (parse_mix)
-            suite = suites(curve)
-            params = {"private": to_hex(derive_scalar(tag,
-                                                      order=suite.order)),
-                      "msg": tag}
-        requests.append({"id": i + 1, "op": op, "curve": curve,
-                         "params": params})
+            if named:
+                params = {"key": _key_name(curve), "msg": tag}
+            else:
+                suite = suites(curve)
+                params = {"private": to_hex(derive_scalar(
+                    tag, order=suite.order)), "msg": tag}
+        request = {"id": i + 1, "op": op, "curve": curve,
+                   "params": params}
+        if named:
+            tenant = f"t{i % tenants}"
+            request["tenant"] = tenant
+            request["token"] = tenant_token(tenant)
+        requests.append(request)
     return requests
 
 
@@ -259,16 +338,28 @@ def summarize(requests: Sequence[Dict[str, Any]],
 
 def run_direct(requests: Sequence[Dict[str, Any]],
                fixed_base: bool = True,
-               warm: Sequence[str] = ("secp160r1",)
+               warm: Sequence[str] = ("secp160r1",),
+               setup: Sequence[Dict[str, Any]] = ()
                ) -> Tuple[List[Dict[str, Any]], float]:
     """One request at a time, in-process, no server: the baseline path.
 
     With ``fixed_base=False`` this is exactly the repository's pre-serve
     capability — variable-base NAF per request.  Table builds happen
     before the clock starts so the wall time measures steady state.
+    A named-key *setup* phase (``build_key_setup``) runs against a
+    fresh in-process key registry, also before the clock.
     """
     state = WorkerState(fixed_base=fixed_base)
     state.warm(warm)
+    if setup:
+        # Fresh registry per run so --check's second pass can re-create
+        # the same keys (the direct path's registry is process-global).
+        worker._KEYS = None
+        for req in setup:
+            reply = execute_request(req, state)
+            if not reply["ok"]:
+                raise RuntimeError(
+                    f"direct key setup failed: {reply['error']}")
     t0 = time.perf_counter()
     replies = [execute_request(req, state) for req in requests]
     return replies, time.perf_counter() - t0
@@ -336,6 +427,17 @@ async def _scrape(host: str, port: int) -> str:
         return await client.stats(format="prometheus")
 
 
+async def _run_setup(targets: Sequence[Tuple[str, int]],
+                     setup: Sequence[Dict[str, Any]]) -> None:
+    """Drive a ``key_create`` setup phase (untimed) and insist it took."""
+    if not setup:
+        return
+    replies, _lat, _wall = await _drive(targets, setup)
+    bad = [r for r in replies if not r["ok"]]
+    if bad:
+        raise RuntimeError(f"key setup failed: {bad[0]['error']}")
+
+
 async def run_served(requests: Sequence[Dict[str, Any]],
                      workers: int = 1, rate: float = 0.0,
                      target: Optional[Tuple[str, int]] = None,
@@ -347,19 +449,26 @@ async def run_served(requests: Sequence[Dict[str, Any]],
                      trace_sink: Optional[List[RequestTrace]] = None,
                      scrape_sink: Optional[List[str]] = None,
                      client_times: Optional[Dict[str, Tuple[int, int]]] = None,
-                     connections: int = 1
+                     connections: int = 1,
+                     setup: Sequence[Dict[str, Any]] = (),
+                     tenants_config: Optional[Dict[str, Any]] = None
                      ) -> Tuple[List[Dict[str, Any]], List[float], float]:
     """Drive the stream at ``target`` or a fresh in-process server.
 
     ``connections`` client connections share the stream round-robin
     (the high-concurrency mode; default one pipelined connection).
-    In-process extras: ``tracing`` turns on server-side trace stamping,
-    ``trace_sink`` receives the server's :class:`RequestTrace` records
-    after the run, ``scrape_sink`` receives one Prometheus exposition
-    scraped through the wire while the server is still up, and
-    ``client_times`` collects client-side stamps (see :func:`_drive`).
+    A named-key *setup* phase (``build_key_setup``) is driven before
+    the timed stream; ``tenants_config`` applies a strict-tenancy /
+    quota config to the in-process server (:class:`~repro.serve.server
+    .ServeConfig` ``tenants``).  In-process extras: ``tracing`` turns
+    on server-side trace stamping, ``trace_sink`` receives the server's
+    :class:`RequestTrace` records after the run, ``scrape_sink``
+    receives one Prometheus exposition scraped through the wire while
+    the server is still up, and ``client_times`` collects client-side
+    stamps (see :func:`_drive`).
     """
     if target is not None:
+        await _run_setup([target], setup)
         result = await _drive([target], requests, rate, client_times,
                               connections)
         if scrape_sink is not None:
@@ -375,10 +484,11 @@ async def run_served(requests: Sequence[Dict[str, Any]],
     config = ServeConfig(port=0, workers=workers, batch_max=batch_max,
                          queue_depth=queue_depth, fixed_base=fixed_base,
                          warm_curves=tuple(warm), tracing=tracing,
-                         slowlog=slowlog)
+                         slowlog=slowlog, tenants=tenants_config)
     server = EccServer(config)
     await server.start()
     try:
+        await _run_setup([(config.host, server.port)], setup)
         result = await _drive([(config.host, server.port)], requests,
                               rate, client_times, connections)
         if scrape_sink is not None:
@@ -396,7 +506,9 @@ async def run_sharded(requests: Sequence[Dict[str, Any]],
                       rate: float = 0.0, batch_max: int = 16,
                       fixed_base: bool = True,
                       warm: Sequence[str] = ("secp160r1",),
-                      reuseport: bool = False
+                      reuseport: bool = False,
+                      setup: Sequence[Dict[str, Any]] = (),
+                      tenants_config: Optional[Dict[str, Any]] = None
                       ) -> Tuple[List[Dict[str, Any]], List[float], float]:
     """Drive the stream at a fresh N-shard cluster of
     :mod:`repro.serve.shard`.
@@ -407,7 +519,10 @@ async def run_sharded(requests: Sequence[Dict[str, Any]],
     SO_REUSEPORT hashing assigns whole connections arbitrarily).  With
     ``reuseport=True`` every connection goes to the one shared public
     port instead.  ``connections`` defaults to ``4 * shards`` so each
-    shard sees concurrent load.
+    shard sees concurrent load.  A named-key *setup* phase is driven
+    through shard 0 only — the cross-shard journal is what makes the
+    keys visible to every other shard, so this doubles as a live
+    exercise of that property.
     """
     from .shard import ShardCluster  # deferred: keeps import cycles out
 
@@ -416,7 +531,7 @@ async def run_sharded(requests: Sequence[Dict[str, Any]],
     queue_depth = max(2 * len(requests), 128)
     config = ServeConfig(port=0, workers=workers, batch_max=batch_max,
                          queue_depth=queue_depth, fixed_base=fixed_base,
-                         warm_curves=tuple(warm))
+                         warm_curves=tuple(warm), tenants=tenants_config)
     cluster = ShardCluster(shards, config, reuseport=reuseport)
     await cluster.start()
     try:
@@ -425,6 +540,7 @@ async def run_sharded(requests: Sequence[Dict[str, Any]],
         else:
             targets = [(config.host, port)
                        for port in cluster.shard_ports if port is not None]
+        await _run_setup(targets[:1], setup)
         return await _drive(targets, requests, rate,
                             connections=connections)
     finally:
@@ -575,6 +691,63 @@ def run_bench_serve(n: Optional[int] = None, smoke: bool = False,
                 continue
             speedups[f"mixed/secp160r1/shard{count}:shard{base_count}"] = (
                 shard_ips[count] / shard_ips[base_count])
+
+    # Tenancy legs (repro.serve.keys): the same ECDSA stream through a
+    # fresh cluster twice per shard count — inline private scalars vs
+    # server-resident named keys over two tenants (setup through shard
+    # 0; resolution everywhere else rides the shared journal).  Their
+    # ratio is the full cost of auth + token bucket + generation pin +
+    # worker-side key resolution.
+    n_sign = 12 if smoke else 24
+    sign_mix = "ecdsa_sign:secp160r1=1"
+    inline_requests = build_requests(n_sign, mix=sign_mix, seed=1603)
+    named_requests = build_requests(n_sign, mix=sign_mix, seed=1603,
+                                    tenants=2)
+    named_setup = build_key_setup(2, sign_mix, seed=1603)
+    for count in (1, 2):
+        replies, lat, wall = asyncio.run(run_sharded(
+            inline_requests, shards=count, workers=1,
+            connections=4 * count))
+        _assert_all_ok(replies, f"inline_shard{count}")
+        inline = _bench_entry(f"inline_shard{count}", n_sign, wall, lat,
+                              kernel="ecdsa")
+        entries.append(inline)
+        replies, lat, wall = asyncio.run(run_sharded(
+            named_requests, shards=count, workers=1,
+            connections=4 * count, setup=named_setup))
+        _assert_all_ok(replies, f"named_shard{count}")
+        named = _bench_entry(f"named_shard{count}", n_sign, wall, lat,
+                             kernel="ecdsa")
+        entries.append(named)
+        if inline["ips"]:
+            speedups[f"ecdsa/secp160r1/named_shard{count}:"
+                     f"inline_shard{count}"] = named["ips"] / inline["ips"]
+
+    # Quota-shed leg: one tenant with a deliberately tiny budget (burst
+    # 8, 25/s) under an open-loop stream several times that size.  The
+    # token bucket must shed the overflow with typed QuotaExceeded
+    # replies — anything else (Overloaded, errors) fails the run, and
+    # the recorded shed fraction is floor-checked.
+    n_quota = 40
+    quota_requests = build_requests(n_quota, mix=sign_mix, seed=1604,
+                                    tenants=1)
+    quota_setup = build_key_setup(1, sign_mix, seed=1604)
+    quota_config = {"t0": {"rate": 25.0, "burst": 8}}
+    replies, lat, wall = asyncio.run(run_served(
+        quota_requests, workers=1, setup=quota_setup,
+        tenants_config=quota_config))
+    shed = sum(1 for r in replies if not r["ok"]
+               and r["error"]["type"] == "QuotaExceeded")
+    stray = [r for r in replies if not r["ok"]
+             and r["error"]["type"] != "QuotaExceeded"]
+    if stray:
+        raise RuntimeError(
+            f"quota leg: {len(stray)} non-QuotaExceeded errors, first: "
+            f"{stray[0]['error']}")
+    entries.append(_bench_entry("quota", n_quota, wall, lat,
+                                kernel="ecdsa"))
+    speedups["named/quota_shed_fraction"] = shed / n_quota
+
     record = {
         "schema": 1,
         "timestamp": datetime.datetime.now(
@@ -671,10 +844,33 @@ def check_floors(record: Dict[str, Any],
             shard_note = (f", shards {best_shard:.2f}x >= "
                           f"{SHARD_SINGLE_CORE_MIN:.2f}x "
                           "(single-core fallback)")
+    # The named-key overhead gate: named/inline throughput per shard
+    # count must stay above NAMED_MIN_RATIO.  Records predating the key
+    # subsystem carry no such entries and skip the gate.
+    named_note = ""
+    named_keys = [k for k in speedups
+                  if "/named_shard" in k and ":inline_shard" in k]
+    if named_keys:
+        worst_key = min(named_keys, key=lambda k: speedups[k])
+        worst = speedups[worst_key]
+        if worst < NAMED_MIN_RATIO:
+            print(f"FAIL: named/inline throughput ratio {worst:.2f} "
+                  f"({worst_key}) is below the {NAMED_MIN_RATIO:.2f} "
+                  "floor")
+            failed = True
+        named_note = f", named {worst:.2f} >= {NAMED_MIN_RATIO:.2f}"
+    quota = speedups.get("named/quota_shed_fraction")
+    if quota is not None:
+        if quota < QUOTA_SHED_MIN:
+            print(f"FAIL: quota shed fraction {quota:.2f} is below the "
+                  f"{QUOTA_SHED_MIN:.2f} floor (the token bucket is not "
+                  "shedding)")
+            failed = True
+        named_note += f", quota shed {quota:.2f} >= {QUOTA_SHED_MIN:.2f}"
     if not failed:
         print(f"OK: fixed-base {fb:.2f}x >= {fixed_base_floor:.2f}x, "
               f"served {speedups[best_key]:.2f}x >= {scaling_floor:.2f}x, "
-              f"traced ratio floors hold{shard_note}")
+              f"traced ratio floors hold{shard_note}{named_note}")
     return 1 if failed else 0
 
 
@@ -799,6 +995,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "rate * duration; requires --rate > 0)")
     parser.add_argument("--seed", type=int, default=7,
                         help="stream seed; same seed -> same bytes")
+    parser.add_argument("--tenants", type=int, default=0,
+                        help="spread secret-bearing ops over N tenants "
+                             "using server-resident named keys (one "
+                             "untimed key_create per tenant and curve "
+                             "before the stream); 0 = inline secrets "
+                             "(default)")
     parser.add_argument("--out", default="-",
                         help="JSONL summary path ('-' = stdout)")
     parser.add_argument("--check", action="store_true",
@@ -808,8 +1010,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--bench", action="store_true",
                         help="serving benchmark (direct / fixedbase / "
                              "pool1 / pool2 / pool4 on keygen/secp160r1, "
-                             "plus shard1 / shard2 / shard4 clusters on "
-                             "the mixed workload); appends to "
+                             "shard1 / shard2 / shard4 clusters on the "
+                             "mixed workload, named-key vs inline ECDSA "
+                             "legs and a quota-shed leg); appends to "
                              "BENCH_serve.json and enforces the speedup "
                              "floors")
     parser.add_argument("--bench-output", default=SERVE_OUTPUT,
@@ -854,7 +1057,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         n = args.n
     fixed_base = not args.no_fixed_base
-    requests = build_requests(n, mix=args.mix, seed=args.seed)
+    if args.tenants < 0:
+        parser.error("--tenants must be >= 0")
+    if args.tenants and args.check and args.target is not None:
+        parser.error("--check with --tenants needs fresh servers (the "
+                     "second pass would re-create the keys); drop "
+                     "--target")
+    requests = build_requests(n, mix=args.mix, seed=args.seed,
+                              tenants=args.tenants)
+    setup = (build_key_setup(args.tenants, args.mix, seed=args.seed)
+             if args.tenants else [])
 
     if args.shards < 0:
         parser.error("--shards must be >= 0")
@@ -893,9 +1105,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return asyncio.run(run_sharded(
                 requests, shards=args.shards, workers=args.workers,
                 connections=connections, rate=args.rate,
-                batch_max=args.batch_max, fixed_base=fixed_base))
+                batch_max=args.batch_max, fixed_base=fixed_base,
+                setup=setup))
         if args.target is None and args.workers == 0:
-            replies, wall = run_direct(requests, fixed_base=fixed_base)
+            replies, wall = run_direct(requests, fixed_base=fixed_base,
+                                       setup=setup)
             return replies, [], wall
         return asyncio.run(run_served(
             requests, workers=args.workers, rate=args.rate,
@@ -903,7 +1117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             fixed_base=fixed_base, tracing=args.trace,
             trace_sink=trace_sink, scrape_sink=scrape_sink,
             client_times=client_times if args.trace else None,
-            connections=connections))
+            connections=connections, setup=setup))
 
     replies, latencies, wall = one_run()
     summary = summarize(requests, replies)

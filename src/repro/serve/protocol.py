@@ -8,7 +8,9 @@ Request grammar::
 
     {"id": <int>=0>, "op": <op>, "curve": <curve|absent>,
      "params": {...}, "deadline_ms": <number, optional>,
-     "trace": <8..32 lowercase hex chars, optional>}
+     "trace": <8..32 lowercase hex chars, optional>,
+     "tenant": <tenant name, key ops and named key use only>,
+     "token": <tenant auth token, paired with tenant>}
 
 Reply grammar::
 
@@ -30,14 +32,35 @@ exposition format.  Under the shard supervisor of
 :mod:`repro.serve.shard`, ``params.scope = "cluster"`` makes any one
 shard answer for the whole cluster (counters summed across the
 shards' stats board); the default ``scope = "shard"`` stays local and
-carries the answering shard's index.
+carries the answering shard's index.  The ``stats`` result is JSON by
+default and the full Prometheus text exposition with ``params.format =
+"prometheus"`` (shard scope only; ``scope = "cluster"`` with the
+Prometheus format is a ``BadRequest``).
+
+**Named keys and tenancy** (DESIGN.md §8, :mod:`repro.serve.keys`):
+the ``key_create`` / ``key_rotate`` / ``key_delete`` / ``key_info``
+lifecycle ops manage server-resident keys in a per-tenant namespace.
+They require the top-level ``tenant`` (matching :data:`TENANT_NAME`)
+and ``token`` fields; so does any request whose ``params.key`` names a
+server-resident key instead of carrying an inline secret.  The
+secret-bearing ops (``ecdsa_sign``, ``schnorr_sign``, ``ecdh``) take
+*exactly one* of ``params.private`` (inline hex scalar) or
+``params.key`` (a stored key's name, :data:`KEY_NAME`); with ``key``,
+the optional ``params.key_generation`` pins a specific generation
+(the server pins the current one at admission otherwise, so rotation
+never races in-flight work).  On any other request, ``tenant`` /
+``token`` are rejected — tenancy is opt-in per request, never ambient.
 
 Error types are closed-world (:data:`ERROR_TYPES`): ``BadRequest``
 (malformed or semantically invalid request — never retry),
 ``Overloaded`` (bounded queue was full, the typed load-shed reply —
 retry with backoff), ``DeadlineExceeded`` (the request's budget elapsed
-while queued), ``Internal`` (handler raised — server-side log has the
-detail).
+while queued), ``Unauthorized`` (unknown tenant or bad token — fix
+credentials, never retry as-is), ``QuotaExceeded`` (the *tenant's*
+budget — key count or request rate — is exhausted, distinct from
+``Overloaded`` so callers can tell their own quota from server
+saturation; retry with backoff or raise the quota), ``Internal``
+(handler raised — server-side log has the detail).
 
 All big integers travel as lowercase hex strings without an ``0x``
 prefix (:func:`to_hex` / :func:`from_hex`); points as ``{"x": hex,
@@ -57,12 +80,17 @@ from typing import Any, Dict, FrozenSet, Optional
 __all__ = [
     "CURVES",
     "ERROR_TYPES",
+    "KEY_NAME",
+    "KEY_OPS",
     "OPS",
     "ORDER_CURVES",
     "ProtocolError",
     "Overloaded",
     "DeadlineExceeded",
+    "Unauthorized",
+    "QuotaExceeded",
     "OpSpec",
+    "TENANT_NAME",
     "TRACE_ID",
     "decode_reply",
     "decode_request",
@@ -85,11 +113,26 @@ CURVES: FrozenSet[str] = frozenset(
 #: can run order-arithmetic protocols (ECDSA, Schnorr).
 ORDER_CURVES: FrozenSet[str] = frozenset({"secp160r1", "glv"})
 
-ERROR_TYPES = ("BadRequest", "Overloaded", "DeadlineExceeded", "Internal")
+ERROR_TYPES = ("BadRequest", "Overloaded", "DeadlineExceeded",
+               "Unauthorized", "QuotaExceeded", "Internal")
 
 #: Wire form of a trace id: 8..32 lowercase hex chars (the generator,
 #: :func:`repro.obs.trace.new_trace_id`, emits 16).
 TRACE_ID = re.compile(r"[0-9a-f]{8,32}")
+
+#: Tenant names double as Prometheus metric-name fragments
+#: (``serve_tenant_<name>_requests_total``), so the charset is the
+#: metric-safe subset: lowercase alphanumerics and underscores only.
+TENANT_NAME = re.compile(r"[a-z][a-z0-9_]{0,23}")
+
+#: Named-key names: same shape as tenant names but allowing dashes and
+#: dots (they never appear in metric names), up to 64 chars.
+KEY_NAME = re.compile(r"[a-z][a-z0-9_.-]{0,63}")
+
+#: The key-lifecycle ops: answered inline by the server front-end
+#: (like ``stats``), always tenant-scoped.
+KEY_OPS: FrozenSet[str] = frozenset(
+    {"key_create", "key_rotate", "key_delete", "key_info"})
 
 
 class ProtocolError(ValueError):
@@ -108,6 +151,23 @@ class DeadlineExceeded(ProtocolError):
     """The request's deadline elapsed before a worker picked it up."""
 
     error_type = "DeadlineExceeded"
+
+
+class Unauthorized(ProtocolError):
+    """Unknown tenant (strict mode) or wrong auth token."""
+
+    error_type = "Unauthorized"
+
+
+class QuotaExceeded(ProtocolError):
+    """The tenant's own budget (key count or request rate) is spent.
+
+    Deliberately distinct from :class:`Overloaded`: that one means the
+    *server* is saturated; this one means *you* are over quota and no
+    amount of server capacity will admit the request.
+    """
+
+    error_type = "QuotaExceeded"
 
 
 def to_hex(value: int) -> str:
@@ -146,21 +206,27 @@ class OpSpec:
     required: FrozenSet[str]
     #: Optional parameter names.
     optional: FrozenSet[str] = frozenset()
+    #: Name of the op's inline-secret parameter, if it has one.  Such
+    #: ops take *exactly one* of the secret or ``key`` (a stored key's
+    #: name, tenant-scoped); ``key_generation`` is only valid with
+    #: ``key``.
+    secret: Optional[str] = None
 
 
-def _spec(name: str, curves, required, optional=()) -> OpSpec:
+def _spec(name: str, curves, required, optional=(),
+          secret: Optional[str] = None) -> OpSpec:
     return OpSpec(name, frozenset(curves), frozenset(required),
-                  frozenset(optional))
+                  frozenset(optional), secret)
 
 
 #: The service's operation table.
 OPS: Dict[str, OpSpec] = {spec.name: spec for spec in (
     _spec("keygen", CURVES, ["seed"]),
-    _spec("ecdh", CURVES, ["private", "peer"]),
+    _spec("ecdh", CURVES, ["peer"], secret="private"),
     _spec("scalarmult", CURVES, ["k"], ["point"]),
-    _spec("ecdsa_sign", ORDER_CURVES, ["private", "msg"]),
+    _spec("ecdsa_sign", ORDER_CURVES, ["msg"], secret="private"),
     _spec("ecdsa_verify", ORDER_CURVES, ["public", "msg", "r", "s"]),
-    _spec("schnorr_sign", ORDER_CURVES, ["private", "msg"]),
+    _spec("schnorr_sign", ORDER_CURVES, ["msg"], secret="private"),
     _spec("schnorr_verify", ORDER_CURVES, ["public", "msg", "e", "s"]),
     _spec("rsa_sign", (), ["n", "e", "d", "digest"]),
     _spec("rsa_verify", (), ["n", "e", "digest", "sig"]),
@@ -169,6 +235,14 @@ OPS: Dict[str, OpSpec] = {spec.name: spec for spec in (
     # covers the pool-free direct path.  ``scope="cluster"`` asks a
     # sharded server to aggregate across its sibling shards.
     _spec("stats", (), [], ["format", "scope"]),
+    # Named-key lifecycle (repro.serve.keys): tenant-scoped, answered
+    # inline at accept like ``stats`` — mutations hit the journal, not
+    # the batch queue.  ``key_create`` takes the curve the key lives
+    # on; the others resolve it from the stored record.
+    _spec("key_create", CURVES, ["name"], ["seed"]),
+    _spec("key_rotate", (), ["name"], ["seed"]),
+    _spec("key_delete", (), ["name"]),
+    _spec("key_info", (), ["name"]),
 )}
 
 
@@ -206,10 +280,59 @@ def validate_request(obj: Any) -> Dict[str, Any]:
     if missing:
         raise ProtocolError(
             f"op {op!r} is missing params {sorted(missing)}")
-    unknown = params.keys() - spec.required - spec.optional
+    allowed = spec.required | spec.optional
+    if spec.secret is not None:
+        allowed = allowed | {spec.secret, "key", "key_generation"}
+    unknown = params.keys() - allowed
     if unknown:
         raise ProtocolError(
             f"op {op!r} got unknown params {sorted(unknown)}")
+    uses_key = False
+    if spec.secret is not None:
+        has_secret = spec.secret in params
+        has_key = "key" in params
+        if has_secret == has_key:
+            raise ProtocolError(
+                f"op {op!r} takes exactly one of params.{spec.secret} "
+                "(inline secret) or params.key (stored key name)")
+        if has_key:
+            uses_key = True
+            key = params["key"]
+            if not isinstance(key, str) or not KEY_NAME.fullmatch(key):
+                raise ProtocolError(
+                    "params.key must name a stored key "
+                    "([a-z][a-z0-9_.-], max 64 chars)")
+            generation = params.get("key_generation")
+            if generation is not None and (
+                    not isinstance(generation, int)
+                    or isinstance(generation, bool) or generation < 1):
+                raise ProtocolError(
+                    "params.key_generation must be a positive integer")
+        elif "key_generation" in params:
+            raise ProtocolError(
+                "params.key_generation is only valid with params.key")
+    if op in KEY_OPS:
+        name = params.get("name")
+        if not isinstance(name, str) or not KEY_NAME.fullmatch(name):
+            raise ProtocolError(
+                "params.name must be a key name "
+                "([a-z][a-z0-9_.-], max 64 chars)")
+        seed = params.get("seed")
+        if seed is not None and not isinstance(seed, str):
+            raise ProtocolError("params.seed must be a string")
+    tenant = obj.get("tenant")
+    if op in KEY_OPS or uses_key:
+        if not isinstance(tenant, str) or not TENANT_NAME.fullmatch(tenant):
+            raise ProtocolError(
+                f"op {op!r} requires a tenant "
+                "([a-z][a-z0-9_], max 24 chars)")
+        token = obj.get("token")
+        if not isinstance(token, str) or not token:
+            raise ProtocolError(
+                "tenant-scoped requests require a token string")
+    elif tenant is not None or obj.get("token") is not None:
+        raise ProtocolError(
+            "tenant/token are only valid on key ops or named-key use")
     deadline = obj.get("deadline_ms")
     if deadline is not None:
         if not isinstance(deadline, (int, float)) or isinstance(
@@ -221,7 +344,7 @@ def validate_request(obj: Any) -> Dict[str, Any]:
             raise ProtocolError(
                 "trace must be 8..32 lowercase hex characters")
     unknown_top = obj.keys() - {"id", "op", "curve", "params",
-                                "deadline_ms", "trace"}
+                                "deadline_ms", "trace", "tenant", "token"}
     if unknown_top:
         raise ProtocolError(
             f"unknown request fields {sorted(unknown_top)}")

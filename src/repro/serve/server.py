@@ -62,6 +62,7 @@ import contextlib
 import os
 import signal
 import sys
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -130,6 +131,15 @@ class ServeConfig:
     slowlog: int = 64
     #: Dump the flight recorder as Chrome trace JSON here on stop().
     slowlog_out: Optional[str] = None
+    #: Path of the named-key journal (:mod:`repro.serve.keys`).  None =
+    #: the server materializes a private temp journal on start() and
+    #: removes it on stop(); the shard supervisor sets one shared path
+    #: so every shard (and every pool worker) sees the same keys.
+    keys_journal: Optional[str] = None
+    #: Strict-mode tenant config (``{name: {token, max_keys, rate,
+    #: burst}}``, the parsed ``--tenants-file``); None = open tenancy
+    #: (any well-formed tenant self-registers with its derived token).
+    tenants: Optional[Dict[str, Dict[str, Any]]] = None
 
 
 @dataclass
@@ -167,18 +177,35 @@ class EccServer:
         #: .StatsBoard`), installed by the shard runtime before start();
         #: None on an unsharded server.
         self.board = None
+        #: Writable named-key registry (:mod:`repro.serve.keys`); built
+        #: in start() over ``config.keys_journal``.
+        self.keys = None
+        self._journal_owned = False  # temp journal to unlink on stop()
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "EccServer":
+        from .keys import KeyRegistry
+
         cfg = self.config
         if cfg.workers < 1:
             raise ValueError("need at least one worker")
+        if cfg.keys_journal is None:
+            # Standalone server: a private journal so keys still reach
+            # the pool workers (they attach it read-only).  The shard
+            # supervisor hands every shard one shared path instead.
+            fd, cfg.keys_journal = tempfile.mkstemp(
+                prefix="repro-keys-", suffix=".ndjson")
+            os.close(fd)
+            self._journal_owned = True
+        self.keys = KeyRegistry(journal_path=cfg.keys_journal,
+                                tenants=cfg.tenants)
         self._pool = ProcessPoolExecutor(
             max_workers=cfg.workers,
             initializer=init_worker,
             initargs=(cfg.hardened, cfg.fb_width, cfg.fixed_base,
-                      tuple(cfg.warm_curves), cfg.store_name),
+                      tuple(cfg.warm_curves), cfg.store_name,
+                      cfg.keys_journal),
         )
         self._queue = asyncio.Queue(maxsize=cfg.queue_depth)
         self._batcher = asyncio.create_task(self._batch_loop())
@@ -213,6 +240,10 @@ class EccServer:
             written = self.recorder.dump(self.config.slowlog_out)
             print(f"slowlog: {written} slowest request trees -> "
                   f"{self.config.slowlog_out}", file=sys.stderr)
+        if self._journal_owned and self.config.keys_journal:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.keys_journal)
+            self._journal_owned = False
 
     async def __aenter__(self) -> "EccServer":
         return await self.start()
@@ -269,6 +300,14 @@ class EccServer:
                     # whole point is reachability while overloaded.
                     await write_reply(self._stats_reply(request))
                     continue
+                if "tenant" in request:
+                    # Tenant-scoped: authorize + rate-quota, answer key
+                    # lifecycle ops inline (journal writes, not worker
+                    # work), pin the key generation on named use.
+                    reply = self._keys_admission(request)
+                    if reply is not None:
+                        await write_reply(reply)
+                        continue
                 if self.config.tracing and "trace" not in request:
                     request["trace"] = new_trace_id()
                 pending = self._make_pending(request)
@@ -299,6 +338,57 @@ class EccServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _keys_admission(self, request: Dict[str, Any]
+                        ) -> Optional[Dict[str, Any]]:
+        """Admission control for tenant-scoped requests.
+
+        Authorizes the (tenant, token) pair, charges the tenant's rate
+        bucket, then either answers a ``key_*`` lifecycle op inline
+        (like ``stats`` — a journal write must not wait behind the
+        batch queue) or admits a named-key use: the key's **current
+        generation is pinned** into ``params.key_generation`` right
+        here, so a rotation landing a microsecond later cannot retire
+        the key under an in-flight batch, and the ``token`` is stripped
+        so credentials never enter the batch payload.  Returns the
+        reply to write immediately, or None for an admitted request
+        that continues to the queue.
+        """
+        op = request["op"]
+        params = request.get("params") or {}
+        try:
+            tenant = self.keys.authorize(request["tenant"],
+                                         request.get("token"))
+            METRICS.counter(
+                f"serve_tenant_{tenant.name}_requests_total").inc()
+            self.keys.throttle(tenant)
+            if op in protocol.KEY_OPS:
+                if op == "key_create":
+                    result = self.keys.create(
+                        tenant.name, params["name"], request["curve"],
+                        params.get("seed"))
+                elif op == "key_rotate":
+                    result = self.keys.rotate(tenant.name, params["name"],
+                                              params.get("seed"))
+                elif op == "key_delete":
+                    result = self.keys.delete(tenant.name, params["name"])
+                else:
+                    result = self.keys.info(tenant.name, params["name"])
+                reply = protocol.ok_reply(request["id"], result)
+            else:
+                if params.get("key_generation") is None:
+                    ref = self.keys.resolve(tenant.name, params["key"])
+                    request["params"] = dict(params,
+                                             key_generation=ref.generation)
+                request.pop("token", None)
+                return None
+        except protocol.ProtocolError as exc:
+            reply = protocol.error_reply(request["id"], exc.error_type,
+                                         str(exc))
+        trace_id = request.get("trace")
+        if trace_id is not None:
+            reply.setdefault("meta", {})["trace"] = trace_id
+        return reply
 
     def _make_pending(self, request: Dict[str, Any]) -> _Pending:
         now = time.perf_counter()
@@ -492,6 +582,8 @@ class EccServer:
             "slowlog": {"capacity": self.recorder.capacity,
                         "size": len(self.recorder),
                         "recorded": self.recorder.recorded},
+            "tenants": (self.keys.tenants_snapshot()
+                        if self.keys is not None else {}),
         }
 
     def _cluster_stats(self) -> Dict[str, Any]:
@@ -621,6 +713,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--slowlog-out", default=None, metavar="PATH",
                         help="dump the flight recorder as Chrome trace "
                              "JSON on shutdown")
+    parser.add_argument("--keys-journal", default=None, metavar="PATH",
+                        help="named-key journal path (append-only "
+                             "NDJSON; survives restarts). Default: a "
+                             "private temp file removed on shutdown")
+    parser.add_argument("--tenants-file", default=None, metavar="PATH",
+                        help="strict-tenancy config: JSON object of "
+                             "{tenant: {token, max_keys, rate, burst}}. "
+                             "Default: open tenancy with derived tokens")
     args = parser.parse_args(argv)
     warm = tuple(c for c in args.warm.split(",") if c)
     for curve in warm:
@@ -630,13 +730,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--slowlog must be >= 1")
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    tenants = None
+    if args.tenants_file is not None:
+        import json
+
+        try:
+            with open(args.tenants_file, encoding="utf-8") as fh:
+                tenants = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"--tenants-file unreadable: {exc}")
+        if not isinstance(tenants, dict) or not all(
+                isinstance(name, str)
+                and protocol.TENANT_NAME.fullmatch(name)
+                and isinstance(spec, dict)
+                for name, spec in tenants.items()):
+            parser.error("--tenants-file must map tenant names "
+                         "([a-z][a-z0-9_], max 24 chars) to config "
+                         "objects")
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         batch_max=args.batch_max, queue_depth=args.queue_depth,
         deadline_ms=args.deadline_ms, hardened=args.hardened,
         fixed_base=not args.no_fixed_base, fb_width=args.fb_width,
         warm_curves=warm, tracing=args.tracing, slowlog=args.slowlog,
-        slowlog_out=args.slowlog_out,
+        slowlog_out=args.slowlog_out, keys_journal=args.keys_journal,
+        tenants=tenants,
     )
     if args.shards > 1:
         from .shard import run_cluster

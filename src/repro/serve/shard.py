@@ -330,11 +330,24 @@ class ShardCluster:
         self._monitor: Optional[asyncio.Task] = None
         self._rr = 0
         self._stopping = False
+        self._journal_owned = False  # shared temp key journal to unlink
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "ShardCluster":
         cfg = self.config
+        if cfg.keys_journal is None:
+            # One shared named-key journal for the whole cluster: every
+            # shard (and every pool worker under it) replays the same
+            # append-only file, which is what makes a key created via
+            # shard 0 resolvable on shard N — and what lets a respawned
+            # shard pick its keys back up (DESIGN.md §8).
+            import tempfile
+
+            fd, cfg.keys_journal = tempfile.mkstemp(
+                prefix="repro-keys-cluster-", suffix=".ndjson")
+            os.close(fd)
+            self._journal_owned = True
         if self.want_store and cfg.fixed_base:
             warm = [k for k in cfg.warm_curves if k != "montgomery"]
             if warm:
@@ -385,6 +398,10 @@ class ShardCluster:
         if self.store is not None:
             with contextlib.suppress(FileNotFoundError):
                 self.store.unlink()
+        if self._journal_owned and self.config.keys_journal:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.keys_journal)
+            self._journal_owned = False
 
     async def __aenter__(self) -> "ShardCluster":
         return await self.start()

@@ -50,6 +50,7 @@ __all__ = [
     "execute_batch",
     "execute_request",
     "init_worker",
+    "worker_keys",
     "worker_state",
 ]
 
@@ -224,6 +225,7 @@ class WorkerState:
 
 
 _STATE: Optional[WorkerState] = None
+_KEYS = None  # the process's KeyRegistry (lazy; see worker_keys)
 
 
 def worker_state() -> WorkerState:
@@ -234,9 +236,29 @@ def worker_state() -> WorkerState:
     return _STATE
 
 
+def worker_keys():
+    """The process's named-key registry (:mod:`repro.serve.keys`).
+
+    A pool worker gets a **read-only** attach over the server's journal
+    from :func:`init_worker` — it resolves ``(tenant, name,
+    generation)`` to scalars itself, tailing the journal on a lookup
+    miss, so key material is never serialized into batch chunks.  On
+    the pool-free direct path this lazily builds a writable in-memory
+    registry instead, which is what makes the ``key_*`` handlers below
+    work without a server front-end.
+    """
+    global _KEYS
+    if _KEYS is None:
+        from .keys import KeyRegistry
+
+        _KEYS = KeyRegistry()
+    return _KEYS
+
+
 def init_worker(hardened: bool = False, fb_width: int = DEFAULT_WIDTH,
                 fixed_base: bool = True, warm_curves: tuple = (),
-                store_name: Optional[str] = None) -> None:
+                store_name: Optional[str] = None,
+                keys_journal: Optional[str] = None) -> None:
     """Pool initializer: isolate inherited metrics, build fresh state.
 
     Runs in the child process.  The inherited ``METRICS`` registry is
@@ -249,9 +271,18 @@ def init_worker(hardened: bool = False, fb_width: int = DEFAULT_WIDTH,
     precomputing, so ``fixed_base_tables_built`` stays flat however
     many workers fork.  A missing or corrupt segment degrades to local
     builds rather than killing the pool.
+
+    With *keys_journal*, the worker attaches the server's named-key
+    journal **read-only**: batched requests that reference a stored key
+    (``params.key``) are resolved in this process from the journal's
+    replayed state, never from secrets travelling in the batch payload.
     """
-    global _STATE
+    global _STATE, _KEYS
     METRICS.reset_for_fork()
+    if keys_journal is not None:
+        from .keys import KeyRegistry
+
+        _KEYS = KeyRegistry(journal_path=keys_journal, writable=False)
     if store_name is not None:
         from ..scalarmult.table_store import TableStore, TableStoreError
 
@@ -283,6 +314,29 @@ def _point_result(point) -> Dict[str, Any]:
                       "y": to_hex(point.y.to_int())}}
 
 
+def _secret_scalar(curve: Optional[str], params: Dict[str, Any],
+                   what: str = "private") -> int:
+    """The op's secret scalar: inline hex, or a named-key resolution.
+
+    ``params.key`` carries a stored key's name (the tenant was injected
+    into the params by :func:`execute_request`; the server pinned
+    ``key_generation`` at admission).  The scalar comes out of this
+    process's registry — it was never on the wire or in the batch
+    chunk.
+    """
+    if "key" in params:
+        registry = worker_keys()
+        ref = registry.resolve(params.get("tenant") or "",
+                               params["key"],
+                               params.get("key_generation"))
+        if curve is not None and ref.curve != curve:
+            raise ProtocolError(
+                f"key {params['key']!r} lives on curve {ref.curve!r}, "
+                f"not {curve!r}")
+        return ref.private
+    return from_hex(params[what], what)
+
+
 def _handle_keygen(state: WorkerState, curve: str,
                    params: Dict[str, Any]) -> Dict[str, Any]:
     seed = params["seed"]
@@ -307,7 +361,7 @@ def _handle_keygen(state: WorkerState, curve: str,
 
 def _handle_ecdh(state: WorkerState, curve: str,
                  params: Dict[str, Any]) -> Dict[str, Any]:
-    private = from_hex(params["private"], "private")
+    private = _secret_scalar(curve, params)
     suite = state.suite(curve)
     if curve == "montgomery":
         from ..protocols.ecdh import XOnlyKeyPair
@@ -363,7 +417,7 @@ def _msg_bytes(params: Dict[str, Any]) -> bytes:
 def _handle_ecdsa_sign(state: WorkerState, curve: str,
                        params: Dict[str, Any]) -> Dict[str, Any]:
     signature = state.ecdsa(curve).sign(
-        from_hex(params["private"], "private"), _msg_bytes(params))
+        _secret_scalar(curve, params), _msg_bytes(params))
     return {"r": to_hex(signature.r), "s": to_hex(signature.s)}
 
 
@@ -382,7 +436,7 @@ def _handle_ecdsa_verify(state: WorkerState, curve: str,
 def _handle_schnorr_sign(state: WorkerState, curve: str,
                          params: Dict[str, Any]) -> Dict[str, Any]:
     signature = state.schnorr(curve).sign(
-        from_hex(params["private"], "private"), _msg_bytes(params))
+        _secret_scalar(curve, params), _msg_bytes(params))
     return {"e": to_hex(signature.challenge),
             "s": to_hex(signature.response)}
 
@@ -459,8 +513,45 @@ def _handle_stats(state: WorkerState, curve: Optional[str],
     }
 
 
+def _handle_key_create(state: WorkerState, curve: str,
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    """Named-key lifecycle, direct-path edition.
+
+    A live :class:`~repro.serve.server.EccServer` answers the ``key_*``
+    ops inline at accept against its own writable registry (like
+    ``stats``); these handlers give the pool-free direct path the same
+    semantics against the process-local registry of
+    :func:`worker_keys`.
+    """
+    return worker_keys().create(params.get("tenant") or "",
+                                params["name"], curve,
+                                params.get("seed"))
+
+
+def _handle_key_rotate(state: WorkerState, curve: Optional[str],
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    return worker_keys().rotate(params.get("tenant") or "",
+                                params["name"], params.get("seed"))
+
+
+def _handle_key_delete(state: WorkerState, curve: Optional[str],
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    return worker_keys().delete(params.get("tenant") or "",
+                                params["name"])
+
+
+def _handle_key_info(state: WorkerState, curve: Optional[str],
+                     params: Dict[str, Any]) -> Dict[str, Any]:
+    return worker_keys().info(params.get("tenant") or "",
+                              params["name"])
+
+
 _HANDLERS: Dict[str, Callable] = {
     "stats": _handle_stats,
+    "key_create": _handle_key_create,
+    "key_rotate": _handle_key_rotate,
+    "key_delete": _handle_key_delete,
+    "key_info": _handle_key_info,
     "keygen": _handle_keygen,
     "ecdh": _handle_ecdh,
     "scalarmult": _handle_scalarmult,
@@ -481,9 +572,14 @@ def execute_request(req: Dict[str, Any],
     state = state or worker_state()
     _REQUESTS.inc()
     METRICS.counter(f"serve_worker_op_{req['op']}_total").inc()
+    params = req.get("params") or {}
+    if "tenant" in req:
+        # Tenant-scoped request: hand the tenant down to the handler so
+        # named-key resolution stays (tenant, name)-scoped.  A copy —
+        # the inbound request object is never mutated.
+        params = dict(params, tenant=req["tenant"])
     try:
-        result = _HANDLERS[req["op"]](state, req.get("curve"),
-                                      req.get("params") or {})
+        result = _HANDLERS[req["op"]](state, req.get("curve"), params)
         return protocol.ok_reply(req["id"], result)
     except ProtocolError as exc:
         _ERRORS.inc()
